@@ -1,0 +1,108 @@
+// Package alive is a Go implementation of Alive — the language and
+// verifier for LLVM peephole optimizations from "Provably Correct
+// Peephole Optimizations with Alive" (Lopes, Menendez, Nagarakatte,
+// Regehr; PLDI 2015).
+//
+// The package is the public façade over the internal machinery:
+//
+//   - Parse / ParseFile read Alive transformations
+//     (`source => target` templates with optional Name: and Pre: headers);
+//   - Verify proves a transformation correct for every feasible type
+//     assignment or returns a Figure 5-style counterexample;
+//   - InferAttributes synthesizes the weakest nsw/nuw/exact precondition
+//     and the strongest postcondition (Section 3.4);
+//   - GenerateCpp emits InstCombine-style C++ (Section 4).
+//
+// Everything — including the SMT solver the checker runs on — is
+// implemented in this module with no external dependencies; see DESIGN.md.
+//
+// # Quick start
+//
+//	opt, err := alive.Parse(`
+//	%1 = xor %x, -1
+//	%2 = add %1, C
+//	=>
+//	%2 = sub C-1, %x
+//	`)
+//	if err != nil { ... }
+//	res := alive.Verify(opt[0], alive.Options{})
+//	if res.Verdict == alive.Invalid {
+//	    fmt.Println(res.Cex)
+//	}
+package alive
+
+import (
+	"alive/internal/attrs"
+	"alive/internal/codegen"
+	"alive/internal/ir"
+	"alive/internal/parser"
+	"alive/internal/verify"
+)
+
+// Transform is a parsed Alive transformation (source template, target
+// template, optional precondition).
+type Transform = ir.Transform
+
+// Options configures verification: candidate bit widths, the width cap
+// applied to transformations containing multiplication or division, the
+// ABI pointer width, and solver budgets.
+type Options = verify.Options
+
+// Result is a verification outcome: a Verdict, counterexample (when
+// Invalid), and solver statistics.
+type Result = verify.Result
+
+// Counterexample is a concrete wrong-result witness, printable in the
+// paper's Figure 5 format.
+type Counterexample = verify.Counterexample
+
+// Verdict classifies a verification outcome.
+type Verdict = verify.Verdict
+
+// Verification outcomes.
+const (
+	Valid   = verify.Valid
+	Invalid = verify.Invalid
+	Unknown = verify.Unknown
+)
+
+// AttrResult reports attribute inference: the best feasible placement of
+// nsw/nuw/exact attributes and whether the original precondition was
+// weakened or the postcondition strengthened.
+type AttrResult = attrs.Result
+
+// Parse parses one or more Alive transformations from a string.
+func Parse(src string) ([]*Transform, error) { return parser.Parse(src) }
+
+// ParseOne parses exactly one transformation.
+func ParseOne(src string) (*Transform, error) { return parser.ParseOne(src) }
+
+// ParseFile parses a .opt file.
+func ParseFile(path string) ([]*Transform, error) { return parser.ParseFile(path) }
+
+// Verify checks a transformation against the refinement criteria of the
+// paper (Sections 3.1-3.3) for every feasible type assignment.
+func Verify(t *Transform, opts Options) Result { return verify.Verify(t, opts) }
+
+// InferAttributes runs the Figure 6 attribute inference. The
+// transformation must be correct as written.
+func InferAttributes(t *Transform, opts Options) (*AttrResult, error) {
+	return attrs.Infer(t, opts)
+}
+
+// GenerateCpp emits InstCombine-style C++ for a (verified)
+// transformation, as in Figure 7.
+func GenerateCpp(t *Transform) (string, error) { return codegen.Generate(t) }
+
+// DumpSMTQueries renders the negated correctness conditions as SMT-LIB 2
+// scripts for cross-checking against an external SMT solver.
+func DumpSMTQueries(t *Transform, opts Options) ([]string, error) {
+	return verify.DumpQueries(t, opts)
+}
+
+// GenerateCppPass emits a complete C++ pass file for a set of verified
+// transformations, returning the source text and the names of
+// transformations the generator cannot express.
+func GenerateCppPass(name string, ts []*Transform) (cpp string, skipped []string) {
+	return codegen.GeneratePass(name, ts)
+}

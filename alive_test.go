@@ -1,0 +1,90 @@
+package alive_test
+
+import (
+	"strings"
+	"testing"
+
+	"alive"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	opts, err := alive.Parse(`
+%1 = xor %x, -1
+%2 = add %1, C
+=>
+%2 = sub C-1, %x
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 1 {
+		t.Fatalf("got %d transforms", len(opts))
+	}
+	res := alive.Verify(opts[0], alive.Options{Widths: []int{4, 8}})
+	if res.Verdict != alive.Valid {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestPublicAPICounterexample(t *testing.T) {
+	opt, err := alive.ParseOne(`
+Name: PR21245
+Pre: C2 % (1<<C1) == 0
+%s = shl nsw %X, C1
+%r = sdiv %s, C2
+=>
+%r = sdiv %X, C2/(1<<C1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := alive.Verify(opt, alive.Options{Widths: []int{4}})
+	if res.Verdict != alive.Invalid || res.Cex == nil {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if !strings.Contains(res.Cex.String(), "Mismatch in values") {
+		t.Fatalf("unexpected counterexample:\n%s", res.Cex)
+	}
+}
+
+func TestPublicAPIAttrInference(t *testing.T) {
+	opt, err := alive.ParseOne(`
+%r = add nsw %x, %y
+=>
+%r = add %y, %x
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := alive.InferAttributes(opt, alive.Options{Widths: []int{4}, MaxAssignments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TargetStrengthened {
+		t.Fatal("expected postcondition strengthening")
+	}
+}
+
+func TestPublicAPICodegen(t *testing.T) {
+	opt, err := alive.ParseOne(`
+Pre: isSignBit(C1)
+%b = xor %a, C1
+%d = add %b, C2
+=>
+%d = add %a, C1 ^ C2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpp, err := alive.GenerateCpp(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cpp, "match(I, m_Add(") {
+		t.Fatalf("unexpected codegen output:\n%s", cpp)
+	}
+	pass, skipped := alive.GenerateCppPass("P", []*alive.Transform{opt})
+	if len(skipped) != 0 || !strings.Contains(pass, "runOnInstruction") {
+		t.Fatal("pass generation failed")
+	}
+}

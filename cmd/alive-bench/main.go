@@ -1,0 +1,53 @@
+// Command alive-bench regenerates every table and figure of the paper's
+// evaluation (Section 6) as text reports; see the per-experiment index in
+// DESIGN.md and the recorded outputs in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	alive-bench -experiment table3|fig5|fig8|fig9|patches|attrs|compiletime|runtime|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alive/internal/bench"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, compiletime, runtime, all)")
+	widths := flag.String("widths", "4,8", "verification widths for corpus experiments")
+	flag.Parse()
+
+	runners := map[string]func(*bench.Config) string{
+		"table3":      bench.Table3,
+		"fig5":        bench.Figure5,
+		"fig8":        bench.Figure8,
+		"fig9":        bench.Figure9,
+		"patches":     bench.Patches,
+		"attrs":       bench.AttrInference,
+		"compiletime": bench.CompileTime,
+		"runtime":     bench.RunTime,
+	}
+	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "fig9", "compiletime", "runtime"}
+
+	cfg, err := bench.NewConfig(*widths)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alive-bench: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Println(runners[name](cfg))
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "alive-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Println(run(cfg))
+}

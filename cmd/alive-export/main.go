@@ -1,0 +1,33 @@
+// Command alive-export writes the built-in InstCombine corpus to .opt
+// files (the on-disk format cmd/alive consumes), one per Table 3 file.
+//
+// Usage:
+//
+//	alive-export [-dir testdata]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"alive/internal/suite"
+)
+
+func main() {
+	dir := flag.String("dir", "testdata", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "alive-export: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range suite.Files {
+		path := filepath.Join(*dir, f+".opt")
+		if err := os.WriteFile(path, []byte(suite.OptFile(f)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "alive-export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

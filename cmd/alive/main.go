@@ -1,0 +1,149 @@
+// Command alive verifies Alive transformations: it parses .opt files (or
+// stdin), proves each transformation correct for every feasible type
+// assignment, and prints counterexamples for wrong ones — the workflow of
+// the original Alive tool.
+//
+// Usage:
+//
+//	alive [flags] file.opt...
+//	alive [flags] -          # read from stdin
+//
+// Flags:
+//
+//	-widths 4,8,16     candidate integer bit widths (default 1,4,8,16,32,64)
+//	-divmul-max 8      width cap for mul/div transformations (0 = none)
+//	-infer             also run nsw/nuw/exact attribute inference
+//	-dump-smt          print the verification conditions as SMT-LIB 2
+//	-gencpp            emit InstCombine-style C++ for valid transformations
+//	-quiet             print only the per-transformation verdict lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"alive"
+)
+
+func main() {
+	widthsFlag := flag.String("widths", "", "comma-separated candidate bit widths (default 1,4,8,16,32,64)")
+	divMulMax := flag.Int("divmul-max", 8, "width cap for transformations containing mul/div/rem (0 disables)")
+	infer := flag.Bool("infer", false, "run attribute inference on valid transformations")
+	gencpp := flag.Bool("gencpp", false, "generate C++ for valid transformations")
+	dumpSMT := flag.Bool("dump-smt", false, "print the verification conditions as SMT-LIB 2 scripts")
+	quiet := flag.Bool("quiet", false, "suppress counterexample details")
+	flag.Parse()
+
+	opts := alive.Options{DivMulMaxWidth: *divMulMax}
+	if *divMulMax == 0 {
+		opts.DivMulMaxWidth = -1
+	}
+	if *widthsFlag != "" {
+		for _, s := range strings.Split(*widthsFlag, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || w <= 0 || w > 64 {
+				fmt.Fprintf(os.Stderr, "alive: bad width %q\n", s)
+				os.Exit(2)
+			}
+			opts.Widths = append(opts.Widths, w)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: alive [flags] file.opt... (or - for stdin)")
+		os.Exit(2)
+	}
+
+	exit := 0
+	total, valid, invalid, unknown := 0, 0, 0, 0
+	for _, path := range args {
+		var (
+			ts  []*alive.Transform
+			err error
+		)
+		if path == "-" {
+			data, rerr := io.ReadAll(os.Stdin)
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "alive: %v\n", rerr)
+				os.Exit(2)
+			}
+			ts, err = alive.Parse(string(data))
+		} else {
+			ts, err = alive.ParseFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alive: %v\n", err)
+			exit = 1
+			continue
+		}
+		for _, t := range ts {
+			total++
+			name := t.Name
+			if name == "" {
+				name = fmt.Sprintf("%s#%d", path, total)
+			}
+			if *dumpSMT {
+				scripts, derr := alive.DumpSMTQueries(t, opts)
+				if derr != nil {
+					fmt.Fprintf(os.Stderr, "alive: %s: %v\n", name, derr)
+				}
+				for _, s := range scripts {
+					fmt.Println(s)
+				}
+			}
+			res := alive.Verify(t, opts)
+			switch res.Verdict {
+			case alive.Valid:
+				valid++
+				fmt.Printf("%-40s done (%d type assignments, %d queries, %v)\n",
+					name, res.TypeAssignments, res.Queries, res.Duration.Round(1000000))
+				if *infer {
+					runInference(t, opts)
+				}
+				if *gencpp {
+					cpp, gerr := alive.GenerateCpp(t)
+					if gerr != nil {
+						fmt.Printf("  codegen: %v\n", gerr)
+					} else {
+						fmt.Println(cpp)
+					}
+				}
+			case alive.Invalid:
+				invalid++
+				exit = 1
+				fmt.Printf("%-40s INCORRECT\n", name)
+				if !*quiet && res.Cex != nil {
+					fmt.Println(res.Cex.String())
+				}
+			default:
+				unknown++
+				exit = 1
+				fmt.Printf("%-40s unknown", name)
+				if res.Err != nil {
+					fmt.Printf(" (%v)", res.Err)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Printf("\n%d transformations: %d valid, %d incorrect, %d unknown\n",
+		total, valid, invalid, unknown)
+	os.Exit(exit)
+}
+
+func runInference(t *alive.Transform, opts alive.Options) {
+	r, err := alive.InferAttributes(t, opts)
+	if err != nil {
+		fmt.Printf("  infer: %v\n", err)
+		return
+	}
+	out := r.Describe()
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		fmt.Printf("  infer: %s\n", line)
+	}
+}

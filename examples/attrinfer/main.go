@@ -1,0 +1,57 @@
+// Attrinfer: demonstrate Section 3.4 attribute inference — finding the
+// weakest nsw/nuw/exact precondition and the strongest postcondition for
+// a transformation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alive"
+)
+
+var cases = []string{
+	// The commuted add: the target can keep both wrap flags.
+	`
+Name: commute-add
+%r = add nsw nuw %x, %y
+=>
+%r = add %y, %x
+`,
+	// The unnecessary source attribute can be dropped (weaker
+	// precondition: the optimization fires on plain adds too).
+	`
+Name: add-zero-with-flag
+%r = add nuw %x, 0
+=>
+%r = %x
+`,
+	// The nsw is load-bearing: (x+1 > x) is only a tautology without
+	// signed wrap.
+	`
+Name: increment-compare
+%1 = add nsw %x, 1
+%2 = icmp sgt %1, %x
+=>
+%2 = true
+`,
+}
+
+func main() {
+	opts := alive.Options{Widths: []int{4, 8}, MaxAssignments: 2}
+	for _, src := range cases {
+		t, err := alive.ParseOne(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==== %s ====\n", t.Name)
+		fmt.Println(t)
+		r, err := alive.InferAttributes(t, opts)
+		if err != nil {
+			log.Fatalf("infer: %v", err)
+		}
+		fmt.Print(r.Describe())
+		fmt.Println("\noptimal form:")
+		fmt.Println(r.Render(r.Best))
+	}
+}

@@ -1,0 +1,40 @@
+// Bugfinding: run the verifier over the eight wrong InstCombine
+// transformations of the paper's Figure 8 and print each counterexample —
+// the exact bug reports (PR20186 ... PR21274) that Alive produced.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alive"
+	"alive/internal/suite"
+)
+
+func main() {
+	for _, e := range suite.Figure8() {
+		t, err := alive.ParseOne(e.Text)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name, err)
+		}
+		fmt.Printf("==== %s ====\n", e.Name)
+		fmt.Println(t)
+		res := alive.Verify(t, alive.Options{Widths: []int{4, 8}})
+		if res.Verdict != alive.Invalid {
+			fmt.Printf("UNEXPECTED: verdict %v\n\n", res.Verdict)
+			continue
+		}
+		fmt.Println(res.Cex)
+		fmt.Println()
+	}
+
+	fmt.Println("==== fixed variants ====")
+	for _, e := range suite.Fixed() {
+		t, err := alive.ParseOne(e.Text)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name, err)
+		}
+		res := alive.Verify(t, alive.Options{Widths: []int{4, 8}})
+		fmt.Printf("%-16s %v\n", e.Name, res.Verdict)
+	}
+}

@@ -1,0 +1,66 @@
+// Codegen: verify a transformation, then emit the InstCombine-style C++
+// of the paper's Section 4 (compare with Figure 7), plus a complete pass
+// file for a small set of optimizations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alive"
+)
+
+func main() {
+	// The Figure 7 example.
+	t, err := alive.ParseOne(`
+Name: figure7
+Pre: isSignBit(C1)
+%b = xor %a, C1
+%d = add %b, C2
+=>
+%d = add %a, C1 ^ C2
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := alive.Verify(t, alive.Options{Widths: []int{4, 8}})
+	fmt.Printf("verdict: %v\n\n", res.Verdict)
+	if res.Verdict != alive.Valid {
+		log.Fatal("refusing to generate code for an unverified transformation")
+	}
+	cpp, err := alive.GenerateCpp(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cpp)
+
+	// A whole pass from several verified transformations.
+	ts, err := alive.Parse(`
+Name: add-zero
+%r = add %x, 0
+=>
+%r = %x
+
+Name: mul-pow2
+Pre: isPowerOf2(C)
+%r = mul %x, C
+=>
+%r = shl %x, log2(C)
+
+Name: demorgan-and
+%nx = xor %x, -1
+%ny = xor %y, -1
+%r = and %nx, %ny
+=>
+%o = or %x, %y
+%r = xor %o, -1
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pass, skipped := alive.GenerateCppPass("AliveGenerated", ts)
+	fmt.Println(pass)
+	for _, s := range skipped {
+		fmt.Println("skipped:", s)
+	}
+}

@@ -1,0 +1,3 @@
+module alive
+
+go 1.22

@@ -1,0 +1,217 @@
+package attrs
+
+import (
+	"strings"
+	"testing"
+
+	"alive/internal/parser"
+	"alive/internal/verify"
+)
+
+var vOpts = verify.Options{Widths: []int{4}, MaxAssignments: 1}
+
+func infer(t *testing.T, src string) *Result {
+	t.Helper()
+	tr, err := parser.ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := Infer(tr, vOpts)
+	if err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+	return r
+}
+
+// slotOn reads the Best value of the slot for (side, name, flag).
+func slotOn(r *Result, side Side, name, flag string) (bool, bool) {
+	for i, s := range r.Slots {
+		if s.Side == side && s.Name == name && s.Flag.String() == flag {
+			return r.Best[i], true
+		}
+	}
+	return false, false
+}
+
+func TestStrengthenTargetNsw(t *testing.T) {
+	// -(-x) = x: the target sub can carry nothing... use a case where the
+	// target can gain nsw: source add nsw commuted.
+	r := infer(t, `
+%r = add nsw %x, %y
+=>
+%r = add %y, %x
+`)
+	on, ok := slotOn(r, TgtSide, "%r", "nsw")
+	if !ok {
+		t.Fatal("target nsw slot missing")
+	}
+	if !on {
+		t.Fatal("target add should gain nsw (source already guarantees no signed wrap)")
+	}
+	if !r.TargetStrengthened {
+		t.Fatal("TargetStrengthened should be set")
+	}
+}
+
+func TestTargetCannotGainNswWithoutSourceGuarantee(t *testing.T) {
+	r := infer(t, `
+%r = add %x, %y
+=>
+%r = add %y, %x
+`)
+	on, ok := slotOn(r, TgtSide, "%r", "nsw")
+	if !ok {
+		t.Fatal("slot missing")
+	}
+	if on {
+		t.Fatal("target must not gain nsw without a source guarantee")
+	}
+	if r.TargetStrengthened {
+		t.Fatal("nothing to strengthen")
+	}
+}
+
+func TestWeakenSourceAttribute(t *testing.T) {
+	// x ^ x = 0 does not need the source's nuw at all: the source
+	// attribute can be dropped, weakening the precondition.
+	r := infer(t, `
+%r = add nuw %x, 0
+=>
+%r = %x
+`)
+	on, ok := slotOn(r, SrcSide, "%r", "nuw")
+	if !ok {
+		t.Fatal("source slot missing")
+	}
+	if on {
+		t.Fatal("source nuw is unnecessary and should be dropped")
+	}
+	if !r.SourceWeakened {
+		t.Fatal("SourceWeakened should be set")
+	}
+}
+
+func TestNecessarySourceAttributeKept(t *testing.T) {
+	// (x+1 > x) = true requires nsw on the source add.
+	r := infer(t, `
+%1 = add nsw %x, 1
+%2 = icmp sgt %1, %x
+=>
+%2 = true
+`)
+	on, ok := slotOn(r, SrcSide, "%1", "nsw")
+	if !ok {
+		t.Fatal("source slot missing")
+	}
+	if !on {
+		t.Fatal("source nsw is necessary and must be kept")
+	}
+	if r.SourceWeakened {
+		t.Fatal("the nsw cannot be weakened")
+	}
+}
+
+func TestBothFlagsInferred(t *testing.T) {
+	// Commuted add nsw nuw: both flags transfer to the target.
+	r := infer(t, `
+%r = add nsw nuw %x, %y
+=>
+%r = add %y, %x
+`)
+	for _, flag := range []string{"nsw", "nuw"} {
+		on, ok := slotOn(r, TgtSide, "%r", flag)
+		if !ok || !on {
+			t.Fatalf("target should gain %s", flag)
+		}
+	}
+}
+
+func TestExactInference(t *testing.T) {
+	// Dividing a shifted-left value back down is exact.
+	r := infer(t, `
+%s = shl nuw %x, 1
+%r = udiv %s, 2
+=>
+%r = %x
+`)
+	on, ok := slotOn(r, SrcSide, "%r", "exact")
+	if !ok {
+		t.Fatal("source udiv exact slot missing")
+	}
+	_ = on // exact on the source may or may not be required; just ensure inference ran
+	if r.Checks == 0 {
+		t.Fatal("expected checker invocations")
+	}
+}
+
+func TestIncorrectTransformRejected(t *testing.T) {
+	tr, err := parser.ParseOne(`
+%r = lshr %x, 1
+=>
+%r = ashr %x, 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Infer(tr, vOpts); err == nil {
+		t.Fatal("inference must reject incorrect transformations")
+	}
+}
+
+func TestNoSlots(t *testing.T) {
+	r := infer(t, `
+%r = xor %x, %x
+=>
+%r = 0
+`)
+	if len(r.Slots) != 0 {
+		t.Fatalf("xor has no inferable attributes, got %v", r.Slots)
+	}
+}
+
+func TestRenderAppliesAssignment(t *testing.T) {
+	r := infer(t, `
+%r = add nsw %x, %y
+=>
+%r = add %y, %x
+`)
+	out := r.Render(r.Best)
+	// The rendered target must carry nsw.
+	lines := strings.Split(out, "=>")
+	if !strings.Contains(lines[1], "nsw") {
+		t.Fatalf("rendered best assignment missing target nsw:\n%s", out)
+	}
+	// Render must not leave the transform mutated.
+	if !strings.Contains(lines[0], "nsw") {
+		t.Fatal("source flags must be restored after Render")
+	}
+	cur := r.Transform.String()
+	if !strings.Contains(strings.Split(cur, "=>")[0], "nsw") {
+		t.Fatal("transform mutated after Render")
+	}
+}
+
+func TestPartialOrderPruning(t *testing.T) {
+	// With 3+ slots, pruning must keep the check count below 2^k.
+	r := infer(t, `
+%r = add nsw nuw %x, %y
+=>
+%r = add %y, %x
+`)
+	total := 1 << uint(len(r.Slots))
+	if r.Checks >= total {
+		t.Fatalf("no pruning happened: %d checks for %d candidates", r.Checks, total)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	r := infer(t, `
+%r = add nsw %x, %y
+=>
+%r = add %y, %x
+`)
+	d := r.Describe()
+	if !strings.Contains(d, "add tgt %r nsw") {
+		t.Fatalf("Describe missing the inferred addition:\n%s", d)
+	}
+}

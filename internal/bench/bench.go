@@ -1,0 +1,373 @@
+// Package bench implements the reproduction harness for every table and
+// figure of the paper's evaluation (Section 6). Each experiment returns a
+// text report; cmd/alive-bench prints them and the top-level benchmarks
+// drive them under testing.B. EXPERIMENTS.md records paper-vs-measured
+// for each one.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"alive/internal/attrs"
+	"alive/internal/miniir"
+	"alive/internal/suite"
+	"alive/internal/verify"
+)
+
+// Config parameterizes the experiments.
+type Config struct {
+	// Widths used for corpus verification (default 4, 8; the paper's full
+	// range is available at a large time cost).
+	Widths []int
+	// Workload size for the Figure 9 / Section 6.4 experiments.
+	WorkloadFuncs int
+	InstrsPerFunc int
+	Seed          int64
+}
+
+// NewConfig parses a comma-separated width list.
+func NewConfig(widths string) (*Config, error) {
+	cfg := &Config{WorkloadFuncs: 400, InstrsPerFunc: 60, Seed: 20150613}
+	for _, s := range strings.Split(widths, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w <= 0 || w > 64 {
+			return nil, fmt.Errorf("bad width %q", s)
+		}
+		cfg.Widths = append(cfg.Widths, w)
+	}
+	return cfg, nil
+}
+
+func (c *Config) verifyOpts() verify.Options {
+	return verify.Options{Widths: c.Widths, MaxAssignments: 4}
+}
+
+// Table3 verifies the whole corpus and reports, per InstCombine file, the
+// paper's counts next to ours: translated transformations and wrong ones.
+func Table3(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: translated InstCombine optimizations and bugs found\n")
+	sb.WriteString("(paper columns: #opts in file, #translated, #bugs; ours: corpus size, #bugs found)\n\n")
+	fmt.Fprintf(&sb, "%-16s %8s %8s %8s | %8s %8s %8s\n",
+		"File", "#opts", "#transl", "#bugs", "corpus", "#invalid", "verified")
+
+	start := time.Now()
+	byFile := suite.ByFile()
+	totCorpus, totInvalid, totPaperT, totPaperB := 0, 0, 0, 0
+	for _, file := range suite.Files {
+		entries := byFile[file]
+		invalid, validCnt := 0, 0
+		for _, e := range entries {
+			r := verify.Verify(e.Parse(), cfg.verifyOpts())
+			switch r.Verdict {
+			case verify.Invalid:
+				invalid++
+			case verify.Valid:
+				validCnt++
+			}
+		}
+		p := suite.PaperTable3[file]
+		fmt.Fprintf(&sb, "%-16s %8d %8d %8d | %8d %8d %8d\n",
+			file, p[0], p[1], p[2], len(entries), invalid, validCnt)
+		totCorpus += len(entries)
+		totInvalid += invalid
+		totPaperT += p[1]
+		totPaperB += p[2]
+	}
+	fmt.Fprintf(&sb, "%-16s %8s %8d %8d | %8d %8d\n", "Total", "1028", totPaperT, totPaperB, totCorpus, totInvalid)
+	fmt.Fprintf(&sb, "\nverified in %v at widths %v\n", time.Since(start).Round(time.Millisecond), cfg.Widths)
+	if totInvalid == 8 {
+		sb.WriteString("shape check: exactly the 8 Figure 8 bugs are reported wrong — PASS\n")
+	} else {
+		fmt.Fprintf(&sb, "shape check: expected 8 invalid, found %d — FAIL\n", totInvalid)
+	}
+	return sb.String()
+}
+
+// Figure5 reproduces the paper's counterexample for PR21245.
+func Figure5(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: counterexample for PR21245\n\n")
+	for _, e := range suite.Figure8() {
+		if e.Name != "PR21245" {
+			continue
+		}
+		r := verify.Verify(e.Parse(), verify.Options{Widths: []int{4}})
+		if r.Verdict != verify.Invalid || r.Cex == nil {
+			sb.WriteString("FAIL: PR21245 not detected\n")
+			return sb.String()
+		}
+		sb.WriteString(r.Cex.String())
+		sb.WriteString("\n(paper reports the same shape: i4 mismatch on %r with an %X/C1/C2/%s listing)\n")
+	}
+	return sb.String()
+}
+
+// Figure8 verifies the eight wrong transformations and their fixes.
+func Figure8(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: the eight wrong InstCombine transformations\n\n")
+	detected := 0
+	for _, e := range suite.Figure8() {
+		r := verify.Verify(e.Parse(), cfg.verifyOpts())
+		status := "NOT DETECTED"
+		if r.Verdict == verify.Invalid {
+			status = "detected"
+			detected++
+		}
+		kind := ""
+		if r.Cex != nil {
+			switch r.Cex.Kind {
+			case verify.CexValueMismatch:
+				kind = "wrong value"
+			case verify.CexMoreUndefined:
+				kind = "introduces undefined behavior"
+			case verify.CexMorePoison:
+				kind = "introduces poison"
+			case verify.CexMemoryMismatch:
+				kind = "memory mismatch"
+			}
+		}
+		fmt.Fprintf(&sb, "%-10s %-14s %s\n", e.Name, status, kind)
+	}
+	fmt.Fprintf(&sb, "\n%d/8 bugs detected\n", detected)
+
+	fixed := 0
+	for _, e := range suite.Fixed() {
+		r := verify.Verify(e.Parse(), cfg.verifyOpts())
+		if r.Verdict == verify.Valid {
+			fixed++
+		} else {
+			fmt.Fprintf(&sb, "%s: fixed variant did not verify (%v)\n", e.Name, r.Verdict)
+		}
+	}
+	fmt.Fprintf(&sb, "%d/8 fixed variants verify (Section 6.1 re-translation check)\n", fixed)
+	return sb.String()
+}
+
+// Patches reproduces the Section 6.2 patch-monitoring episode: two buggy
+// revisions rejected, the third proved.
+func Patches(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Section 6.2: patch monitoring (three submitted revisions)\n\n")
+	for _, rev := range suite.PatchSequence() {
+		t, err := suite.Entry{Text: rev.Text}.ParseOrError()
+		if err != nil {
+			fmt.Fprintf(&sb, "revision %d: parse error %v\n", rev.Revision, err)
+			continue
+		}
+		r := verify.Verify(t, cfg.verifyOpts())
+		want := "should be rejected"
+		if rev.WantValid {
+			want = "should be accepted"
+		}
+		got := "rejected"
+		if r.Verdict == verify.Valid {
+			got = "accepted"
+		}
+		ok := (r.Verdict == verify.Valid) == rev.WantValid
+		mark := "PASS"
+		if !ok {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&sb, "revision %d: %s (%s) — %s\n", rev.Revision, got, want, mark)
+	}
+	return sb.String()
+}
+
+// AttrInference reproduces Section 6.3: run attribute inference over the
+// correct corpus entries and report how many got a weaker precondition or
+// stronger postcondition, per file.
+func AttrInference(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Section 6.3: attribute inference over the corpus\n")
+	sb.WriteString("(paper: precondition weakened for 1, postcondition strengthened for 70 of 334 ≈ 21%,\n")
+	sb.WriteString(" with AddSub/MulDivRem/Shifts around 40%)\n\n")
+	fmt.Fprintf(&sb, "%-16s %8s %8s %8s\n", "File", "inferred", "weakened", "strengthened")
+
+	opts := cfg.verifyOpts()
+	totalN, totalW, totalS := 0, 0, 0
+	for _, file := range suite.Files {
+		n, w, s := 0, 0, 0
+		for _, e := range suite.ByFile()[file] {
+			if e.WantInvalid {
+				continue
+			}
+			res, err := attrs.Infer(e.Parse(), opts)
+			if err != nil {
+				continue
+			}
+			n++
+			if res.SourceWeakened {
+				w++
+			}
+			if res.TargetStrengthened {
+				s++
+			}
+		}
+		fmt.Fprintf(&sb, "%-16s %8d %8d %8d\n", file, n, w, s)
+		totalN += n
+		totalW += w
+		totalS += s
+	}
+	fmt.Fprintf(&sb, "%-16s %8d %8d %8d\n", "Total", totalN, totalW, totalS)
+	if totalN > 0 {
+		fmt.Fprintf(&sb, "\nstrengthened: %d/%d = %.0f%% (paper: 70/334 = 21%%)\n",
+			totalS, totalN, 100*float64(totalS)/float64(totalN))
+	}
+	return sb.String()
+}
+
+// compiledCorpus compiles the matchable correct corpus entries for the
+// mini-IR pass.
+func compiledCorpus() []*miniir.CompiledTransform {
+	var out []*miniir.CompiledTransform
+	for _, e := range suite.All() {
+		if e.WantInvalid {
+			continue
+		}
+		ct, err := miniir.Compile(e.Parse())
+		if err != nil {
+			continue // memory/undef patterns are not matchable in mini-IR
+		}
+		out = append(out, ct)
+	}
+	return out
+}
+
+// Figure9 runs the compiled corpus over the synthetic workload and
+// reports per-optimization firing counts sorted by rank.
+func Figure9(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: optimization firing counts on the synthetic workload\n")
+	sb.WriteString("(paper: ~87,000 firings over ~1M lines; top 10 opts ≈ 70% of firings;\n")
+	sb.WriteString(" 159 of 334 translated opts fired at least once)\n\n")
+
+	cts := compiledCorpus()
+	m := miniir.Generate(miniir.GenConfig{Funcs: cfg.WorkloadFuncs, InstrsPerFunc: cfg.InstrsPerFunc, Seed: cfg.Seed})
+	instrs := m.NumInstrs()
+	pass := miniir.NewPass(cts)
+	start := time.Now()
+	total := pass.RunModule(m)
+	elapsed := time.Since(start)
+
+	type fc struct {
+		name  string
+		count int
+	}
+	var counts []fc
+	for name, n := range pass.Fired {
+		counts = append(counts, fc{name, n})
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].count != counts[j].count {
+			return counts[i].count > counts[j].count
+		}
+		return counts[i].name < counts[j].name
+	})
+
+	fmt.Fprintf(&sb, "workload: %d functions, %d instructions; %d compiled optimizations\n",
+		len(m.Funcs), instrs, len(cts))
+	fmt.Fprintf(&sb, "total firings: %d in %v\n\n", total, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "%4s %-40s %8s\n", "rank", "optimization", "firings")
+	top10 := 0
+	for i, c := range counts {
+		if i < 10 {
+			top10 += c.count
+		}
+		if i < 25 {
+			fmt.Fprintf(&sb, "%4d %-40s %8d\n", i+1, c.name, c.count)
+		}
+	}
+	if len(counts) > 25 {
+		fmt.Fprintf(&sb, "     ... %d more optimizations fired\n", len(counts)-25)
+	}
+	fmt.Fprintf(&sb, "\n%d/%d optimizations fired at least once\n", len(counts), len(cts))
+	if total > 0 {
+		share := 100 * float64(top10) / float64(total)
+		fmt.Fprintf(&sb, "top-10 share of firings: %.0f%% (paper: ~70%%)\n", share)
+	}
+	return sb.String()
+}
+
+// splitCorpus partitions the compiled corpus into the "full InstCombine"
+// stand-in (everything) and the "translated subset" (one third). The
+// paper's translated third covered the commonly-firing optimizations —
+// "a small number of optimizations are applied frequently" — which is
+// why LLVM+Alive lost only ~3% run time; we reproduce that by ranking
+// the corpus on a small calibration workload and keeping the hot third.
+func splitCorpus() (full, subset []*miniir.CompiledTransform) {
+	full = compiledCorpus()
+	calib := miniir.Generate(miniir.GenConfig{Funcs: 40, InstrsPerFunc: 40, Seed: 7})
+	p := miniir.NewPass(full)
+	p.RunModule(calib)
+	ranked := append([]*miniir.CompiledTransform{}, full...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		fi, fj := p.Fired[ranked[i].Name], p.Fired[ranked[j].Name]
+		if fi != fj {
+			return fi > fj
+		}
+		return ranked[i].Name < ranked[j].Name
+	})
+	subset = ranked[:len(ranked)/3]
+	return full, subset
+}
+
+// CompileTime reproduces the Section 6.4 compile-time comparison: the
+// Alive-generated pass implements only a third of the optimizations, so
+// compilation runs faster.
+func CompileTime(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Section 6.4: compilation time (pass running time)\n")
+	sb.WriteString("(paper: LLVM+Alive compiles ~7% faster, because it runs a third of InstCombine)\n\n")
+	full, subset := splitCorpus()
+
+	timeRun := func(cts []*miniir.CompiledTransform) (time.Duration, int) {
+		m := miniir.Generate(miniir.GenConfig{Funcs: cfg.WorkloadFuncs, InstrsPerFunc: cfg.InstrsPerFunc, Seed: cfg.Seed})
+		p := miniir.NewPass(cts)
+		start := time.Now()
+		fired := p.RunModule(m)
+		return time.Since(start), fired
+	}
+	fullT, fullFired := timeRun(full)
+	subT, subFired := timeRun(subset)
+	fmt.Fprintf(&sb, "full set   (%3d opts): %10v, %6d firings\n", len(full), fullT.Round(time.Millisecond), fullFired)
+	fmt.Fprintf(&sb, "alive sub  (%3d opts): %10v, %6d firings\n", len(subset), subT.Round(time.Millisecond), subFired)
+	if fullT > 0 {
+		speedup := 100 * (1 - float64(subT)/float64(fullT))
+		fmt.Fprintf(&sb, "\nsubset pass is %.0f%% faster (paper: ~7%% faster end-to-end compilation)\n", speedup)
+	}
+	return sb.String()
+}
+
+// RunTime reproduces the Section 6.4 execution-time comparison: code
+// optimized by the subset retains more expensive instructions.
+func RunTime(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Section 6.4: execution time of compiled code (static cost model)\n")
+	sb.WriteString("(paper: code from LLVM+Alive runs ~3% slower on average across SPEC)\n\n")
+	full, subset := splitCorpus()
+
+	cost := func(cts []*miniir.CompiledTransform) int {
+		m := miniir.Generate(miniir.GenConfig{Funcs: cfg.WorkloadFuncs, InstrsPerFunc: cfg.InstrsPerFunc, Seed: cfg.Seed})
+		p := miniir.NewPass(cts)
+		p.RunModule(m)
+		return m.Cost()
+	}
+	m0 := miniir.Generate(miniir.GenConfig{Funcs: cfg.WorkloadFuncs, InstrsPerFunc: cfg.InstrsPerFunc, Seed: cfg.Seed})
+	base := m0.Cost()
+	fullCost := cost(full)
+	subCost := cost(subset)
+	fmt.Fprintf(&sb, "unoptimized cost: %d\n", base)
+	fmt.Fprintf(&sb, "full set cost:    %d (%.1f%% of unoptimized)\n", fullCost, 100*float64(fullCost)/float64(base))
+	fmt.Fprintf(&sb, "subset cost:      %d (%.1f%% of unoptimized)\n", subCost, 100*float64(subCost)/float64(base))
+	if fullCost > 0 {
+		slowdown := 100 * (float64(subCost)/float64(fullCost) - 1)
+		fmt.Fprintf(&sb, "\nsubset-optimized code is %.1f%% slower than full-set (paper: ~3%%)\n", slowdown)
+	}
+	return sb.String()
+}

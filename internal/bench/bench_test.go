@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// small returns a config sized for unit tests.
+func small(t *testing.T) *Config {
+	t.Helper()
+	cfg, err := NewConfig("4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WorkloadFuncs = 20
+	cfg.InstrsPerFunc = 30
+	return cfg
+}
+
+func TestNewConfig(t *testing.T) {
+	cfg, err := NewConfig("4,8,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Widths) != 3 || cfg.Widths[2] != 16 {
+		t.Fatalf("widths = %v", cfg.Widths)
+	}
+	if _, err := NewConfig("4,banana"); err == nil {
+		t.Fatal("bad widths must be rejected")
+	}
+	if _, err := NewConfig("0"); err == nil {
+		t.Fatal("zero width must be rejected")
+	}
+}
+
+func TestFigure5Report(t *testing.T) {
+	out := Figure5(small(t))
+	for _, needle := range []string{"Mismatch in values of i4 %r", "%X i4", "Source value: 0x1 (1)", "Target value: 0xF (15, -1)"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Figure5 missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestFigure8Report(t *testing.T) {
+	out := Figure8(small(t))
+	if !strings.Contains(out, "8/8 bugs detected") {
+		t.Fatalf("not all bugs detected:\n%s", out)
+	}
+	if !strings.Contains(out, "8/8 fixed variants verify") {
+		t.Fatalf("not all fixes verified:\n%s", out)
+	}
+}
+
+func TestPatchesReport(t *testing.T) {
+	out := Patches(small(t))
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("patch sequence mismatch:\n%s", out)
+	}
+	if strings.Count(out, "PASS") != 3 {
+		t.Fatalf("want 3 PASS lines:\n%s", out)
+	}
+}
+
+func TestFigure9Report(t *testing.T) {
+	cfg := small(t)
+	out := Figure9(cfg)
+	if !strings.Contains(out, "total firings:") || !strings.Contains(out, "top-10 share") {
+		t.Fatalf("Figure9 report incomplete:\n%s", out)
+	}
+}
+
+func TestCompileAndRunTimeReports(t *testing.T) {
+	cfg := small(t)
+	ct := CompileTime(cfg)
+	if !strings.Contains(ct, "full set") || !strings.Contains(ct, "alive sub") {
+		t.Fatalf("CompileTime report incomplete:\n%s", ct)
+	}
+	rt := RunTime(cfg)
+	if !strings.Contains(rt, "unoptimized cost") {
+		t.Fatalf("RunTime report incomplete:\n%s", rt)
+	}
+}
+
+func TestCompiledCorpusNonEmpty(t *testing.T) {
+	cts := compiledCorpus()
+	if len(cts) < 100 {
+		t.Fatalf("only %d corpus entries compiled to matchers", len(cts))
+	}
+	full, subset := splitCorpus()
+	if len(subset) >= len(full) || len(subset) == 0 {
+		t.Fatalf("split: %d of %d", len(subset), len(full))
+	}
+}

@@ -1,0 +1,536 @@
+// Package bitblast lowers smt terms over Bool and BitVec sorts to CNF via
+// Tseitin transformation, producing clauses for a sat.Solver. Circuits:
+// ripple-carry adders, shift-add multipliers, restoring dividers, barrel
+// shifters, and comparison chains. Every gate is encoded as a full
+// equivalence so terms may appear in either polarity.
+package bitblast
+
+import (
+	"fmt"
+
+	"alive/internal/bv"
+	"alive/internal/sat"
+	"alive/internal/smt"
+)
+
+// Blaster converts terms to clauses over a backing SAT solver. All terms
+// passed to one Blaster must come from the same smt.Builder.
+type Blaster struct {
+	S *sat.Solver
+
+	boolCache map[*smt.Term]sat.Lit
+	bvCache   map[*smt.Term][]sat.Lit
+	boolVars  map[string]sat.Lit
+	bvVars    map[string][]sat.Lit
+
+	lTrue  sat.Lit
+	lFalse sat.Lit
+
+	// Gates counts the Tseitin gate variables introduced (for the
+	// simplification ablation).
+	Gates int
+}
+
+// New returns a Blaster over solver s.
+func New(s *sat.Solver) *Blaster {
+	bl := &Blaster{
+		S:         s,
+		boolCache: map[*smt.Term]sat.Lit{},
+		bvCache:   map[*smt.Term][]sat.Lit{},
+		boolVars:  map[string]sat.Lit{},
+		bvVars:    map[string][]sat.Lit{},
+	}
+	v := s.NewVar()
+	bl.lTrue = sat.MkLit(v, false)
+	bl.lFalse = bl.lTrue.Not()
+	s.AddClause(bl.lTrue)
+	return bl
+}
+
+func (bl *Blaster) fresh() sat.Lit {
+	bl.Gates++
+	return sat.MkLit(bl.S.NewVar(), false)
+}
+
+// constLit returns the literal for a Boolean constant.
+func (bl *Blaster) constLit(v bool) sat.Lit {
+	if v {
+		return bl.lTrue
+	}
+	return bl.lFalse
+}
+
+// mkAnd returns a literal equivalent to the conjunction of lits.
+func (bl *Blaster) mkAnd(lits ...sat.Lit) sat.Lit {
+	out := lits[:0:0]
+	for _, l := range lits {
+		if l == bl.lFalse {
+			return bl.lFalse
+		}
+		if l == bl.lTrue {
+			continue
+		}
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		return bl.lTrue
+	case 1:
+		return out[0]
+	}
+	g := bl.fresh()
+	// g -> each l ; (all l) -> g
+	long := make([]sat.Lit, 0, len(out)+1)
+	for _, l := range out {
+		bl.S.AddClause(g.Not(), l)
+		long = append(long, l.Not())
+	}
+	long = append(long, g)
+	bl.S.AddClause(long...)
+	return g
+}
+
+// mkOr returns a literal equivalent to the disjunction of lits.
+func (bl *Blaster) mkOr(lits ...sat.Lit) sat.Lit {
+	neg := make([]sat.Lit, len(lits))
+	for i, l := range lits {
+		neg[i] = l.Not()
+	}
+	return bl.mkAnd(neg...).Not()
+}
+
+// mkXor returns a literal equivalent to a ^ b.
+func (bl *Blaster) mkXor(a, c sat.Lit) sat.Lit {
+	if a == bl.lFalse {
+		return c
+	}
+	if c == bl.lFalse {
+		return a
+	}
+	if a == bl.lTrue {
+		return c.Not()
+	}
+	if c == bl.lTrue {
+		return a.Not()
+	}
+	if a == c {
+		return bl.lFalse
+	}
+	if a == c.Not() {
+		return bl.lTrue
+	}
+	g := bl.fresh()
+	bl.S.AddClause(g.Not(), a, c)
+	bl.S.AddClause(g.Not(), a.Not(), c.Not())
+	bl.S.AddClause(g, a.Not(), c)
+	bl.S.AddClause(g, a, c.Not())
+	return g
+}
+
+// mkIte returns a literal equivalent to cond ? a : b.
+func (bl *Blaster) mkIte(cond, a, c sat.Lit) sat.Lit {
+	if cond == bl.lTrue {
+		return a
+	}
+	if cond == bl.lFalse {
+		return c
+	}
+	if a == c {
+		return a
+	}
+	if a == bl.lTrue && c == bl.lFalse {
+		return cond
+	}
+	if a == bl.lFalse && c == bl.lTrue {
+		return cond.Not()
+	}
+	g := bl.fresh()
+	bl.S.AddClause(g.Not(), cond.Not(), a)
+	bl.S.AddClause(g.Not(), cond, c)
+	bl.S.AddClause(g, cond.Not(), a.Not())
+	bl.S.AddClause(g, cond, c.Not())
+	// Redundant but strengthens propagation.
+	bl.S.AddClause(g.Not(), a, c)
+	bl.S.AddClause(g, a.Not(), c.Not())
+	return g
+}
+
+// mkEquiv returns a literal equivalent to (a <-> b).
+func (bl *Blaster) mkEquiv(a, c sat.Lit) sat.Lit { return bl.mkXor(a, c).Not() }
+
+// fullAdder returns (sum, carryOut) for a + b + cin.
+func (bl *Blaster) fullAdder(a, c, cin sat.Lit) (sum, cout sat.Lit) {
+	sum = bl.mkXor(bl.mkXor(a, c), cin)
+	cout = bl.mkOr(bl.mkAnd(a, c), bl.mkAnd(a, cin), bl.mkAnd(c, cin))
+	return
+}
+
+// adder returns a + b + cin over equal-width vectors.
+func (bl *Blaster) adder(a, c []sat.Lit, cin sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(a))
+	carry := cin
+	for i := range a {
+		out[i], carry = bl.fullAdder(a[i], c[i], carry)
+	}
+	return out
+}
+
+func (bl *Blaster) negate(a []sat.Lit) []sat.Lit {
+	inv := make([]sat.Lit, len(a))
+	for i, l := range a {
+		inv[i] = l.Not()
+	}
+	zero := make([]sat.Lit, len(a))
+	for i := range zero {
+		zero[i] = bl.lFalse
+	}
+	return bl.adder(inv, zero, bl.lTrue)
+}
+
+// sub returns a - b as a + ~b + 1.
+func (bl *Blaster) sub(a, c []sat.Lit) []sat.Lit {
+	inv := make([]sat.Lit, len(c))
+	for i, l := range c {
+		inv[i] = l.Not()
+	}
+	return bl.adder(a, inv, bl.lTrue)
+}
+
+// ult returns the literal for a <u b.
+func (bl *Blaster) ult(a, c []sat.Lit) sat.Lit {
+	lt := bl.lFalse
+	for i := 0; i < len(a); i++ {
+		bitLt := bl.mkAnd(a[i].Not(), c[i])
+		eq := bl.mkEquiv(a[i], c[i])
+		lt = bl.mkOr(bitLt, bl.mkAnd(eq, lt))
+	}
+	return lt
+}
+
+// slt returns the literal for a <s b (flip sign bits and compare
+// unsigned).
+func (bl *Blaster) slt(a, c []sat.Lit) sat.Lit {
+	fa := append([]sat.Lit{}, a...)
+	fc := append([]sat.Lit{}, c...)
+	fa[len(fa)-1] = fa[len(fa)-1].Not()
+	fc[len(fc)-1] = fc[len(fc)-1].Not()
+	return bl.ult(fa, fc)
+}
+
+// eqVec returns the literal for bitwise equality of a and b.
+func (bl *Blaster) eqVec(a, c []sat.Lit) sat.Lit {
+	parts := make([]sat.Lit, len(a))
+	for i := range a {
+		parts[i] = bl.mkEquiv(a[i], c[i])
+	}
+	return bl.mkAnd(parts...)
+}
+
+// iteVec returns cond ? a : b bitwise.
+func (bl *Blaster) iteVec(cond sat.Lit, a, c []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(a))
+	for i := range a {
+		out[i] = bl.mkIte(cond, a[i], c[i])
+	}
+	return out
+}
+
+// shiftConst returns a shifted by the constant amount k in direction dir
+// ("shl"/"lshr"), filling with fill.
+func shiftConst(a []sat.Lit, k int, left bool, fill sat.Lit) []sat.Lit {
+	n := len(a)
+	out := make([]sat.Lit, n)
+	for i := range out {
+		var src int
+		if left {
+			src = i - k
+		} else {
+			src = i + k
+		}
+		if src < 0 || src >= n {
+			out[i] = fill
+		} else {
+			out[i] = a[src]
+		}
+	}
+	return out
+}
+
+// barrelShift computes a shifted by amount sh (same width), with semantics
+// selected by left and fill (fill is the incoming bit: false for shl/lshr,
+// the sign bit for ashr). Shift amounts >= width produce all-fill.
+func (bl *Blaster) barrelShift(a, sh []sat.Lit, left bool, fill sat.Lit) []sat.Lit {
+	n := len(a)
+	cur := append([]sat.Lit{}, a...)
+	// Stages for each bit of the shift amount that can be < n.
+	for k := 0; k < len(sh) && (1<<uint(k)) < n; k++ {
+		shifted := shiftConst(cur, 1<<uint(k), left, fill)
+		cur = bl.iteVec(sh[k], shifted, cur)
+	}
+	// If sh >= n, the result is all fill bits.
+	width := len(sh)
+	nBits := make([]sat.Lit, width)
+	for i := range nBits {
+		if uint64(n)>>uint(i)&1 == 1 {
+			nBits[i] = bl.lTrue
+		} else {
+			nBits[i] = bl.lFalse
+		}
+	}
+	ge := bl.ult(sh, nBits).Not()
+	allFill := make([]sat.Lit, n)
+	for i := range allFill {
+		allFill[i] = fill
+	}
+	return bl.iteVec(ge, allFill, cur)
+}
+
+// udivrem builds the restoring-division circuit, returning quotient and
+// remainder. For a zero divisor the circuit yields q = all-ones and
+// r = a, matching the SMT-LIB convention.
+func (bl *Blaster) udivrem(a, d []sat.Lit) (q, r []sat.Lit) {
+	n := len(a)
+	q = make([]sat.Lit, n)
+	r = make([]sat.Lit, n)
+	for i := range r {
+		r[i] = bl.lFalse
+	}
+	for i := n - 1; i >= 0; i-- {
+		// r = (r << 1) | a[i]
+		r = append([]sat.Lit{a[i]}, r[:n-1]...)
+		ge := bl.ult(r, d).Not()
+		r = bl.iteVec(ge, bl.sub(r, d), r)
+		q[i] = ge
+	}
+	return q, r
+}
+
+// Bits returns the literal vector (LSB first) for a BitVec term.
+func (bl *Blaster) Bits(t *smt.Term) []sat.Lit {
+	if t.IsBool() {
+		panic("bitblast: Bits of Bool term")
+	}
+	if out, ok := bl.bvCache[t]; ok {
+		return out
+	}
+	var out []sat.Lit
+	switch t.Kind {
+	case smt.KBVConst:
+		out = make([]sat.Lit, t.Width)
+		for i := range out {
+			out[i] = bl.constLit(t.Val.Bit(i) == 1)
+		}
+	case smt.KVar:
+		if v, ok := bl.bvVars[t.Name]; ok {
+			out = v
+		} else {
+			out = make([]sat.Lit, t.Width)
+			for i := range out {
+				out[i] = sat.MkLit(bl.S.NewVar(), false)
+			}
+			bl.bvVars[t.Name] = out
+		}
+	case smt.KIte:
+		c := bl.Lit(t.Args[0])
+		out = bl.iteVec(c, bl.Bits(t.Args[1]), bl.Bits(t.Args[2]))
+	case smt.KBVNeg:
+		out = bl.negate(bl.Bits(t.Args[0]))
+	case smt.KBVNot:
+		a := bl.Bits(t.Args[0])
+		out = make([]sat.Lit, len(a))
+		for i, l := range a {
+			out[i] = l.Not()
+		}
+	case smt.KBVAnd, smt.KBVOr, smt.KBVXor:
+		a, c := bl.Bits(t.Args[0]), bl.Bits(t.Args[1])
+		out = make([]sat.Lit, len(a))
+		for i := range a {
+			switch t.Kind {
+			case smt.KBVAnd:
+				out[i] = bl.mkAnd(a[i], c[i])
+			case smt.KBVOr:
+				out[i] = bl.mkOr(a[i], c[i])
+			default:
+				out[i] = bl.mkXor(a[i], c[i])
+			}
+		}
+	case smt.KBVAdd:
+		out = bl.adder(bl.Bits(t.Args[0]), bl.Bits(t.Args[1]), bl.lFalse)
+	case smt.KBVSub:
+		out = bl.sub(bl.Bits(t.Args[0]), bl.Bits(t.Args[1]))
+	case smt.KBVMul:
+		a, c := bl.Bits(t.Args[0]), bl.Bits(t.Args[1])
+		n := len(a)
+		acc := make([]sat.Lit, n)
+		for i := range acc {
+			acc[i] = bl.lFalse
+		}
+		for i := 0; i < n; i++ {
+			// partial = (a & c[i]-replicated) << i
+			partial := make([]sat.Lit, n)
+			for j := range partial {
+				if j < i {
+					partial[j] = bl.lFalse
+				} else {
+					partial[j] = bl.mkAnd(a[j-i], c[i])
+				}
+			}
+			acc = bl.adder(acc, partial, bl.lFalse)
+		}
+		out = acc
+	case smt.KBVUdiv:
+		q, _ := bl.udivrem(bl.Bits(t.Args[0]), bl.Bits(t.Args[1]))
+		out = q
+	case smt.KBVUrem:
+		_, r := bl.udivrem(bl.Bits(t.Args[0]), bl.Bits(t.Args[1]))
+		out = r
+	case smt.KBVSdiv, smt.KBVSrem:
+		a, d := bl.Bits(t.Args[0]), bl.Bits(t.Args[1])
+		sa, sd := a[len(a)-1], d[len(d)-1]
+		absA := bl.iteVec(sa, bl.negate(a), a)
+		absD := bl.iteVec(sd, bl.negate(d), d)
+		q, r := bl.udivrem(absA, absD)
+		if t.Kind == smt.KBVSdiv {
+			neg := bl.mkXor(sa, sd)
+			out = bl.iteVec(neg, bl.negate(q), q)
+		} else {
+			out = bl.iteVec(sa, bl.negate(r), r)
+		}
+	case smt.KBVShl:
+		out = bl.barrelShift(bl.Bits(t.Args[0]), bl.Bits(t.Args[1]), true, bl.lFalse)
+	case smt.KBVLshr:
+		out = bl.barrelShift(bl.Bits(t.Args[0]), bl.Bits(t.Args[1]), false, bl.lFalse)
+	case smt.KBVAshr:
+		a := bl.Bits(t.Args[0])
+		out = bl.barrelShift(a, bl.Bits(t.Args[1]), false, a[len(a)-1])
+	case smt.KZExt:
+		a := bl.Bits(t.Args[0])
+		out = make([]sat.Lit, t.Width)
+		copy(out, a)
+		for i := len(a); i < t.Width; i++ {
+			out[i] = bl.lFalse
+		}
+	case smt.KSExt:
+		a := bl.Bits(t.Args[0])
+		out = make([]sat.Lit, t.Width)
+		copy(out, a)
+		for i := len(a); i < t.Width; i++ {
+			out[i] = a[len(a)-1]
+		}
+	case smt.KExtract:
+		a := bl.Bits(t.Args[0])
+		out = append([]sat.Lit{}, a[t.Lo:t.Hi+1]...)
+	case smt.KConcat:
+		hi, lo := bl.Bits(t.Args[0]), bl.Bits(t.Args[1])
+		out = append(append([]sat.Lit{}, lo...), hi...)
+	default:
+		panic(fmt.Sprintf("bitblast: unexpected BV kind in %s", t))
+	}
+	if len(out) != t.Width {
+		panic(fmt.Sprintf("bitblast: produced %d bits for width-%d term %s", len(out), t.Width, t))
+	}
+	bl.bvCache[t] = out
+	return out
+}
+
+// Lit returns the literal for a Bool term.
+func (bl *Blaster) Lit(t *smt.Term) sat.Lit {
+	if !t.IsBool() {
+		panic("bitblast: Lit of BitVec term")
+	}
+	if l, ok := bl.boolCache[t]; ok {
+		return l
+	}
+	var out sat.Lit
+	switch t.Kind {
+	case smt.KBoolConst:
+		out = bl.constLit(t.BVal)
+	case smt.KVar:
+		if l, ok := bl.boolVars[t.Name]; ok {
+			out = l
+		} else {
+			out = sat.MkLit(bl.S.NewVar(), false)
+			bl.boolVars[t.Name] = out
+		}
+	case smt.KNot:
+		out = bl.Lit(t.Args[0]).Not()
+	case smt.KAnd:
+		ls := make([]sat.Lit, len(t.Args))
+		for i, a := range t.Args {
+			ls[i] = bl.Lit(a)
+		}
+		out = bl.mkAnd(ls...)
+	case smt.KOr:
+		ls := make([]sat.Lit, len(t.Args))
+		for i, a := range t.Args {
+			ls[i] = bl.Lit(a)
+		}
+		out = bl.mkOr(ls...)
+	case smt.KXor:
+		out = bl.mkXor(bl.Lit(t.Args[0]), bl.Lit(t.Args[1]))
+	case smt.KImplies:
+		out = bl.mkOr(bl.Lit(t.Args[0]).Not(), bl.Lit(t.Args[1]))
+	case smt.KEq:
+		if t.Args[0].IsBool() {
+			out = bl.mkEquiv(bl.Lit(t.Args[0]), bl.Lit(t.Args[1]))
+		} else {
+			out = bl.eqVec(bl.Bits(t.Args[0]), bl.Bits(t.Args[1]))
+		}
+	case smt.KIte:
+		out = bl.mkIte(bl.Lit(t.Args[0]), bl.Lit(t.Args[1]), bl.Lit(t.Args[2]))
+	case smt.KBVUlt:
+		out = bl.ult(bl.Bits(t.Args[0]), bl.Bits(t.Args[1]))
+	case smt.KBVUle:
+		out = bl.ult(bl.Bits(t.Args[1]), bl.Bits(t.Args[0])).Not()
+	case smt.KBVSlt:
+		out = bl.slt(bl.Bits(t.Args[0]), bl.Bits(t.Args[1]))
+	case smt.KBVSle:
+		out = bl.slt(bl.Bits(t.Args[1]), bl.Bits(t.Args[0])).Not()
+	default:
+		panic(fmt.Sprintf("bitblast: unexpected Bool kind in %s", t))
+	}
+	bl.boolCache[t] = out
+	return out
+}
+
+// Assert forces the Bool term t to hold.
+func (bl *Blaster) Assert(t *smt.Term) {
+	bl.S.AddClause(bl.Lit(t))
+}
+
+// AssumptionLit returns a literal that can be passed to Solve as an
+// assumption to require t.
+func (bl *Blaster) AssumptionLit(t *smt.Term) sat.Lit { return bl.Lit(t) }
+
+// BVVarValue reads the model value of a BitVec variable after a Sat
+// result; missing variables (never blasted) read as zero.
+func (bl *Blaster) BVVarValue(name string, width int) bv.Vec {
+	bits, ok := bl.bvVars[name]
+	if !ok {
+		return bv.Zero(width)
+	}
+	v := bv.Zero(width)
+	for i, l := range bits {
+		val := bl.S.ValueOf(l.Var())
+		if l.Neg() {
+			val = !val
+		}
+		if val {
+			v = v.Or(bv.One(width).Shl(bv.New(width, uint64(i))))
+		}
+	}
+	return v
+}
+
+// BoolVarValue reads the model value of a Bool variable after Sat.
+func (bl *Blaster) BoolVarValue(name string) bool {
+	l, ok := bl.boolVars[name]
+	if !ok {
+		return false
+	}
+	val := bl.S.ValueOf(l.Var())
+	if l.Neg() {
+		val = !val
+	}
+	return val
+}

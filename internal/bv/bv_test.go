@@ -1,0 +1,422 @@
+package bv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// ref truncates v to width bits (width <= 64).
+func ref(width int, v uint64) uint64 {
+	if width == 64 {
+		return v
+	}
+	return v & (1<<uint(width) - 1)
+}
+
+func signExtend64(width int, v uint64) int64 {
+	v = ref(width, v)
+	if width < 64 && v>>(uint(width)-1) == 1 {
+		v |= ^uint64(0) << uint(width)
+	}
+	return int64(v)
+}
+
+var testWidths = []int{1, 3, 7, 8, 13, 16, 31, 32, 33, 63, 64}
+
+func TestNewAndAccessors(t *testing.T) {
+	x := New(8, 0xAB)
+	if x.Width() != 8 {
+		t.Fatalf("Width = %d, want 8", x.Width())
+	}
+	if x.Uint64() != 0xAB {
+		t.Fatalf("Uint64 = %#x, want 0xAB", x.Uint64())
+	}
+	if x.Bit(0) != 1 || x.Bit(1) != 1 || x.Bit(2) != 0 {
+		t.Fatal("Bit extraction wrong")
+	}
+	if x.SignBit() != 1 {
+		t.Fatal("SignBit of 0xAB at width 8 should be 1")
+	}
+}
+
+func TestNewTruncates(t *testing.T) {
+	x := New(4, 0xFF)
+	if x.Uint64() != 0xF {
+		t.Fatalf("New(4, 0xFF) = %#x, want 0xF", x.Uint64())
+	}
+}
+
+func TestNewInt(t *testing.T) {
+	for _, w := range testWidths {
+		for _, v := range []int64{0, 1, -1, 42, -42, 1 << 30, -(1 << 30)} {
+			x := NewInt(w, v)
+			want := ref(w, uint64(v))
+			if w > 64 {
+				continue
+			}
+			if x.Uint64() != want {
+				t.Errorf("NewInt(%d, %d).Uint64() = %#x, want %#x", w, v, x.Uint64(), want)
+			}
+			if x.Int64() != signExtend64(w, uint64(v)) {
+				t.Errorf("NewInt(%d, %d).Int64() = %d, want %d", w, v, x.Int64(), signExtend64(w, uint64(v)))
+			}
+		}
+	}
+}
+
+func TestNewIntWide(t *testing.T) {
+	x := NewInt(128, -1)
+	if !x.IsOnes() {
+		t.Fatal("NewInt(128, -1) should be all ones")
+	}
+	y := NewInt(128, -2)
+	if !y.Add(One(128)).IsOnes() {
+		t.Fatal("-2 + 1 should be -1 at width 128")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if !Zero(17).IsZero() {
+		t.Error("Zero not zero")
+	}
+	if !One(17).IsOne() {
+		t.Error("One not one")
+	}
+	if !Ones(17).IsOnes() {
+		t.Error("Ones not all-ones")
+	}
+	m := MinSigned(8)
+	if m.Uint64() != 0x80 {
+		t.Errorf("MinSigned(8) = %#x, want 0x80", m.Uint64())
+	}
+	if MaxSigned(8).Uint64() != 0x7F {
+		t.Errorf("MaxSigned(8) = %#x, want 0x7F", MaxSigned(8).Uint64())
+	}
+	if MinSigned(64).Int64() != -9223372036854775808 {
+		t.Error("MinSigned(64) wrong")
+	}
+}
+
+// checkBinop property-tests a Vec binop against a uint64 reference at every
+// test width.
+func checkBinop(t *testing.T, name string, op func(x, y Vec) Vec, refOp func(w int, a, b uint64) uint64) {
+	t.Helper()
+	for _, w := range testWidths {
+		w := w
+		f := func(a, b uint64) bool {
+			got := op(New(w, a), New(w, b))
+			want := ref(w, refOp(w, ref(w, a), ref(w, b)))
+			return got.Uint64() == want && got.Width() == w
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s at width %d: %v", name, w, err)
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	checkBinop(t, "add", Vec.Add, func(w int, a, b uint64) uint64 { return a + b })
+}
+
+func TestSub(t *testing.T) {
+	checkBinop(t, "sub", Vec.Sub, func(w int, a, b uint64) uint64 { return a - b })
+}
+
+func TestMul(t *testing.T) {
+	checkBinop(t, "mul", Vec.Mul, func(w int, a, b uint64) uint64 { return a * b })
+}
+
+func TestAnd(t *testing.T) {
+	checkBinop(t, "and", Vec.And, func(w int, a, b uint64) uint64 { return a & b })
+}
+
+func TestOr(t *testing.T) {
+	checkBinop(t, "or", Vec.Or, func(w int, a, b uint64) uint64 { return a | b })
+}
+
+func TestXor(t *testing.T) {
+	checkBinop(t, "xor", Vec.Xor, func(w int, a, b uint64) uint64 { return a ^ b })
+}
+
+func TestUdivUrem(t *testing.T) {
+	checkBinop(t, "udiv", Vec.Udiv, func(w int, a, b uint64) uint64 {
+		if b == 0 {
+			return ^uint64(0) // all-ones convention
+		}
+		return a / b
+	})
+	checkBinop(t, "urem", Vec.Urem, func(w int, a, b uint64) uint64 {
+		if b == 0 {
+			return a
+		}
+		return a % b
+	})
+}
+
+func TestSdivSrem(t *testing.T) {
+	checkBinop(t, "sdiv", Vec.Sdiv, func(w int, a, b uint64) uint64 {
+		sa, sb := signExtend64(w, a), signExtend64(w, b)
+		if sb == 0 {
+			if sa >= 0 {
+				return ^uint64(0)
+			}
+			return 1
+		}
+		if w == 64 && sa == -9223372036854775808 && sb == -1 {
+			return a // wraps
+		}
+		return uint64(sa / sb)
+	})
+	checkBinop(t, "srem", Vec.Srem, func(w int, a, b uint64) uint64 {
+		sa, sb := signExtend64(w, a), signExtend64(w, b)
+		if sb == 0 {
+			return a
+		}
+		if w == 64 && sa == -9223372036854775808 && sb == -1 {
+			return 0
+		}
+		return uint64(sa % sb)
+	})
+}
+
+func TestSdivIntMinWrap(t *testing.T) {
+	// INT_MIN / -1 wraps to INT_MIN at every width.
+	for _, w := range testWidths {
+		got := MinSigned(w).Sdiv(Ones(w))
+		if !got.Eq(MinSigned(w)) {
+			t.Errorf("width %d: INT_MIN / -1 = %s, want INT_MIN", w, got)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	checkBinop(t, "shl", Vec.Shl, func(w int, a, b uint64) uint64 {
+		if b >= uint64(w) {
+			return 0
+		}
+		return a << b
+	})
+	checkBinop(t, "lshr", Vec.Lshr, func(w int, a, b uint64) uint64 {
+		if b >= uint64(w) {
+			return 0
+		}
+		return a >> b
+	})
+	checkBinop(t, "ashr", Vec.Ashr, func(w int, a, b uint64) uint64 {
+		sa := signExtend64(w, a)
+		if b >= uint64(w) {
+			if sa < 0 {
+				return ^uint64(0)
+			}
+			return 0
+		}
+		return uint64(sa >> b)
+	})
+}
+
+func TestComparisons(t *testing.T) {
+	for _, w := range testWidths {
+		w := w
+		f := func(a, b uint64) bool {
+			x, y := New(w, a), New(w, b)
+			ra, rb := ref(w, a), ref(w, b)
+			sa, sb := signExtend64(w, a), signExtend64(w, b)
+			return x.Ult(y) == (ra < rb) &&
+				x.Ule(y) == (ra <= rb) &&
+				x.Slt(y) == (sa < sb) &&
+				x.Sle(y) == (sa <= sb) &&
+				x.Eq(y) == (ra == rb)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("comparisons at width %d: %v", w, err)
+		}
+	}
+}
+
+func TestNegNot(t *testing.T) {
+	for _, w := range testWidths {
+		w := w
+		f := func(a uint64) bool {
+			x := New(w, a)
+			return x.Neg().Uint64() == ref(w, -ref(w, a)) &&
+				x.Not().Uint64() == ref(w, ^ref(w, a))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("neg/not at width %d: %v", w, err)
+		}
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	x := NewInt(4, -3) // 0xD
+	z := x.ZExt(8)
+	if z.Uint64() != 0xD {
+		t.Errorf("ZExt = %#x, want 0xD", z.Uint64())
+	}
+	s := x.SExt(8)
+	if s.Uint64() != 0xFD {
+		t.Errorf("SExt = %#x, want 0xFD", s.Uint64())
+	}
+	tr := New(8, 0xAB).Trunc(4)
+	if tr.Uint64() != 0xB {
+		t.Errorf("Trunc = %#x, want 0xB", tr.Uint64())
+	}
+	// Identity extensions.
+	if !x.ZExt(4).Eq(x) || !x.SExt(4).Eq(x) || !x.Trunc(4).Eq(x) {
+		t.Error("identity conversions changed the value")
+	}
+}
+
+func TestExtensionProperty(t *testing.T) {
+	f := func(a uint64) bool {
+		x := New(13, a)
+		// Trunc of ZExt/SExt recovers the original.
+		return x.ZExt(40).Trunc(13).Eq(x) && x.SExt(40).Trunc(13).Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatExtract(t *testing.T) {
+	x := New(8, 0xAB)
+	y := New(4, 0xC)
+	z := x.Concat(y)
+	if z.Width() != 12 || z.Uint64() != 0xABC {
+		t.Fatalf("Concat = %s (width %d), want 0xABC width 12", z, z.Width())
+	}
+	if got := z.Extract(11, 4); got.Uint64() != 0xAB {
+		t.Errorf("Extract[11:4] = %#x, want 0xAB", got.Uint64())
+	}
+	if got := z.Extract(3, 0); got.Uint64() != 0xC {
+		t.Errorf("Extract[3:0] = %#x, want 0xC", got.Uint64())
+	}
+	if got := z.Extract(7, 7); got.Width() != 1 || got.Uint64() != 1 {
+		t.Errorf("Extract[7:7] = %#x width %d", got.Uint64(), got.Width())
+	}
+}
+
+func TestBitCounting(t *testing.T) {
+	x := New(16, 0x00F0)
+	if x.PopCount() != 4 {
+		t.Errorf("PopCount = %d, want 4", x.PopCount())
+	}
+	if x.LeadingZeros() != 8 {
+		t.Errorf("LeadingZeros = %d, want 8", x.LeadingZeros())
+	}
+	if x.TrailingZeros() != 4 {
+		t.Errorf("TrailingZeros = %d, want 4", x.TrailingZeros())
+	}
+	if x.Log2() != 7 {
+		t.Errorf("Log2 = %d, want 7", x.Log2())
+	}
+	if Zero(16).LeadingZeros() != 16 || Zero(16).TrailingZeros() != 16 {
+		t.Error("zero vector leading/trailing zeros should be width")
+	}
+	if !New(16, 0x0100).IsPowerOfTwo() {
+		t.Error("0x100 is a power of two")
+	}
+	if New(16, 0x0101).IsPowerOfTwo() || Zero(16).IsPowerOfTwo() {
+		t.Error("0x101 and 0 are not powers of two")
+	}
+}
+
+func TestWideArithmetic(t *testing.T) {
+	// (2^100 - 1) + 1 == 2^100 at width 128.
+	x := Ones(100).ZExt(128)
+	got := x.Add(One(128))
+	want := One(128).Shl(New(128, 100))
+	if !got.Eq(want) {
+		t.Fatalf("wide add: got %s, want %s", got, want)
+	}
+	// Multiplication cross-check: (2^70)*(2^40) == 2^110.
+	a := One(128).Shl(New(128, 70))
+	b := One(128).Shl(New(128, 40))
+	if !a.Mul(b).Eq(One(128).Shl(New(128, 110))) {
+		t.Fatal("wide mul wrong")
+	}
+	// Division inverse property at width 128.
+	p := New(128, 0xDEADBEEF).Shl(New(128, 64)).Or(New(128, 0x12345))
+	q := New(128, 97)
+	if !p.Udiv(q).Mul(q).Add(p.Urem(q)).Eq(p) {
+		t.Fatal("wide udiv/urem do not satisfy a = q*b + r")
+	}
+}
+
+func TestDivModInverse(t *testing.T) {
+	for _, w := range []int{8, 16, 32, 64} {
+		w := w
+		f := func(a, b uint64) bool {
+			x, y := New(w, a), New(w, b)
+			if y.IsZero() {
+				return true
+			}
+			return x.Udiv(y).Mul(y).Add(x.Urem(y)).Eq(x) &&
+				x.Sdiv(y).Mul(y).Add(x.Srem(y)).Eq(x)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("div/mod inverse at width %d: %v", w, err)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Vec
+		want string
+	}{
+		{New(4, 0xF), "0xF"},
+		{New(8, 0xAB), "0xAB"},
+		{New(1, 1), "0x1"},
+		{New(13, 0x1FFF), "0x1FFF"},
+		{Zero(16), "0x0000"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDecimalString(t *testing.T) {
+	// Matches the Figure 5 counterexample style.
+	if got := New(4, 0xF).DecimalString(); got != "0xF (15, -1)" {
+		t.Errorf("DecimalString = %q, want %q", got, "0xF (15, -1)")
+	}
+	if got := New(4, 0x3).DecimalString(); got != "0x3 (3)" {
+		t.Errorf("DecimalString = %q, want %q", got, "0x3 (3)")
+	}
+	if got := New(4, 0x8).DecimalString(); got != "0x8 (8, -8)" {
+		t.Errorf("DecimalString = %q, want %q", got, "0x8 (8, -8)")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("width mismatch", func() { New(4, 1).Add(New(8, 1)) })
+	mustPanic("zero width", func() { New(0, 0) })
+	mustPanic("bit out of range", func() { New(4, 0).Bit(4) })
+	mustPanic("trunc larger", func() { New(4, 0).Trunc(8) })
+	mustPanic("zext smaller", func() { New(8, 0).ZExt(4) })
+	mustPanic("extract out of range", func() { New(4, 0).Extract(4, 0) })
+}
+
+func TestImmutability(t *testing.T) {
+	x := New(64, 10)
+	y := New(64, 3)
+	_ = x.Add(y)
+	_ = x.Mul(y)
+	_ = x.Udiv(y)
+	_ = x.Shl(y)
+	if x.Uint64() != 10 || y.Uint64() != 3 {
+		t.Fatal("operations mutated their operands")
+	}
+}

@@ -1,0 +1,237 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want string
+	}{
+		{IntType{8}, "i8"},
+		{IntType{1}, "i1"},
+		{PtrType{IntType{16}}, "i16*"},
+		{PtrType{PtrType{IntType{8}}}, "i8**"},
+		{ArrayType{4, IntType{32}}, "[4 x i32]"},
+		{PtrType{ArrayType{2, IntType{8}}}, "[2 x i8]*"},
+		{VoidType{}, "void"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestFirstClass(t *testing.T) {
+	if !FirstClass(IntType{8}) || !FirstClass(PtrType{IntType{8}}) {
+		t.Error("integers and pointers are first-class")
+	}
+	if FirstClass(ArrayType{2, IntType{8}}) || FirstClass(VoidType{}) {
+		t.Error("arrays and void are not first-class")
+	}
+}
+
+func TestValidFlags(t *testing.T) {
+	if ValidFlags(Add) != NSW|NUW || ValidFlags(Shl) != NSW|NUW {
+		t.Error("add/shl accept nsw+nuw")
+	}
+	if ValidFlags(SDiv) != Exact || ValidFlags(LShr) != Exact {
+		t.Error("divisions and right shifts accept exact")
+	}
+	if ValidFlags(And) != 0 || ValidFlags(Xor) != 0 {
+		t.Error("bitwise ops accept no flags")
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if (NSW | NUW).String() != "nsw nuw" {
+		t.Errorf("got %q", (NSW | NUW).String())
+	}
+	if Exact.String() != "exact" {
+		t.Errorf("got %q", Exact.String())
+	}
+	if Flags(0).String() != "" {
+		t.Error("zero flags should render empty")
+	}
+}
+
+func TestInstructionPrinting(t *testing.T) {
+	x := &Input{VName: "%x"}
+	c := &AbstractConst{CName: "C"}
+	bin := &BinOp{VName: "%r", Op: Add, Flags: NSW, X: x, Y: c, DeclaredType: IntType{8}}
+	if got := bin.String(); got != "%r = add nsw i8 %x, C" {
+		t.Errorf("binop String = %q", got)
+	}
+	ic := &ICmp{VName: "%c", Cond: CondSgt, X: x, Y: &Literal{V: 0}}
+	if got := ic.String(); got != "%c = icmp sgt %x, 0" {
+		t.Errorf("icmp String = %q", got)
+	}
+	sel := &Select{VName: "%s", Cond: ic, TrueV: x, FalseV: c}
+	if got := sel.String(); got != "%s = select %c, %x, C" {
+		t.Errorf("select String = %q", got)
+	}
+	cv := &Conv{VName: "%z", Kind: ZExt, X: x, FromType: IntType{8}, ToType: IntType{16}}
+	if got := cv.String(); got != "%z = zext i8 %x to i16" {
+		t.Errorf("conv String = %q", got)
+	}
+	st := &Store{Val: x, Ptr: &Input{VName: "%p"}}
+	if got := st.String(); got != "store %x, %p" {
+		t.Errorf("store String = %q", got)
+	}
+	al := &Alloca{VName: "%p", ElemType: IntType{32}, NumElems: &Literal{V: 1}}
+	if got := al.String(); got != "%p = alloca i32, 1" {
+		t.Errorf("alloca String = %q", got)
+	}
+	gep := &GEP{VName: "%q", Ptr: &Input{VName: "%p"}, Indexes: []Value{&Literal{V: 2}}}
+	if got := gep.String(); got != "%q = getelementptr %p, 2" {
+		t.Errorf("gep String = %q", got)
+	}
+}
+
+func TestConstExprPrinting(t *testing.T) {
+	c1 := &AbstractConst{CName: "C1"}
+	c2 := &AbstractConst{CName: "C2"}
+	e := &ConstBinExpr{Op: CSDiv, X: c2, Y: &ConstBinExpr{Op: CShl, X: &Literal{V: 1}, Y: c1}}
+	if got := e.String(); got != "C2 / (1 << C1)" {
+		t.Errorf("const expr String = %q", got)
+	}
+	n := &ConstUnExpr{Op: CNot, X: c1}
+	if got := n.String(); got != "~C1" {
+		t.Errorf("unary String = %q", got)
+	}
+	f := &ConstFunc{FName: "log2", Args: []Value{c1}}
+	if got := f.String(); got != "log2(C1)" {
+		t.Errorf("func String = %q", got)
+	}
+}
+
+func TestPredPrinting(t *testing.T) {
+	c1 := &AbstractConst{CName: "C1"}
+	c2 := &AbstractConst{CName: "C2"}
+	p := &AndPred{Ps: []Pred{
+		&CmpPred{Op: PEq, X: &ConstBinExpr{Op: CAnd, X: c1, Y: c2}, Y: &Literal{V: 0}},
+		&FuncPred{FName: "isPowerOf2", Args: []Value{c1}},
+	}}
+	if got := p.String(); got != "C1 & C2 == 0 && isPowerOf2(C1)" {
+		t.Errorf("pred String = %q", got)
+	}
+	np := &NotPred{P: &FuncPred{FName: "hasOneUse", Args: []Value{&Input{VName: "%x"}}}}
+	if got := np.String(); got != "!hasOneUse(%x)" {
+		t.Errorf("not-pred String = %q", got)
+	}
+	op := &OrPred{Ps: []Pred{TruePred{}, np}}
+	if !strings.Contains(op.String(), "||") {
+		t.Errorf("or-pred String = %q", op.String())
+	}
+}
+
+func TestOperands(t *testing.T) {
+	x := &Input{VName: "%x"}
+	y := &Input{VName: "%y"}
+	bin := &BinOp{VName: "%r", Op: Add, X: x, Y: y}
+	if ops := Operands(bin); len(ops) != 2 || ops[0] != Value(x) || ops[1] != Value(y) {
+		t.Error("binop operands wrong")
+	}
+	sel := &Select{VName: "%s", Cond: x, TrueV: y, FalseV: bin}
+	if ops := Operands(sel); len(ops) != 3 {
+		t.Error("select operands wrong")
+	}
+	if ops := Operands(&Unreachable{}); len(ops) != 0 {
+		t.Error("unreachable has no operands")
+	}
+	gep := &GEP{VName: "%q", Ptr: x, Indexes: []Value{y}}
+	if ops := Operands(gep); len(ops) != 2 {
+		t.Error("gep operands wrong")
+	}
+}
+
+func TestWalkValuesVisitsSharedOnce(t *testing.T) {
+	x := &Input{VName: "%x"}
+	bin := &BinOp{VName: "%r", Op: Add, X: x, Y: x}
+	count := 0
+	WalkValues(bin, func(v Value) {
+		if v == Value(x) {
+			count++
+		}
+	})
+	if count != 1 {
+		t.Fatalf("shared node visited %d times", count)
+	}
+}
+
+func TestTransformAccessors(t *testing.T) {
+	x := &Input{VName: "%x"}
+	c := &AbstractConst{CName: "C"}
+	src := &BinOp{VName: "%r", Op: Add, X: x, Y: c}
+	tgt := &Copy{VName: "%r", X: x}
+	tr := &Transform{Name: "t", Pre: TruePred{}, Source: []Instr{src}, Target: []Instr{tgt}, Root: "%r"}
+	if tr.SourceValue("%r") != Instr(src) || tr.TargetValue("%r") != Instr(tgt) {
+		t.Error("value lookup wrong")
+	}
+	if tr.SourceValue("%nope") != nil {
+		t.Error("missing lookup should be nil")
+	}
+	if ins := tr.Inputs(); len(ins) != 1 || ins[0] != x {
+		t.Error("inputs wrong")
+	}
+	if cs := tr.Constants(); len(cs) != 1 || cs[0] != c {
+		t.Error("constants wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+	out := tr.String()
+	if !strings.Contains(out, "Name: t") || !strings.Contains(out, "=>") {
+		t.Errorf("transform String = %q", out)
+	}
+	// TruePred is suppressed in printing.
+	if strings.Contains(out, "Pre:") {
+		t.Errorf("true precondition should not print: %q", out)
+	}
+}
+
+func TestValidateRejectsEmptyTemplates(t *testing.T) {
+	tr := &Transform{Name: "bad"}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("empty source must be rejected")
+	}
+	tr.Source = []Instr{&BinOp{VName: "%r", Op: Add, X: &Input{VName: "%x"}, Y: &Literal{V: 1}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("empty target must be rejected")
+	}
+}
+
+func TestLiteralBool(t *testing.T) {
+	tl := &Literal{V: 1, Bool: true}
+	fl := &Literal{V: 0, Bool: true}
+	if tl.String() != "true" || fl.String() != "false" {
+		t.Error("bool literal printing wrong")
+	}
+	if (&Literal{V: -5}).String() != "-5" {
+		t.Error("negative literal printing wrong")
+	}
+}
+
+func TestIsConstValue(t *testing.T) {
+	c := &AbstractConst{CName: "C"}
+	x := &Input{VName: "%x"}
+	if !IsConstValue(c) || !IsConstValue(&Literal{V: 3}) {
+		t.Error("constants are const values")
+	}
+	if IsConstValue(x) {
+		t.Error("inputs are not const values")
+	}
+	if !IsConstValue(&ConstBinExpr{Op: CAdd, X: c, Y: &Literal{V: 1}}) {
+		t.Error("constant expressions are const values")
+	}
+	if IsConstValue(&ConstBinExpr{Op: CAdd, X: c, Y: x}) {
+		t.Error("expressions over inputs are not const values")
+	}
+	// width(%x) is compile-time even over an input.
+	if !IsConstValue(&ConstFunc{FName: "width", Args: []Value{x}}) {
+		t.Error("width(input) is a compile-time constant")
+	}
+}

@@ -1,0 +1,111 @@
+package ir
+
+import "strings"
+
+// Pred is a precondition predicate (Section 2.3): boolean combinations of
+// comparisons over constant expressions and built-in dataflow predicates.
+type Pred interface {
+	predNode()
+	String() string
+}
+
+// TruePred is the empty precondition.
+type TruePred struct{}
+
+func (TruePred) predNode()      {}
+func (TruePred) String() string { return "true" }
+
+// NotPred is logical negation.
+type NotPred struct {
+	P Pred
+}
+
+func (*NotPred) predNode() {}
+func (p *NotPred) String() string {
+	if _, ok := p.P.(*FuncPred); ok {
+		return "!" + p.P.String()
+	}
+	return "!(" + p.P.String() + ")"
+}
+
+// AndPred is conjunction.
+type AndPred struct {
+	Ps []Pred
+}
+
+func (*AndPred) predNode() {}
+func (p *AndPred) String() string {
+	parts := make([]string, len(p.Ps))
+	for i, q := range p.Ps {
+		parts[i] = q.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+// OrPred is disjunction.
+type OrPred struct {
+	Ps []Pred
+}
+
+func (*OrPred) predNode() {}
+func (p *OrPred) String() string {
+	parts := make([]string, len(p.Ps))
+	for i, q := range p.Ps {
+		parts[i] = "(" + q.String() + ")"
+	}
+	return strings.Join(parts, " || ")
+}
+
+// PredCmpOp enumerates comparison operators in preconditions. Like the
+// constant expression language, the bare forms are signed and the u-forms
+// unsigned.
+type PredCmpOp int
+
+// Comparison operators.
+const (
+	PEq  PredCmpOp = iota // ==
+	PNe                   // !=
+	PSlt                  // <
+	PSle                  // <=
+	PSgt                  // >
+	PSge                  // >=
+	PUlt                  // u<
+	PUle                  // u<=
+	PUgt                  // u>
+	PUge                  // u>=
+)
+
+var predCmpNames = map[PredCmpOp]string{
+	PEq: "==", PNe: "!=", PSlt: "<", PSle: "<=", PSgt: ">", PSge: ">=",
+	PUlt: "u<", PUle: "u<=", PUgt: "u>", PUge: "u>=",
+}
+
+func (op PredCmpOp) String() string { return predCmpNames[op] }
+
+// CmpPred compares two constant expressions.
+type CmpPred struct {
+	Op   PredCmpOp
+	X, Y Value
+}
+
+func (*CmpPred) predNode() {}
+func (p *CmpPred) String() string {
+	return refName(p.X) + " " + p.Op.String() + " " + refName(p.Y)
+}
+
+// FuncPred is a built-in predicate call such as isPowerOf2(C1) or
+// MaskedValueIsZero(%V, ~C1). The set of known predicates and their
+// encodings live in the vcgen package.
+type FuncPred struct {
+	FName string
+	Args  []Value
+}
+
+func (*FuncPred) predNode() {}
+func (p *FuncPred) String() string {
+	parts := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		parts[i] = refName(a)
+	}
+	return p.FName + "(" + strings.Join(parts, ", ") + ")"
+}

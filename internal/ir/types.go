@@ -1,0 +1,64 @@
+// Package ir defines the Alive language abstract syntax (Figure 1 of the
+// paper): types, operands, instructions, constant expressions, precondition
+// predicates, and whole transformations, together with the scoping rules
+// of Section 2.1.
+//
+// An Alive transformation is a pair of instruction DAGs (source and target
+// templates) plus an optional precondition. Operands reference their
+// defining nodes directly, so a parsed transformation is a pointer graph;
+// the per-name statement lists preserve the textual order, which matters
+// for sequence points (memory operations) and scope checking.
+package ir
+
+import (
+	"fmt"
+)
+
+// Type is a (possibly concrete) Alive type annotation. Variables without
+// annotations have nil type and receive concrete types during type
+// enumeration.
+type Type interface {
+	typeNode()
+	String() string
+}
+
+// IntType is an integer type of a fixed bitwidth, e.g. i32.
+type IntType struct {
+	Bits int
+}
+
+func (IntType) typeNode()        {}
+func (t IntType) String() string { return fmt.Sprintf("i%d", t.Bits) }
+
+// PtrType is a pointer to an element type, e.g. i8*.
+type PtrType struct {
+	Elem Type
+}
+
+func (PtrType) typeNode()        {}
+func (t PtrType) String() string { return t.Elem.String() + "*" }
+
+// ArrayType is a statically sized array, e.g. [4 x i32].
+type ArrayType struct {
+	N    int
+	Elem Type
+}
+
+func (ArrayType) typeNode()        {}
+func (t ArrayType) String() string { return fmt.Sprintf("[%d x %s]", t.N, t.Elem) }
+
+// VoidType is the result type of store and unreachable.
+type VoidType struct{}
+
+func (VoidType) typeNode()      {}
+func (VoidType) String() string { return "void" }
+
+// FirstClass reports whether a concrete type can be the result of an
+// instruction (integers and pointers).
+func FirstClass(t Type) bool {
+	switch t.(type) {
+	case IntType, PtrType:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,210 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is any operand or instruction result in a template: register
+// inputs, literals, abstract constants, constant expressions, undef, and
+// instructions themselves.
+type Value interface {
+	valueNode()
+	// Name returns the register or constant name ("" for anonymous values
+	// such as literals and constant expressions).
+	Name() string
+	String() string
+}
+
+// IsConstValue reports whether v is a compile-time constant in Alive's
+// sense: a literal, an abstract constant, or a constant expression over
+// those.
+func IsConstValue(v Value) bool {
+	switch v := v.(type) {
+	case *Literal, *AbstractConst:
+		return true
+	case *ConstUnExpr:
+		return IsConstValue(v.X)
+	case *ConstBinExpr:
+		return IsConstValue(v.X) && IsConstValue(v.Y)
+	case *ConstFunc:
+		for _, a := range v.Args {
+			if _, isInput := a.(*Input); isInput {
+				continue // width(%x) is still compile-time
+			}
+			if !IsConstValue(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Input is a register input to the transformation (e.g. %x) — a value not
+// defined by any instruction in the source template.
+type Input struct {
+	VName string
+	// DeclaredType constrains the type when the user wrote one, else nil.
+	DeclaredType Type
+}
+
+func (*Input) valueNode()       {}
+func (v *Input) Name() string   { return v.VName }
+func (v *Input) String() string { return v.VName }
+
+// Literal is an integer literal of polymorphic width (e.g. -1, 3333).
+// Values are stored as int64 and truncated to the operand width during
+// encoding, matching two's-complement wrapping. Bool marks the i1-typed
+// literals `true` and `false`.
+type Literal struct {
+	V    int64
+	Bool bool
+}
+
+func (*Literal) valueNode()     {}
+func (v *Literal) Name() string { return "" }
+func (v *Literal) String() string {
+	if v.Bool {
+		if v.V != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return fmt.Sprintf("%d", v.V)
+}
+
+// AbstractConst is a named symbolic constant (C, C1, C2, ...): the
+// generated code matches any compile-time constant here.
+type AbstractConst struct {
+	CName        string
+	DeclaredType Type
+}
+
+func (*AbstractConst) valueNode()       {}
+func (v *AbstractConst) Name() string   { return v.CName }
+func (v *AbstractConst) String() string { return v.CName }
+
+// UndefValue is LLVM's undef.
+type UndefValue struct {
+	// Label disambiguates distinct undef occurrences; every textual
+	// occurrence is a distinct set-of-values.
+	Label int
+}
+
+func (*UndefValue) valueNode()       {}
+func (v *UndefValue) Name() string   { return "" }
+func (v *UndefValue) String() string { return "undef" }
+
+// TypeToken is a synthetic value used by the type checker to name a type
+// that belongs to no syntactic value, such as the pointee of an alloca
+// result. It never appears in templates.
+type TypeToken struct {
+	Desc string
+}
+
+func (*TypeToken) valueNode()       {}
+func (v *TypeToken) Name() string   { return "" }
+func (v *TypeToken) String() string { return "<" + v.Desc + ">" }
+
+// ConstUnOp is a unary operator in the constant expression language.
+type ConstUnOp int
+
+// Unary constant operators.
+const (
+	CNeg ConstUnOp = iota // -x
+	CNot                  // ~x
+)
+
+func (op ConstUnOp) String() string {
+	if op == CNeg {
+		return "-"
+	}
+	return "~"
+}
+
+// ConstUnExpr applies a unary operator to a constant expression.
+type ConstUnExpr struct {
+	Op ConstUnOp
+	X  Value
+}
+
+func (*ConstUnExpr) valueNode()       {}
+func (v *ConstUnExpr) Name() string   { return "" }
+func (v *ConstUnExpr) String() string { return v.Op.String() + maybeParen(v.X) }
+
+// ConstBinOp is a binary operator in the constant expression language.
+// Division, remainder, and right shift default to the signed forms, with
+// explicit unsigned variants, following the original Alive.
+type ConstBinOp int
+
+// Binary constant operators.
+const (
+	CAdd  ConstBinOp = iota // +
+	CSub                    // -
+	CMul                    // *
+	CSDiv                   // /
+	CUDiv                   // /u
+	CSRem                   // %
+	CURem                   // %u
+	CShl                    // <<
+	CAShr                   // >>
+	CLShr                   // u>>
+	CAnd                    // &
+	COr                     // |
+	CXor                    // ^
+)
+
+var constBinOpNames = map[ConstBinOp]string{
+	CAdd: "+", CSub: "-", CMul: "*", CSDiv: "/", CUDiv: "/u",
+	CSRem: "%", CURem: "%u", CShl: "<<", CAShr: ">>", CLShr: "u>>",
+	CAnd: "&", COr: "|", CXor: "^",
+}
+
+func (op ConstBinOp) String() string { return constBinOpNames[op] }
+
+// ConstBinExpr applies a binary operator to two constant expressions.
+type ConstBinExpr struct {
+	Op   ConstBinOp
+	X, Y Value
+}
+
+func (*ConstBinExpr) valueNode()     {}
+func (v *ConstBinExpr) Name() string { return "" }
+func (v *ConstBinExpr) String() string {
+	return maybeParen(v.X) + " " + v.Op.String() + " " + maybeParen(v.Y)
+}
+
+// ConstFunc is a built-in function call in the constant expression
+// language, e.g. log2(C1), width(%x), umax(C1, C2), abs(C).
+type ConstFunc struct {
+	FName string
+	Args  []Value
+}
+
+func (*ConstFunc) valueNode()     {}
+func (v *ConstFunc) Name() string { return "" }
+func (v *ConstFunc) String() string {
+	args := make([]string, len(v.Args))
+	for i, a := range v.Args {
+		args[i] = a.String()
+	}
+	return v.FName + "(" + strings.Join(args, ", ") + ")"
+}
+
+func maybeParen(v Value) string {
+	switch v.(type) {
+	case *ConstBinExpr:
+		return "(" + v.String() + ")"
+	}
+	return v.String()
+}
+
+// refName renders an operand as it appears in an instruction: registers
+// and constants by name, everything else by its expression.
+func refName(v Value) string {
+	if n := v.Name(); n != "" {
+		return n
+	}
+	return v.String()
+}

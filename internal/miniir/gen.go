@@ -1,0 +1,245 @@
+package miniir
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"alive/internal/bv"
+	"alive/internal/ir"
+)
+
+// GenConfig controls synthetic module generation. The generator stands in
+// for compiling the LLVM nightly suite and SPEC (Section 6.4): it emits
+// straight-line functions whose instruction mix follows C-code idioms —
+// a heavy head of common patterns (masking, offset arithmetic, flag
+// tests, scaling by powers of two, bit complements) with a long tail of
+// rarer shapes — so that peephole firing counts reproduce Figure 9's
+// power-law shape.
+type GenConfig struct {
+	Funcs         int
+	InstrsPerFunc int
+	Seed          int64
+	Widths        []int
+	// IdiomFraction is the share of instructions planted from the idiom
+	// table (default 0.4); the rest are uniformly random well-formed
+	// instructions.
+	IdiomFraction float64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Funcs == 0 {
+		c.Funcs = 100
+	}
+	if c.InstrsPerFunc == 0 {
+		c.InstrsPerFunc = 50
+	}
+	if len(c.Widths) == 0 {
+		c.Widths = []int{8, 16, 32, 64}
+	}
+	if c.IdiomFraction == 0 {
+		c.IdiomFraction = 0.4
+	}
+	return c
+}
+
+// Generate builds a synthetic module.
+func Generate(cfg GenConfig) *Module {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Module{}
+	for i := 0; i < cfg.Funcs; i++ {
+		m.Funcs = append(m.Funcs, genFunc(fmt.Sprintf("f%d", i), cfg, rng))
+	}
+	return m
+}
+
+// idiom is a C-code pattern planted by the generator. Idioms are ranked:
+// the generator draws them from a Zipf-like distribution so a handful
+// dominate, as real code does.
+type idiom func(g *funcGen)
+
+type funcGen struct {
+	b     *Builder
+	rng   *rand.Rand
+	width int
+	vals  []*Instr // values of the current width available as operands
+}
+
+func (g *funcGen) pick() *Instr {
+	return g.vals[g.rng.Intn(len(g.vals))]
+}
+
+func (g *funcGen) emit(in *Instr) *Instr {
+	g.vals = append(g.vals, in)
+	return in
+}
+
+func (g *funcGen) constant(v int64) *Instr {
+	return g.b.ConstInt(g.width, v)
+}
+
+// idioms, roughly ordered from most to least common in C code. Each
+// produces a pattern some InstCombine rule canonicalizes.
+var idioms = []idiom{
+	// x + 0 / x - 0: dead arithmetic from macro expansion.
+	func(g *funcGen) { g.emit(g.b.Bin(OpAdd, 0, g.pick(), g.constant(0))) },
+	// x & mask with a low mask: field extraction.
+	func(g *funcGen) {
+		mask := int64(1)<<uint(g.rng.Intn(g.width-1)+1) - 1
+		g.emit(g.b.Bin(OpAnd, 0, g.pick(), g.constant(mask)))
+	},
+	// x * 2^k: array indexing scaled by element size.
+	func(g *funcGen) {
+		g.emit(g.b.Bin(OpMul, 0, g.pick(), g.constant(1<<uint(g.rng.Intn(4)+1))))
+	},
+	// (x ^ -1) + C: bit complement then offset (the paper's intro example).
+	func(g *funcGen) {
+		x := g.b.Bin(OpXor, 0, g.pick(), g.constant(-1))
+		g.emit(x)
+		g.emit(g.b.Bin(OpAdd, 0, x, g.constant(int64(g.rng.Intn(100)))))
+	},
+	// x / 2^k: scaling down.
+	func(g *funcGen) {
+		g.emit(g.b.Bin(OpUDiv, 0, g.pick(), g.constant(1<<uint(g.rng.Intn(4)+1))))
+	},
+	// x | 0: flag defaults.
+	func(g *funcGen) { g.emit(g.b.Bin(OpOr, 0, g.pick(), g.constant(0))) },
+	// x ^ x and x - x: zero idioms.
+	func(g *funcGen) {
+		x := g.pick()
+		g.emit(g.b.Bin(OpXor, 0, x, x))
+	},
+	// double negation 0 - (0 - x).
+	func(g *funcGen) {
+		n := g.b.Bin(OpSub, 0, g.constant(0), g.pick())
+		g.emit(n)
+		g.emit(g.b.Bin(OpSub, 0, g.constant(0), n))
+	},
+	// (x << k) >>u k: unsigned field truncation.
+	func(g *funcGen) {
+		k := g.constant(int64(g.rng.Intn(g.width/2) + 1))
+		s := g.b.Bin(OpShl, 0, g.pick(), k)
+		g.emit(s)
+		g.emit(g.b.Bin(OpLShr, 0, s, k))
+	},
+	// x % 2^k: hash bucketing.
+	func(g *funcGen) {
+		g.emit(g.b.Bin(OpURem, 0, g.pick(), g.constant(1<<uint(g.rng.Intn(4)+1))))
+	},
+	// comparison against 0 then select: max/abs patterns.
+	func(g *funcGen) {
+		x := g.pick()
+		c := g.b.ICmp(ir.CondSlt, x, g.constant(0))
+		neg := g.b.Bin(OpSub, 0, g.constant(0), x)
+		g.emit(neg)
+		g.emit(g.b.Select(c, neg, x))
+	},
+	// (x * C) with odd C: strength-reduction candidates that do NOT fire.
+	func(g *funcGen) {
+		g.emit(g.b.Bin(OpMul, 0, g.pick(), g.constant(int64(g.rng.Intn(50)*2+3))))
+	},
+	// x & x: redundant masking.
+	func(g *funcGen) {
+		x := g.pick()
+		g.emit(g.b.Bin(OpAnd, 0, x, x))
+	},
+	// and-of-complement: (x | y) & C1 | (x & C2) — Figure 2's shape.
+	func(g *funcGen) {
+		x, y := g.pick(), g.pick()
+		or := g.b.Bin(OpOr, 0, x, y)
+		g.emit(or)
+		a1 := g.b.Bin(OpAnd, 0, or, g.constant(0x0F))
+		g.emit(a1)
+		a2 := g.b.Bin(OpAnd, 0, x, g.constant(-16))
+		g.emit(a2)
+		g.emit(g.b.Bin(OpOr, 0, a1, a2))
+	},
+	// sub then compare: overflow checks.
+	func(g *funcGen) {
+		x, y := g.pick(), g.pick()
+		d := g.b.Bin(OpSub, 0, x, y)
+		g.emit(d)
+		g.emit(g.b.Select(g.b.ICmp(ir.CondUlt, x, y), g.constant(0), d))
+	},
+}
+
+// zipfIdiom picks an idiom index with probability proportional to
+// 1/(i+1)^1.5, giving the head-heavy distribution real code exhibits.
+func zipfIdiom(rng *rand.Rand) int {
+	total := 0.0
+	weights := make([]float64, len(idioms))
+	for i := range weights {
+		weights[i] = 1.0 / math.Pow(float64(i+1), 1.5)
+		total += weights[i]
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func genFunc(name string, cfg GenConfig, rng *rand.Rand) *Function {
+	width := cfg.Widths[rng.Intn(len(cfg.Widths))]
+	nParams := rng.Intn(4) + 2
+	pw := make([]int, nParams)
+	for i := range pw {
+		pw[i] = width
+	}
+	b := NewBuilder(name, pw...)
+	g := &funcGen{b: b, rng: rng, width: width}
+	for _, p := range b.f.Params {
+		g.vals = append(g.vals, p)
+	}
+
+	for len(b.f.Body) < cfg.InstrsPerFunc {
+		if rng.Float64() < cfg.IdiomFraction {
+			idioms[zipfIdiom(rng)](g)
+		} else {
+			g.randomInstr()
+		}
+	}
+	return b.Ret(g.pick())
+}
+
+// randomInstr emits one uniformly random well-formed instruction.
+func (g *funcGen) randomInstr() {
+	switch g.rng.Intn(10) {
+	case 0, 1, 2: // binop with value operands
+		ops := []Op{OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul}
+		g.emit(g.b.Bin(ops[g.rng.Intn(len(ops))], 0, g.pick(), g.pick()))
+	case 3, 4, 5: // binop with a constant
+		ops := []Op{OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr}
+		op := ops[g.rng.Intn(len(ops))]
+		c := int64(g.rng.Intn(256)) - 64
+		if op == OpShl || op == OpLShr || op == OpAShr {
+			c = int64(g.rng.Intn(g.width - 1))
+		}
+		g.emit(g.b.Bin(op, 0, g.pick(), g.constant(c)))
+	case 6: // flagged arithmetic
+		fl := []ir.Flags{ir.NSW, ir.NUW, ir.NSW | ir.NUW}[g.rng.Intn(3)]
+		op := []Op{OpAdd, OpSub, OpMul}[g.rng.Intn(3)]
+		g.emit(g.b.Bin(op, fl, g.pick(), g.pick()))
+	case 7: // comparison + select
+		c := g.b.ICmp([]ir.CmpCond{ir.CondEq, ir.CondUlt, ir.CondSlt, ir.CondSgt}[g.rng.Intn(4)], g.pick(), g.pick())
+		g.emit(g.b.Select(c, g.pick(), g.pick()))
+	case 8: // division by a nonzero constant
+		op := []Op{OpUDiv, OpSDiv, OpURem, OpSRem}[g.rng.Intn(4)]
+		g.emit(g.b.Bin(op, 0, g.pick(), g.constant(int64(g.rng.Intn(30)+2))))
+	default: // plain mix
+		g.emit(g.b.Bin(OpAdd, 0, g.pick(), g.pick()))
+	}
+}
+
+// RandomInputs draws parameter values for differential testing.
+func RandomInputs(f *Function, rng *rand.Rand) []bv.Vec {
+	out := make([]bv.Vec, len(f.Params))
+	for i, p := range f.Params {
+		out[i] = bv.New(p.Width, rng.Uint64())
+	}
+	return out
+}

@@ -1,0 +1,442 @@
+// Package miniir is a miniature LLVM-like SSA intermediate representation
+// used as the evaluation substrate: Figure 9's optimization-firing counts
+// and the compile-time/run-time comparisons of Section 6.4 are measured
+// by running Alive-compiled peephole passes over synthetic modules
+// generated with a C-idiom instruction mix (see DESIGN.md for the
+// substitution rationale).
+//
+// Functions are straight-line SSA (InstCombine does not modify control
+// flow, so branch-free functions exercise exactly the relevant surface):
+// a list of instructions where operands point at earlier instructions,
+// ending in a single return value.
+package miniir
+
+import (
+	"fmt"
+	"strings"
+
+	"alive/internal/bv"
+	"alive/internal/ir"
+)
+
+// Op is a mini-IR opcode.
+type Op int
+
+// Opcodes. Param and Const are materialized as instructions so that every
+// operand is an *Instr.
+const (
+	OpParam Op = iota
+	OpConst
+	OpAdd
+	OpSub
+	OpMul
+	OpUDiv
+	OpSDiv
+	OpURem
+	OpSRem
+	OpShl
+	OpLShr
+	OpAShr
+	OpAnd
+	OpOr
+	OpXor
+	OpICmp
+	OpSelect
+	OpZExt
+	OpSExt
+	OpTrunc
+)
+
+var opNames = map[Op]string{
+	OpParam: "param", OpConst: "const",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpUDiv: "udiv", OpSDiv: "sdiv",
+	OpURem: "urem", OpSRem: "srem", OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpICmp: "icmp", OpSelect: "select",
+	OpZExt: "zext", OpSExt: "sext", OpTrunc: "trunc",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// BinOpFor converts an Alive binary operator to a mini-IR opcode.
+func BinOpFor(k ir.BinOpKind) Op {
+	switch k {
+	case ir.Add:
+		return OpAdd
+	case ir.Sub:
+		return OpSub
+	case ir.Mul:
+		return OpMul
+	case ir.UDiv:
+		return OpUDiv
+	case ir.SDiv:
+		return OpSDiv
+	case ir.URem:
+		return OpURem
+	case ir.SRem:
+		return OpSRem
+	case ir.Shl:
+		return OpShl
+	case ir.LShr:
+		return OpLShr
+	case ir.AShr:
+		return OpAShr
+	case ir.And:
+		return OpAnd
+	case ir.Or:
+		return OpOr
+	case ir.Xor:
+		return OpXor
+	}
+	panic("miniir: not a binary operator")
+}
+
+// IsBinOp reports whether o is a binary arithmetic/logical opcode.
+func (o Op) IsBinOp() bool { return o >= OpAdd && o <= OpXor }
+
+// Instr is one SSA instruction.
+type Instr struct {
+	Op    Op
+	Width int // result width in bits
+	Flags ir.Flags
+	Cond  ir.CmpCond // OpICmp only
+	Args  []*Instr
+	Const bv.Vec // OpConst only
+	Param int    // OpParam only
+
+	id int // position for printing; maintained by Function.renumber
+}
+
+// Function is a straight-line SSA function returning one value.
+type Function struct {
+	Name   string
+	Params []*Instr
+	Body   []*Instr // excludes params; topologically ordered
+	Ret    *Instr
+}
+
+// Module is a set of functions.
+type Module struct {
+	Funcs []*Function
+}
+
+// NumInstrs counts body instructions across the module.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += len(f.Body)
+	}
+	return n
+}
+
+// Builder constructs a function incrementally.
+type Builder struct {
+	f *Function
+}
+
+// NewBuilder starts a function with parameters of the given widths.
+func NewBuilder(name string, paramWidths ...int) *Builder {
+	f := &Function{Name: name}
+	for i, w := range paramWidths {
+		f.Params = append(f.Params, &Instr{Op: OpParam, Width: w, Param: i})
+	}
+	return &Builder{f: f}
+}
+
+// Param returns the i-th parameter.
+func (b *Builder) Param(i int) *Instr { return b.f.Params[i] }
+
+// Const emits a constant.
+func (b *Builder) Const(v bv.Vec) *Instr {
+	in := &Instr{Op: OpConst, Width: v.Width(), Const: v}
+	b.f.Body = append(b.f.Body, in)
+	return in
+}
+
+// ConstInt emits an integer constant of the given width.
+func (b *Builder) ConstInt(width int, v int64) *Instr {
+	return b.Const(bv.NewInt(width, v))
+}
+
+// Bin emits a binary operation.
+func (b *Builder) Bin(op Op, flags ir.Flags, x, y *Instr) *Instr {
+	if !op.IsBinOp() {
+		panic("miniir: Bin with non-binary opcode")
+	}
+	if x.Width != y.Width {
+		panic(fmt.Sprintf("miniir: width mismatch %d vs %d", x.Width, y.Width))
+	}
+	in := &Instr{Op: op, Width: x.Width, Flags: flags, Args: []*Instr{x, y}}
+	b.f.Body = append(b.f.Body, in)
+	return in
+}
+
+// ICmp emits a comparison (result width 1).
+func (b *Builder) ICmp(cond ir.CmpCond, x, y *Instr) *Instr {
+	in := &Instr{Op: OpICmp, Width: 1, Cond: cond, Args: []*Instr{x, y}}
+	b.f.Body = append(b.f.Body, in)
+	return in
+}
+
+// Select emits cond ? x : y.
+func (b *Builder) Select(cond, x, y *Instr) *Instr {
+	in := &Instr{Op: OpSelect, Width: x.Width, Args: []*Instr{cond, x, y}}
+	b.f.Body = append(b.f.Body, in)
+	return in
+}
+
+// Conv emits a width conversion.
+func (b *Builder) Conv(op Op, x *Instr, width int) *Instr {
+	in := &Instr{Op: op, Width: width, Args: []*Instr{x}}
+	b.f.Body = append(b.f.Body, in)
+	return in
+}
+
+// Ret finishes the function.
+func (b *Builder) Ret(v *Instr) *Function {
+	b.f.Ret = v
+	b.f.renumber()
+	return b.f
+}
+
+func (f *Function) renumber() {
+	id := 0
+	for _, p := range f.Params {
+		p.id = id
+		id++
+	}
+	for _, in := range f.Body {
+		in.id = id
+		id++
+	}
+}
+
+// Verify checks SSA well-formedness: operands precede their users, widths
+// are consistent, and the return value belongs to the function.
+func (f *Function) Verify() error {
+	seen := map[*Instr]bool{}
+	for _, p := range f.Params {
+		if p.Op != OpParam {
+			return fmt.Errorf("%s: non-param in params", f.Name)
+		}
+		seen[p] = true
+	}
+	for i, in := range f.Body {
+		for _, a := range in.Args {
+			if !seen[a] {
+				return fmt.Errorf("%s: instruction %d uses a value that does not dominate it", f.Name, i)
+			}
+		}
+		switch {
+		case in.Op.IsBinOp():
+			if len(in.Args) != 2 || in.Args[0].Width != in.Width || in.Args[1].Width != in.Width {
+				return fmt.Errorf("%s: malformed %s at %d", f.Name, in.Op, i)
+			}
+		case in.Op == OpICmp:
+			if len(in.Args) != 2 || in.Width != 1 || in.Args[0].Width != in.Args[1].Width {
+				return fmt.Errorf("%s: malformed icmp at %d", f.Name, i)
+			}
+		case in.Op == OpSelect:
+			if len(in.Args) != 3 || in.Args[0].Width != 1 || in.Args[1].Width != in.Width || in.Args[2].Width != in.Width {
+				return fmt.Errorf("%s: malformed select at %d", f.Name, i)
+			}
+		case in.Op == OpZExt || in.Op == OpSExt:
+			if len(in.Args) != 1 || in.Args[0].Width >= in.Width {
+				return fmt.Errorf("%s: malformed extension at %d", f.Name, i)
+			}
+		case in.Op == OpTrunc:
+			if len(in.Args) != 1 || in.Args[0].Width <= in.Width {
+				return fmt.Errorf("%s: malformed trunc at %d", f.Name, i)
+			}
+		case in.Op == OpConst:
+			if in.Const.Width() != in.Width {
+				return fmt.Errorf("%s: malformed const at %d", f.Name, i)
+			}
+		case in.Op == OpParam:
+			return fmt.Errorf("%s: param in body at %d", f.Name, i)
+		}
+		seen[in] = true
+	}
+	if f.Ret == nil || !seen[f.Ret] {
+		return fmt.Errorf("%s: missing or foreign return value", f.Name)
+	}
+	return nil
+}
+
+// String prints the function in an LLVM-like textual form.
+func (f *Function) String() string {
+	f.renumber()
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("i%d %%%d", p.Width, p.id)
+	}
+	fmt.Fprintf(&sb, "define i%d @%s(%s) {\n", f.Ret.Width, f.Name, strings.Join(params, ", "))
+	ref := func(in *Instr) string {
+		if in.Op == OpConst {
+			return in.Const.String()
+		}
+		return fmt.Sprintf("%%%d", in.id)
+	}
+	for _, in := range f.Body {
+		if in.Op == OpConst {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %%%d = %s", in.id, in.Op)
+		if fl := in.Flags.String(); fl != "" {
+			fmt.Fprintf(&sb, " %s", fl)
+		}
+		if in.Op == OpICmp {
+			fmt.Fprintf(&sb, " %s", in.Cond)
+		}
+		fmt.Fprintf(&sb, " i%d", in.Width)
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s", ref(a))
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "  ret i%d %s\n}\n", f.Ret.Width, ref(f.Ret))
+	return sb.String()
+}
+
+// ReplaceAllUses rewrites every use of old with new within f, including
+// the return value.
+func (f *Function) ReplaceAllUses(old, new *Instr) {
+	for _, in := range f.Body {
+		for i, a := range in.Args {
+			if a == old {
+				in.Args[i] = new
+			}
+		}
+	}
+	if f.Ret == old {
+		f.Ret = new
+	}
+}
+
+// InsertBefore splices newcomers into the body just before pos.
+func (f *Function) InsertBefore(pos *Instr, newcomers []*Instr) {
+	idx := -1
+	for i, in := range f.Body {
+		if in == pos {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		f.Body = append(f.Body, newcomers...)
+		return
+	}
+	out := make([]*Instr, 0, len(f.Body)+len(newcomers))
+	out = append(out, f.Body[:idx]...)
+	out = append(out, newcomers...)
+	out = append(out, f.Body[idx:]...)
+	f.Body = out
+}
+
+// UseCounts returns the number of uses of each instruction (the return
+// value counts as a use).
+func (f *Function) UseCounts() map[*Instr]int {
+	uses := map[*Instr]int{}
+	for _, in := range f.Body {
+		for _, a := range in.Args {
+			uses[a]++
+		}
+	}
+	uses[f.Ret]++
+	return uses
+}
+
+// DCE removes instructions with no uses; it iterates to a fixed point and
+// returns the number of removed instructions.
+func (f *Function) DCE() int {
+	removed := 0
+	for {
+		uses := f.UseCounts()
+		kept := f.Body[:0]
+		changed := false
+		for _, in := range f.Body {
+			if uses[in] == 0 && in != f.Ret {
+				removed++
+				changed = true
+				continue
+			}
+			kept = append(kept, in)
+		}
+		f.Body = kept
+		if !changed {
+			return removed
+		}
+	}
+}
+
+// Cost is a static execution-cost proxy: the weighted sum of live
+// instruction costs (division is expensive, moves are free), standing in
+// for the run-time measurements of Section 6.4.
+func (f *Function) Cost() int {
+	total := 0
+	for _, in := range f.Body {
+		total += in.cost()
+	}
+	return total
+}
+
+func (in *Instr) cost() int {
+	switch in.Op {
+	case OpParam, OpConst:
+		return 0
+	case OpUDiv, OpSDiv, OpURem, OpSRem:
+		return 20
+	case OpMul:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Cost sums function costs across the module.
+func (m *Module) Cost() int {
+	total := 0
+	for _, f := range m.Funcs {
+		total += f.Cost()
+	}
+	return total
+}
+
+// ConstantFold replaces instructions whose operands are all constants
+// with constant instructions, when the operation is defined and
+// poison-free on those operands. Returns the number of folded
+// instructions.
+func (f *Function) ConstantFold() int {
+	folded := 0
+	env := map[*Instr]ExecValue{}
+	for _, in := range f.Body {
+		if in.Op == OpConst {
+			env[in] = ExecValue{V: in.Const}
+			continue
+		}
+		allConst := len(in.Args) > 0
+		for _, a := range in.Args {
+			if _, ok := env[a]; !ok {
+				allConst = false
+				break
+			}
+		}
+		if !allConst {
+			continue
+		}
+		v, err := step(in, env)
+		if err != nil || v.Poison {
+			continue // undefined or poisoned: leave it alone
+		}
+		env[in] = v
+		in.Op = OpConst
+		in.Const = v.V
+		in.Args = nil
+		in.Flags = 0
+		folded++
+	}
+	return folded
+}

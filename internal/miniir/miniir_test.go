@@ -1,0 +1,526 @@
+package miniir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"alive/internal/bv"
+	"alive/internal/ir"
+	"alive/internal/parser"
+)
+
+func TestBuilderAndVerify(t *testing.T) {
+	b := NewBuilder("f", 8, 8)
+	x, y := b.Param(0), b.Param(1)
+	sum := b.Bin(OpAdd, 0, x, y)
+	c := b.ICmp(ir.CondUlt, sum, b.ConstInt(8, 10))
+	sel := b.Select(c, sum, b.ConstInt(8, 10))
+	f := b.Ret(sel)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	out := f.String()
+	for _, needle := range []string{"define i8 @f", "add", "icmp ult", "select", "ret"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("printed function missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestInterpretBasic(t *testing.T) {
+	b := NewBuilder("f", 8, 8)
+	sum := b.Bin(OpAdd, 0, b.Param(0), b.Param(1))
+	f := b.Ret(sum)
+	got, err := Interpret(f, []bv.Vec{bv.New(8, 200), bv.New(8, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.V.Uint64() != 44 { // wraps mod 256
+		t.Fatalf("got %d, want 44", got.V.Uint64())
+	}
+}
+
+func TestInterpretUB(t *testing.T) {
+	b := NewBuilder("f", 8, 8)
+	d := b.Bin(OpUDiv, 0, b.Param(0), b.Param(1))
+	f := b.Ret(d)
+	if _, err := Interpret(f, []bv.Vec{bv.New(8, 1), bv.New(8, 0)}); err == nil {
+		t.Fatal("division by zero must be UB")
+	}
+	b2 := NewBuilder("g", 8, 8)
+	s := b2.Bin(OpShl, 0, b2.Param(0), b2.Param(1))
+	f2 := b2.Ret(s)
+	if _, err := Interpret(f2, []bv.Vec{bv.New(8, 1), bv.New(8, 8)}); err == nil {
+		t.Fatal("out-of-range shift must be UB")
+	}
+	b3 := NewBuilder("h", 8, 8)
+	d3 := b3.Bin(OpSDiv, 0, b3.Param(0), b3.Param(1))
+	f3 := b3.Ret(d3)
+	if _, err := Interpret(f3, []bv.Vec{bv.New(8, 0x80), bv.New(8, 0xFF)}); err == nil {
+		t.Fatal("INT_MIN / -1 must be UB")
+	}
+}
+
+func TestInterpretPoison(t *testing.T) {
+	b := NewBuilder("f", 8, 8)
+	s := b.Bin(OpAdd, ir.NSW, b.Param(0), b.Param(1))
+	dep := b.Bin(OpXor, 0, s, b.ConstInt(8, 1))
+	f := b.Ret(dep)
+	got, err := Interpret(f, []bv.Vec{bv.New(8, 100), bv.New(8, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Poison {
+		t.Fatal("signed overflow under nsw must poison dependents")
+	}
+	got, err = Interpret(f, []bv.Vec{bv.New(8, 1), bv.New(8, 2)})
+	if err != nil || got.Poison {
+		t.Fatal("no overflow: no poison")
+	}
+}
+
+func TestDCE(t *testing.T) {
+	b := NewBuilder("f", 8)
+	dead := b.Bin(OpAdd, 0, b.Param(0), b.ConstInt(8, 1))
+	_ = dead
+	live := b.Bin(OpMul, 0, b.Param(0), b.ConstInt(8, 3))
+	f := b.Ret(live)
+	n := f.DCE()
+	if n < 2 { // dead add and its constant
+		t.Fatalf("DCE removed %d, want >= 2", n)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	b := NewBuilder("f", 8, 8)
+	d := b.Bin(OpUDiv, 0, b.Param(0), b.Param(1))
+	a := b.Bin(OpAdd, 0, d, b.Param(0))
+	f := b.Ret(a)
+	if f.Cost() != 21 {
+		t.Fatalf("cost = %d, want 21 (udiv 20 + add 1)", f.Cost())
+	}
+}
+
+func TestKnownBits(t *testing.T) {
+	b := NewBuilder("f", 8)
+	masked := b.Bin(OpAnd, 0, b.Param(0), b.ConstInt(8, 0x0F))
+	shifted := b.Bin(OpShl, 0, b.Param(0), b.ConstInt(8, 4))
+	f := b.Ret(b.Bin(OpOr, 0, masked, shifted))
+	kb := ComputeKnownBits(f)
+	if kb[masked].Zero.Uint64()&0xF0 != 0xF0 {
+		t.Errorf("and with 0x0F should know the high nibble is zero, got zero=%s", kb[masked].Zero)
+	}
+	if kb[shifted].Zero.Uint64()&0x0F != 0x0F {
+		t.Errorf("shl by 4 should know the low nibble is zero, got zero=%s", kb[shifted].Zero)
+	}
+}
+
+func TestKnownPowerOfTwo(t *testing.T) {
+	b := NewBuilder("f", 8, 8)
+	p := b.Bin(OpShl, 0, b.ConstInt(8, 1), b.Param(0))
+	c := b.ConstInt(8, 16)
+	nc := b.ConstInt(8, 12)
+	_ = b.Ret(b.Bin(OpOr, 0, p, b.Bin(OpOr, 0, c, nc)))
+	if !KnownPowerOfTwo(p) {
+		t.Error("1 << x should be a known power of two")
+	}
+	if !KnownPowerOfTwo(c) {
+		t.Error("16 is a power of two")
+	}
+	if KnownPowerOfTwo(nc) {
+		t.Error("12 is not a power of two")
+	}
+}
+
+func compile(t *testing.T, src string) *CompiledTransform {
+	t.Helper()
+	tr, err := parser.ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func TestPeepholeAddZero(t *testing.T) {
+	ct := compile(t, "Name: add-zero\n%r = add %x, 0\n=>\n%r = %x")
+	b := NewBuilder("f", 8)
+	a := b.Bin(OpAdd, 0, b.Param(0), b.ConstInt(8, 0))
+	mul := b.Bin(OpMul, 0, a, b.ConstInt(8, 3))
+	f := b.Ret(mul)
+	p := NewPass([]*CompiledTransform{ct})
+	fired := p.RunFunction(f)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if p.Fired["add-zero"] != 1 {
+		t.Fatal("firing count not recorded")
+	}
+	// After DCE the add is gone and mul uses the parameter directly.
+	for _, in := range f.Body {
+		if in.Op == OpAdd {
+			t.Fatal("add should be eliminated")
+		}
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeepholeIntroExample(t *testing.T) {
+	// (x ^ -1) + C -> (C-1) - x.
+	ct := compile(t, "Name: intro\n%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x")
+	b := NewBuilder("f", 8)
+	x := b.Param(0)
+	n := b.Bin(OpXor, 0, x, b.ConstInt(8, -1))
+	a := b.Bin(OpAdd, 0, n, b.ConstInt(8, 51))
+	f := b.Ret(a)
+	p := NewPass([]*CompiledTransform{ct})
+	if fired := p.RunFunction(f); fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// Check semantics: result must be (51-1) - x.
+	got, err := Interpret(f, []bv.Vec{bv.New(8, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.V.Uint64() != uint64(uint8(50-7)) {
+		t.Fatalf("got %d, want 43", got.V.Uint64())
+	}
+	// The rewritten body must contain a sub and no xor.
+	hasSub := false
+	for _, in := range f.Body {
+		if in.Op == OpXor {
+			t.Fatal("xor should be gone")
+		}
+		if in.Op == OpSub {
+			hasSub = true
+		}
+	}
+	if !hasSub {
+		t.Fatal("sub not created")
+	}
+}
+
+func TestPeepholePreconditionGates(t *testing.T) {
+	// mul by power of two becomes shl; mul by non-power must not fire.
+	ct := compile(t, "Name: mul-pow2\nPre: isPowerOf2(C1)\n%r = mul %x, C1\n=>\n%r = shl %x, log2(C1)")
+	p := NewPass([]*CompiledTransform{ct})
+
+	b := NewBuilder("f", 8)
+	f := b.Ret(b.Bin(OpMul, 0, b.Param(0), b.ConstInt(8, 8)))
+	if fired := p.RunFunction(f); fired != 1 {
+		t.Fatalf("power-of-two mul: fired = %d, want 1", fired)
+	}
+
+	b2 := NewBuilder("g", 8)
+	f2 := b2.Ret(b2.Bin(OpMul, 0, b2.Param(0), b2.ConstInt(8, 6)))
+	if fired := p.RunFunction(f2); fired != 0 {
+		t.Fatalf("non-power mul: fired = %d, want 0", fired)
+	}
+}
+
+func TestPeepholeFlagsRequired(t *testing.T) {
+	// Source requires nsw: a plain add must not match.
+	ct := compile(t, "Name: nsw-cmp\n%1 = add nsw %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true")
+	p := NewPass([]*CompiledTransform{ct})
+
+	b := NewBuilder("f", 8)
+	one := b.ConstInt(8, 1)
+	sum := b.Bin(OpAdd, ir.NSW, b.Param(0), one)
+	f := b.Ret(b.ICmp(ir.CondSgt, sum, b.Param(0)))
+	if fired := p.RunFunction(f); fired != 1 {
+		t.Fatalf("nsw add: fired = %d, want 1", fired)
+	}
+
+	b2 := NewBuilder("g", 8)
+	sum2 := b2.Bin(OpAdd, 0, b2.Param(0), b2.ConstInt(8, 1))
+	f2 := b2.Ret(b2.ICmp(ir.CondSgt, sum2, b2.Param(0)))
+	if fired := p.RunFunction(f2); fired != 0 {
+		t.Fatalf("plain add: fired = %d, want 0", fired)
+	}
+}
+
+func TestPeepholeHasOneUse(t *testing.T) {
+	ct := compile(t, "Name: one-use\nPre: hasOneUse(%1)\n%1 = xor %x, -1\n%r = xor %1, -1\n=>\n%r = %x")
+	p := NewPass([]*CompiledTransform{ct})
+
+	// Single use: fires.
+	b := NewBuilder("f", 8)
+	n1 := b.Bin(OpXor, 0, b.Param(0), b.ConstInt(8, -1))
+	f := b.Ret(b.Bin(OpXor, 0, n1, b.ConstInt(8, -1)))
+	if fired := p.RunFunction(f); fired != 1 {
+		t.Fatalf("single use: fired = %d, want 1", fired)
+	}
+
+	// Second use of the inner xor: must not fire.
+	b2 := NewBuilder("g", 8)
+	n2 := b2.Bin(OpXor, 0, b2.Param(0), b2.ConstInt(8, -1))
+	outer := b2.Bin(OpXor, 0, n2, b2.ConstInt(8, -1))
+	f2 := b2.Ret(b2.Bin(OpAdd, 0, outer, n2))
+	if fired := p.RunFunction(f2); fired != 0 {
+		t.Fatalf("two uses: fired = %d, want 0", fired)
+	}
+}
+
+func TestPeepholeKnownBitsPredicate(t *testing.T) {
+	// MaskedValueIsZero via known-bits: (x & 0x0F) has zero high nibble.
+	ct := compile(t, `
+Name: masked-or
+Pre: MaskedValueIsZero(%v, ~C1)
+%r = or %v, C1
+=>
+%r = or %v, C1
+`)
+	_ = ct
+	// The transform is an identity; instead check the predicate
+	// evaluation path via a transform that fires only with known bits:
+	ct2 := compile(t, `
+Name: and-to-copy
+Pre: MaskedValueIsZero(%v, ~C1)
+%r = and %v, C1
+=>
+%r = %v
+`)
+	p := NewPass([]*CompiledTransform{ct2})
+	b := NewBuilder("f", 8)
+	masked := b.Bin(OpAnd, 0, b.Param(0), b.ConstInt(8, 0x0F))
+	f := b.Ret(b.Bin(OpAnd, 0, masked, b.ConstInt(8, 0x0F)))
+	if fired := p.RunFunction(f); fired == 0 {
+		t.Fatal("known-bits should prove the second mask redundant")
+	}
+}
+
+func TestCompileRejectsUndefAndMemory(t *testing.T) {
+	tr, err := parser.ParseOne("%r = or %x, undef\n=>\n%r = or undef, %x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(tr); err == nil {
+		t.Fatal("undef sources must be rejected")
+	}
+	tr2, err := parser.ParseOne("%p = alloca i8, 1\nstore %v, %p\n%r = load %p\n=>\n%r = %v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(tr2); err == nil {
+		t.Fatal("memory sources must be rejected")
+	}
+}
+
+func TestGenerateModule(t *testing.T) {
+	m := Generate(GenConfig{Funcs: 20, InstrsPerFunc: 30, Seed: 1})
+	if len(m.Funcs) != 20 {
+		t.Fatalf("funcs = %d", len(m.Funcs))
+	}
+	for _, f := range m.Funcs {
+		if err := f.Verify(); err != nil {
+			t.Fatalf("generated function invalid: %v\n%s", err, f)
+		}
+	}
+	if m.NumInstrs() < 20*30 {
+		t.Fatalf("instrs = %d, want >= 600", m.NumInstrs())
+	}
+	if m.Cost() == 0 {
+		t.Fatal("cost should be positive")
+	}
+}
+
+func TestGeneratedModulesInterpretable(t *testing.T) {
+	m := Generate(GenConfig{Funcs: 10, InstrsPerFunc: 40, Seed: 7})
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range m.Funcs {
+		for i := 0; i < 5; i++ {
+			if _, err := Interpret(f, RandomInputs(f, rng)); err != nil {
+				t.Fatalf("generated function hit UB: %v\n%s", err, f)
+			}
+		}
+	}
+}
+
+// TestDifferentialOptimization is the key soundness check of the
+// executable pipeline: applying verified transformations must preserve
+// the interpreted value on every input where the original execution is
+// defined and poison-free.
+func TestDifferentialOptimization(t *testing.T) {
+	srcs := []string{
+		"Name: add-zero\n%r = add %x, 0\n=>\n%r = %x",
+		"Name: or-zero\n%r = or %x, 0\n=>\n%r = %x",
+		"Name: xor-self\n%r = xor %x, %x\n=>\n%r = 0",
+		"Name: and-self\n%r = and %x, %x\n=>\n%r = %x",
+		"Name: intro\n%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x",
+		"Name: mul-pow2\nPre: isPowerOf2(C1)\n%r = mul %x, C1\n=>\n%r = shl %x, log2(C1)",
+		"Name: double-neg\n%1 = sub 0, %x\n%r = sub 0, %1\n=>\n%r = %x",
+		"Name: shl-lshr\nPre: C u< width(%x)\n%1 = shl %x, C\n%r = lshr %1, C\n=>\n%m = lshr -1, C\n%r = and %x, %m",
+	}
+	var cts []*CompiledTransform
+	for _, s := range srcs {
+		cts = append(cts, compile(t, s))
+	}
+	m := Generate(GenConfig{Funcs: 40, InstrsPerFunc: 40, Seed: 99})
+	rng := rand.New(rand.NewSource(5))
+
+	type testCase struct {
+		f      *Function
+		inputs [][]bv.Vec
+		want   []ExecValue
+	}
+	var cases []testCase
+	for _, f := range m.Funcs {
+		tc := testCase{f: f}
+		for i := 0; i < 8; i++ {
+			in := RandomInputs(f, rng)
+			got, err := Interpret(f, in)
+			if err != nil {
+				continue
+			}
+			tc.inputs = append(tc.inputs, in)
+			tc.want = append(tc.want, got)
+		}
+		cases = append(cases, tc)
+	}
+
+	p := NewPass(cts)
+	total := p.RunModule(m)
+	if total == 0 {
+		t.Fatal("no transformation fired on the generated workload")
+	}
+
+	for _, tc := range cases {
+		if err := tc.f.Verify(); err != nil {
+			t.Fatalf("optimized function invalid: %v", err)
+		}
+		for i, in := range tc.inputs {
+			got, err := Interpret(tc.f, in)
+			if err != nil {
+				t.Fatalf("optimized function became undefined: %v\n%s", err, tc.f)
+			}
+			if tc.want[i].Poison {
+				continue // poison results may change arbitrarily
+			}
+			if got.Poison {
+				t.Fatalf("optimization introduced poison\n%s", tc.f)
+			}
+			if !got.V.Eq(tc.want[i].V) {
+				t.Fatalf("optimization changed the result: %s vs %s\n%s", got.V, tc.want[i].V, tc.f)
+			}
+		}
+	}
+}
+
+func TestFiringCountsAreHeadHeavy(t *testing.T) {
+	// The workload's idiom distribution must produce a skewed firing
+	// profile (Figure 9's shape).
+	srcs := []string{
+		"Name: add-zero\n%r = add %x, 0\n=>\n%r = %x",
+		"Name: or-zero\n%r = or %x, 0\n=>\n%r = %x",
+		"Name: xor-self\n%r = xor %x, %x\n=>\n%r = 0",
+		"Name: intro\n%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x",
+		"Name: never-fires\n%r = sdiv %x, 113\n=>\n%r = sdiv %x, 113",
+	}
+	var cts []*CompiledTransform
+	for _, s := range srcs {
+		cts = append(cts, compile(t, s))
+	}
+	m := Generate(GenConfig{Funcs: 60, InstrsPerFunc: 40, Seed: 11})
+	p := NewPass(cts)
+	p.RunModule(m)
+	if p.Fired["add-zero"] == 0 {
+		t.Fatal("the most common idiom should fire")
+	}
+	if p.Fired["never-fires"] != 0 {
+		t.Fatal("sdiv-by-113 should never fire")
+	}
+}
+
+func TestConstantFold(t *testing.T) {
+	b := NewBuilder("f", 8)
+	m := b.Bin(OpLShr, 0, b.ConstInt(8, -1), b.ConstInt(8, 3))
+	r := b.Bin(OpAnd, 0, b.Param(0), m)
+	f := b.Ret(r)
+	folded := f.ConstantFold()
+	if folded == 0 {
+		t.Fatal("lshr of constants should fold")
+	}
+	if m.Op != OpConst || m.Const.Uint64() != 0x1F {
+		t.Fatalf("folded to %v %s", m.Op, m.Const)
+	}
+	// UB is never folded.
+	b2 := NewBuilder("g", 8)
+	d := b2.Bin(OpUDiv, 0, b2.ConstInt(8, 1), b2.ConstInt(8, 0))
+	f2 := b2.Ret(d)
+	f2.ConstantFold()
+	if d.Op == OpConst {
+		t.Fatal("division by zero must not fold")
+	}
+	// Poison is never folded.
+	b3 := NewBuilder("h", 8)
+	p := b3.Bin(OpAdd, ir.NSW, b3.ConstInt(8, 100), b3.ConstInt(8, 100))
+	f3 := b3.Ret(p)
+	f3.ConstantFold()
+	if p.Op == OpConst {
+		t.Fatal("poisoned result must not fold")
+	}
+}
+
+func TestFunctionPrinting(t *testing.T) {
+	b := NewBuilder("f", 8, 8)
+	s := b.Bin(OpAdd, ir.NSW|ir.NUW, b.Param(0), b.Param(1))
+	c := b.ICmp(ir.CondSlt, s, b.ConstInt(8, 0))
+	f := b.Ret(b.Select(c, s, b.Param(0)))
+	out := f.String()
+	for _, needle := range []string{"add nsw nuw i8", "icmp slt", "select i8", "define i8 @f(i8 %0, i8 %1)"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("printed function missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestUseCountsAndReplace(t *testing.T) {
+	b := NewBuilder("f", 8)
+	x := b.Param(0)
+	a := b.Bin(OpAdd, 0, x, x)
+	mul := b.Bin(OpMul, 0, a, a)
+	f := b.Ret(mul)
+	uses := f.UseCounts()
+	if uses[x] != 2 || uses[a] != 2 || uses[mul] != 1 {
+		t.Fatalf("uses: x=%d a=%d mul=%d", uses[x], uses[a], uses[mul])
+	}
+	f.ReplaceAllUses(a, x)
+	uses = f.UseCounts()
+	if uses[a] != 0 || uses[x] != 4 {
+		t.Fatal("replacement did not rewrite uses")
+	}
+	f.DCE()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleCost(t *testing.T) {
+	m := Generate(GenConfig{Funcs: 3, InstrsPerFunc: 10, Seed: 42})
+	if m.Cost() <= 0 {
+		t.Fatal("module cost should be positive")
+	}
+}
+
+func TestVerifyCatchesMalformed(t *testing.T) {
+	b := NewBuilder("f", 8)
+	x := b.Param(0)
+	a := b.Bin(OpAdd, 0, x, x)
+	f := b.Ret(a)
+	// Break SSA: make the add use a later instruction.
+	late := &Instr{Op: OpConst, Width: 8, Const: bv.New(8, 1)}
+	f.Body = append(f.Body, late)
+	a.Args[1] = late
+	if err := f.Verify(); err == nil {
+		t.Fatal("use-before-def must be rejected")
+	}
+}

@@ -1,0 +1,720 @@
+package miniir
+
+import (
+	"fmt"
+
+	"alive/internal/bv"
+	"alive/internal/ir"
+)
+
+// CompiledTransform is an Alive transformation compiled into a native
+// matcher-and-rewriter over mini-IR — the executable counterpart of the
+// C++ that Section 4's generator emits, used to measure firing counts
+// (Figure 9) and pass cost (Section 6.4).
+type CompiledTransform struct {
+	Name   string
+	t      *ir.Transform
+	rootOp Op
+	root   ir.Instr
+}
+
+// Compile prepares a transformation for application. Transformations
+// whose source contains undef or memory operations are not matchable in
+// this IR and are rejected.
+func Compile(t *ir.Transform) (*CompiledTransform, error) {
+	root := t.SourceValue(t.Root)
+	if root == nil {
+		return nil, fmt.Errorf("%s: no value root", t.Name)
+	}
+	for _, in := range t.Source {
+		switch in.(type) {
+		case *ir.Alloca, *ir.Load, *ir.Store, *ir.GEP, *ir.Unreachable:
+			return nil, fmt.Errorf("%s: memory operations are not matchable in mini-IR", t.Name)
+		}
+		for _, op := range ir.Operands(in) {
+			var bad error
+			ir.WalkValues(op, func(v ir.Value) {
+				if _, isU := v.(*ir.UndefValue); isU {
+					bad = fmt.Errorf("%s: undef in source template is not matchable", t.Name)
+				}
+			})
+			if bad != nil {
+				return nil, bad
+			}
+		}
+	}
+	op, err := rootOpcode(root)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", t.Name, err)
+	}
+	return &CompiledTransform{Name: t.Name, t: t, rootOp: op, root: root}, nil
+}
+
+func rootOpcode(in ir.Instr) (Op, error) {
+	switch in := in.(type) {
+	case *ir.BinOp:
+		return BinOpFor(in.Op), nil
+	case *ir.ICmp:
+		return OpICmp, nil
+	case *ir.Select:
+		return OpSelect, nil
+	case *ir.Conv:
+		switch in.Kind {
+		case ir.ZExt:
+			return OpZExt, nil
+		case ir.SExt:
+			return OpSExt, nil
+		case ir.Trunc:
+			return OpTrunc, nil
+		}
+		return 0, fmt.Errorf("conversion %s is not matchable", in.Kind)
+	}
+	return 0, fmt.Errorf("%T roots are not matchable", in)
+}
+
+// bindings holds a successful match: template values to concrete
+// instructions, abstract constants to vectors.
+type bindings struct {
+	vals   map[ir.Value]*Instr
+	consts map[*ir.AbstractConst]bv.Vec
+	f      *Function
+	known  map[*Instr]KnownBits
+	uses   map[*Instr]int
+}
+
+// Match attempts to match the source template rooted at in.
+func (ct *CompiledTransform) match(in *Instr, f *Function, known map[*Instr]KnownBits, uses map[*Instr]int) (*bindings, bool) {
+	b := &bindings{
+		vals:   map[ir.Value]*Instr{},
+		consts: map[*ir.AbstractConst]bv.Vec{},
+		f:      f, known: known, uses: uses,
+	}
+	if !b.matchValue(ct.root, in) {
+		return nil, false
+	}
+	if !b.evalPred(ct.t.Pre) {
+		return nil, false
+	}
+	return b, true
+}
+
+// matchValue matches a template value against a concrete instruction.
+func (b *bindings) matchValue(tv ir.Value, cv *Instr) bool {
+	if prev, ok := b.vals[tv]; ok {
+		// Repeated template value: must be the same concrete value.
+		// Abstract constants compare by value (distinct constant
+		// instructions may hold equal values); everything else by
+		// identity.
+		if _, isConst := tv.(*ir.AbstractConst); !isConst {
+			return prev == cv
+		}
+	}
+	switch tv := tv.(type) {
+	case *ir.Input:
+		b.vals[tv] = cv
+		return true
+	case *ir.AbstractConst:
+		c, ok := constOf(cv)
+		if !ok {
+			return false
+		}
+		if prev, bound := b.consts[tv]; bound {
+			return prev.Width() == c.Width() && prev.Eq(c)
+		}
+		b.consts[tv] = c
+		b.vals[tv] = cv
+		return true
+	case *ir.Literal:
+		c, ok := constOf(cv)
+		if !ok {
+			return false
+		}
+		return c.Eq(bv.NewInt(c.Width(), tv.V))
+	case *ir.BinOp:
+		if cv.Op != BinOpFor(tv.Op) || cv.Flags&tv.Flags != tv.Flags {
+			return false
+		}
+		if !b.matchValue(tv.X, cv.Args[0]) || !b.matchValue(tv.Y, cv.Args[1]) {
+			return false
+		}
+		b.vals[tv] = cv
+		return true
+	case *ir.ICmp:
+		if cv.Op != OpICmp || cv.Cond != tv.Cond {
+			return false
+		}
+		if !b.matchValue(tv.X, cv.Args[0]) || !b.matchValue(tv.Y, cv.Args[1]) {
+			return false
+		}
+		b.vals[tv] = cv
+		return true
+	case *ir.Select:
+		if cv.Op != OpSelect {
+			return false
+		}
+		if !b.matchValue(tv.Cond, cv.Args[0]) || !b.matchValue(tv.TrueV, cv.Args[1]) || !b.matchValue(tv.FalseV, cv.Args[2]) {
+			return false
+		}
+		b.vals[tv] = cv
+		return true
+	case *ir.Conv:
+		var want Op
+		switch tv.Kind {
+		case ir.ZExt:
+			want = OpZExt
+		case ir.SExt:
+			want = OpSExt
+		case ir.Trunc:
+			want = OpTrunc
+		default:
+			return false
+		}
+		if cv.Op != want || !b.matchValue(tv.X, cv.Args[0]) {
+			return false
+		}
+		b.vals[tv] = cv
+		return true
+	case *ir.Copy:
+		return b.matchValue(tv.X, cv)
+	case *ir.ConstUnExpr, *ir.ConstBinExpr, *ir.ConstFunc:
+		// A constant expression in operand position matches a concrete
+		// constant with the computed value.
+		c, ok := constOf(cv)
+		if !ok {
+			return false
+		}
+		want, ok := b.evalConst(tv, c.Width())
+		return ok && want.Eq(c)
+	}
+	return false
+}
+
+// evalConst evaluates a constant expression under the current constant
+// bindings at the given width.
+func (b *bindings) evalConst(v ir.Value, width int) (bv.Vec, bool) {
+	switch v := v.(type) {
+	case *ir.Literal:
+		return bv.NewInt(width, v.V), true
+	case *ir.AbstractConst:
+		c, ok := b.consts[v]
+		if !ok {
+			return bv.Vec{}, false
+		}
+		if c.Width() != width {
+			return bv.Vec{}, false
+		}
+		return c, true
+	case *ir.ConstUnExpr:
+		x, ok := b.evalConst(v.X, width)
+		if !ok {
+			return bv.Vec{}, false
+		}
+		if v.Op == ir.CNeg {
+			return x.Neg(), true
+		}
+		return x.Not(), true
+	case *ir.ConstBinExpr:
+		x, okx := b.evalConst(v.X, width)
+		y, oky := b.evalConst(v.Y, width)
+		if !okx || !oky {
+			return bv.Vec{}, false
+		}
+		return evalConstBin(v.Op, x, y), true
+	case *ir.ConstFunc:
+		return b.evalConstFunc(v, width)
+	}
+	return bv.Vec{}, false
+}
+
+func evalConstBin(op ir.ConstBinOp, x, y bv.Vec) bv.Vec {
+	switch op {
+	case ir.CAdd:
+		return x.Add(y)
+	case ir.CSub:
+		return x.Sub(y)
+	case ir.CMul:
+		return x.Mul(y)
+	case ir.CSDiv:
+		return x.Sdiv(y)
+	case ir.CUDiv:
+		return x.Udiv(y)
+	case ir.CSRem:
+		return x.Srem(y)
+	case ir.CURem:
+		return x.Urem(y)
+	case ir.CShl:
+		return x.Shl(y)
+	case ir.CAShr:
+		return x.Ashr(y)
+	case ir.CLShr:
+		return x.Lshr(y)
+	case ir.CAnd:
+		return x.And(y)
+	case ir.COr:
+		return x.Or(y)
+	case ir.CXor:
+		return x.Xor(y)
+	}
+	panic("miniir: unknown constant operator")
+}
+
+func (b *bindings) evalConstFunc(v *ir.ConstFunc, width int) (bv.Vec, bool) {
+	arg := func(i int) (bv.Vec, bool) { return b.evalConst(v.Args[i], width) }
+	switch v.FName {
+	case "width":
+		if in, ok := v.Args[0].(*ir.Input); ok {
+			if cv, bound := b.vals[in]; bound {
+				return bv.New(width, uint64(cv.Width)), true
+			}
+			return bv.Vec{}, false
+		}
+		if x, ok := arg(0); ok {
+			return bv.New(width, uint64(x.Width())), true
+		}
+		return bv.Vec{}, false
+	case "log2":
+		x, ok := arg(0)
+		if !ok {
+			return bv.Vec{}, false
+		}
+		return bv.New(width, uint64(x.Log2())), true
+	case "abs":
+		x, ok := arg(0)
+		if !ok {
+			return bv.Vec{}, false
+		}
+		if x.SignBit() == 1 {
+			return x.Neg(), true
+		}
+		return x, true
+	case "umax", "umin", "smax", "smin", "max", "min":
+		x, okx := arg(0)
+		y, oky := arg(1)
+		if !okx || !oky {
+			return bv.Vec{}, false
+		}
+		switch v.FName {
+		case "umax":
+			if x.Ult(y) {
+				return y, true
+			}
+			return x, true
+		case "umin":
+			if x.Ult(y) {
+				return x, true
+			}
+			return y, true
+		case "smax", "max":
+			if x.Slt(y) {
+				return y, true
+			}
+			return x, true
+		default:
+			if x.Slt(y) {
+				return x, true
+			}
+			return y, true
+		}
+	case "cttz", "countTrailingZeros":
+		x, ok := arg(0)
+		if !ok {
+			return bv.Vec{}, false
+		}
+		return bv.New(width, uint64(x.TrailingZeros())), true
+	case "ctlz", "countLeadingZeros":
+		x, ok := arg(0)
+		if !ok {
+			return bv.Vec{}, false
+		}
+		return bv.New(width, uint64(x.LeadingZeros())), true
+	}
+	return bv.Vec{}, false
+}
+
+// evalPred evaluates a precondition concretely. Must-analyses on
+// non-constant arguments consult the known-bits analysis and answer false
+// when unprovable — exactly the conservatism of the LLVM analyses the
+// predicates trust.
+func (b *bindings) evalPred(p ir.Pred) bool {
+	switch q := p.(type) {
+	case nil, ir.TruePred:
+		return true
+	case *ir.NotPred:
+		return !b.evalPred(q.P)
+	case *ir.AndPred:
+		for _, r := range q.Ps {
+			if !b.evalPred(r) {
+				return false
+			}
+		}
+		return true
+	case *ir.OrPred:
+		for _, r := range q.Ps {
+			if b.evalPred(r) {
+				return true
+			}
+		}
+		return false
+	case *ir.CmpPred:
+		w, ok := b.cmpWidth(q.X, q.Y)
+		if !ok {
+			return false
+		}
+		x, okx := b.evalConst(q.X, w)
+		y, oky := b.evalConst(q.Y, w)
+		if !okx || !oky {
+			return false
+		}
+		switch q.Op {
+		case ir.PEq:
+			return x.Eq(y)
+		case ir.PNe:
+			return !x.Eq(y)
+		case ir.PSlt:
+			return x.Slt(y)
+		case ir.PSle:
+			return x.Sle(y)
+		case ir.PSgt:
+			return y.Slt(x)
+		case ir.PSge:
+			return y.Sle(x)
+		case ir.PUlt:
+			return x.Ult(y)
+		case ir.PUle:
+			return x.Ule(y)
+		case ir.PUgt:
+			return y.Ult(x)
+		case ir.PUge:
+			return y.Ule(x)
+		}
+		return false
+	case *ir.FuncPred:
+		return b.evalFuncPred(q)
+	}
+	return false
+}
+
+// cmpWidth finds the width of a comparison: the width of any bound
+// constant or value mentioned on either side.
+func (b *bindings) cmpWidth(xs ...ir.Value) (int, bool) {
+	for _, x := range xs {
+		w := 0
+		ir.WalkValues(x, func(v ir.Value) {
+			if w != 0 {
+				return
+			}
+			switch v := v.(type) {
+			case *ir.AbstractConst:
+				if c, ok := b.consts[v]; ok {
+					w = c.Width()
+				}
+			case *ir.Input:
+				if cv, ok := b.vals[v]; ok {
+					w = cv.Width
+				}
+			}
+		})
+		if w != 0 {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+func (b *bindings) evalFuncPred(q *ir.FuncPred) bool {
+	// Constant arguments: evaluate precisely.
+	argConst := func(i int) (bv.Vec, bool) {
+		w, ok := b.cmpWidth(q.Args[i])
+		if !ok {
+			return bv.Vec{}, false
+		}
+		return b.evalConst(q.Args[i], w)
+	}
+	argInstr := func(i int) (*Instr, bool) {
+		in, ok := q.Args[i].(*ir.Input)
+		if !ok {
+			if iv, isInstr := q.Args[i].(ir.Instr); isInstr {
+				cv, bound := b.vals[iv.(ir.Value)]
+				return cv, bound
+			}
+			return nil, false
+		}
+		cv, bound := b.vals[in]
+		return cv, bound
+	}
+
+	switch q.FName {
+	case "isPowerOf2":
+		if c, ok := argConst(0); ok {
+			return c.IsPowerOfTwo()
+		}
+		if cv, ok := argInstr(0); ok {
+			return KnownPowerOfTwo(cv)
+		}
+		return false
+	case "isPowerOf2OrZero":
+		if c, ok := argConst(0); ok {
+			return c.IsZero() || c.IsPowerOfTwo()
+		}
+		return false
+	case "isSignBit":
+		c, ok := argConst(0)
+		return ok && c.Eq(bv.MinSigned(c.Width()))
+	case "isShiftedMask":
+		c, ok := argConst(0)
+		if !ok || c.IsZero() {
+			return false
+		}
+		filled := c.Or(c.Sub(bv.One(c.Width())))
+		return filled.Add(bv.One(c.Width())).And(filled).IsZero()
+	case "MaskedValueIsZero":
+		cv, ok := argInstr(0)
+		if !ok {
+			return false
+		}
+		mask, ok := b.evalConst(q.Args[1], cv.Width)
+		if !ok {
+			return false
+		}
+		kb, ok := b.known[cv]
+		if !ok {
+			return false
+		}
+		// Every masked bit must be known zero.
+		return mask.And(kb.Zero.Not()).IsZero()
+	case "WillNotOverflowSignedAdd", "WillNotOverflowUnsignedAdd",
+		"WillNotOverflowSignedSub", "WillNotOverflowUnsignedSub",
+		"WillNotOverflowSignedMul", "WillNotOverflowUnsignedMul",
+		"WillNotOverflowSignedShl", "WillNotOverflowUnsignedShl":
+		x, okx := argConst(0)
+		y, oky := argConst(1)
+		if okx && oky {
+			return willNotOverflow(q.FName, x, y)
+		}
+		// On values, the conservative analysis answers "unknown".
+		return false
+	case "hasOneUse", "OneUse":
+		cv, ok := argInstr(0)
+		return ok && b.uses[cv] == 1
+	}
+	return false
+}
+
+func willNotOverflow(name string, x, y bv.Vec) bool {
+	w := x.Width()
+	switch name {
+	case "WillNotOverflowSignedAdd":
+		return x.SExt(w + 1).Add(y.SExt(w + 1)).Eq(x.Add(y).SExt(w + 1))
+	case "WillNotOverflowUnsignedAdd":
+		return x.ZExt(w + 1).Add(y.ZExt(w + 1)).Eq(x.Add(y).ZExt(w + 1))
+	case "WillNotOverflowSignedSub":
+		return x.SExt(w + 1).Sub(y.SExt(w + 1)).Eq(x.Sub(y).SExt(w + 1))
+	case "WillNotOverflowUnsignedSub":
+		return x.ZExt(w + 1).Sub(y.ZExt(w + 1)).Eq(x.Sub(y).ZExt(w + 1))
+	case "WillNotOverflowSignedMul":
+		return x.SExt(2 * w).Mul(y.SExt(2 * w)).Eq(x.Mul(y).SExt(2 * w))
+	case "WillNotOverflowUnsignedMul":
+		return x.ZExt(2 * w).Mul(y.ZExt(2 * w)).Eq(x.Mul(y).ZExt(2 * w))
+	case "WillNotOverflowSignedShl":
+		return x.Shl(y).Ashr(y).Eq(x)
+	case "WillNotOverflowUnsignedShl":
+		return x.Shl(y).Lshr(y).Eq(x)
+	}
+	return false
+}
+
+// apply rewrites the DAG rooted at rootIn according to the target
+// template. It returns false when the target needs a construct the IR
+// cannot express (e.g. undef).
+func (ct *CompiledTransform) apply(b *bindings, rootIn *Instr) bool {
+	var created []*Instr
+	var build func(v ir.Value, width int) (*Instr, bool)
+	build = func(v ir.Value, width int) (*Instr, bool) {
+		// Source-bound and previously built values are reused directly.
+		if cv, ok := b.vals[v]; ok {
+			return cv, true
+		}
+		switch v := v.(type) {
+		case *ir.Literal:
+			in := &Instr{Op: OpConst, Width: width, Const: bv.NewInt(width, v.V)}
+			created = append(created, in)
+			return in, true
+		case *ir.AbstractConst, *ir.ConstUnExpr, *ir.ConstBinExpr, *ir.ConstFunc:
+			c, ok := b.evalConst(v, width)
+			if !ok {
+				return nil, false
+			}
+			in := &Instr{Op: OpConst, Width: width, Const: c}
+			created = append(created, in)
+			return in, true
+		case *ir.BinOp:
+			x, okx := build(v.X, width)
+			if !okx {
+				return nil, false
+			}
+			y, oky := build(v.Y, x.Width)
+			if !oky || x.Width != y.Width {
+				return nil, false
+			}
+			in := &Instr{Op: BinOpFor(v.Op), Width: x.Width, Flags: v.Flags, Args: []*Instr{x, y}}
+			created = append(created, in)
+			b.vals[v] = in
+			return in, true
+		case *ir.ICmp:
+			x, okx := build(v.X, width)
+			if !okx {
+				return nil, false
+			}
+			y, oky := build(v.Y, x.Width)
+			if !oky {
+				return nil, false
+			}
+			in := &Instr{Op: OpICmp, Width: 1, Cond: v.Cond, Args: []*Instr{x, y}}
+			created = append(created, in)
+			b.vals[v] = in
+			return in, true
+		case *ir.Select:
+			c, okc := build(v.Cond, 1)
+			tv, okt := build(v.TrueV, width)
+			if !okc || !okt {
+				return nil, false
+			}
+			fv, okf := build(v.FalseV, tv.Width)
+			if !okf {
+				return nil, false
+			}
+			in := &Instr{Op: OpSelect, Width: tv.Width, Args: []*Instr{c, tv, fv}}
+			created = append(created, in)
+			b.vals[v] = in
+			return in, true
+		case *ir.Conv:
+			x, ok := b.vals[v.X]
+			if !ok {
+				if x, ok = build(v.X, width); !ok {
+					return nil, false
+				}
+			}
+			var op Op
+			switch v.Kind {
+			case ir.ZExt:
+				op = OpZExt
+			case ir.SExt:
+				op = OpSExt
+			case ir.Trunc:
+				op = OpTrunc
+			default:
+				return nil, false
+			}
+			in := &Instr{Op: op, Width: width, Args: []*Instr{x}}
+			created = append(created, in)
+			b.vals[v] = in
+			return in, true
+		case *ir.Copy:
+			return build(v.X, width)
+		}
+		return nil, false
+	}
+
+	// Build the target in order so redefinitions shadow source bindings.
+	var newRoot *Instr
+	for _, tin := range ct.t.Target {
+		width := rootIn.Width
+		if prev, ok := b.vals[correspondingSource(ct.t, tin.Name())]; ok && tin.Name() != "" {
+			width = prev.Width
+		}
+		built, ok := build(tin, width)
+		if !ok {
+			return false
+		}
+		if tin.Name() != "" {
+			// Later target instructions referring to this name must see
+			// the new definition: rebind the *source* node of that name.
+			if srcNode := ct.t.SourceValue(tin.Name()); srcNode != nil && srcNode != ct.root {
+				b.vals[srcNode] = built
+			}
+			if tin.Name() == ct.t.Root {
+				newRoot = built
+			}
+		}
+	}
+	if newRoot == nil || newRoot == rootIn {
+		return false
+	}
+	if newRoot.Width != rootIn.Width {
+		return false
+	}
+	b.f.InsertBefore(rootIn, created)
+	b.f.ReplaceAllUses(rootIn, newRoot)
+	return true
+}
+
+func correspondingSource(t *ir.Transform, name string) ir.Value {
+	if name == "" {
+		return nil
+	}
+	if in := t.SourceValue(name); in != nil {
+		return in
+	}
+	return nil
+}
+
+// Pass applies a set of compiled transformations to modules, counting
+// firings per transformation — the instrumentation behind Figure 9.
+type Pass struct {
+	Transforms []*CompiledTransform
+	Fired      map[string]int
+	byOp       map[Op][]*CompiledTransform
+}
+
+// NewPass builds a pass over the given transformations.
+func NewPass(ts []*CompiledTransform) *Pass {
+	p := &Pass{Transforms: ts, Fired: map[string]int{}, byOp: map[Op][]*CompiledTransform{}}
+	for _, ct := range ts {
+		p.byOp[ct.rootOp] = append(p.byOp[ct.rootOp], ct)
+	}
+	return p
+}
+
+// RunFunction applies transformations to a fixed point (bounded by a
+// rewrite budget proportional to the function size) and returns the
+// number of rewrites. Analyses are recomputed after every rewrite, as
+// InstCombine's worklist does.
+func (p *Pass) RunFunction(f *Function) int {
+	fired := 0
+	budget := 4*len(f.Body) + 16
+	for fired < budget {
+		known := ComputeKnownBits(f)
+		uses := f.UseCounts()
+		changed := false
+	scan:
+		for _, in := range f.Body {
+			for _, ct := range p.byOp[in.Op] {
+				bnd, ok := ct.match(in, f, known, uses)
+				if !ok {
+					continue
+				}
+				if ct.apply(bnd, in) {
+					p.Fired[ct.Name]++
+					fired++
+					changed = true
+					break scan
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		f.ConstantFold()
+		f.DCE()
+	}
+	return fired
+}
+
+// RunModule applies the pass to every function.
+func (p *Pass) RunModule(m *Module) int {
+	total := 0
+	for _, f := range m.Funcs {
+		total += p.RunFunction(f)
+	}
+	return total
+}

@@ -1,0 +1,275 @@
+package parser
+
+import (
+	"strconv"
+
+	"alive/internal/ir"
+)
+
+// Arithmetic operator precedence (higher binds tighter). Comparisons and
+// logical connectives live only in preconditions and are handled by the
+// predicate parser; bitwise operators bind tighter than comparisons, so
+// `C1 & C2 == 0` reads as `(C1 & C2) == 0` as in the paper's Figure 2.
+var arithPrec = map[string]int{
+	"|":  1,
+	"^":  2,
+	"&":  3,
+	"<<": 4, ">>": 4, "u>>": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "/u": 6, "%": 6, "%u": 6,
+}
+
+var arithOps = map[string]ir.ConstBinOp{
+	"+": ir.CAdd, "-": ir.CSub, "*": ir.CMul,
+	"/": ir.CSDiv, "/u": ir.CUDiv, "%": ir.CSRem, "%u": ir.CURem,
+	"<<": ir.CShl, ">>": ir.CAShr, "u>>": ir.CLShr,
+	"&": ir.CAnd, "|": ir.COr, "^": ir.CXor,
+}
+
+var cmpOps = map[string]ir.PredCmpOp{
+	"==": ir.PEq, "!=": ir.PNe,
+	"<": ir.PSlt, "<=": ir.PSle, ">": ir.PSgt, ">=": ir.PSge,
+	"u<": ir.PUlt, "u<=": ir.PUle, "u>": ir.PUgt, "u>=": ir.PUge,
+}
+
+// parseOperand parses an instruction operand: a register, literal,
+// constant, undef, or constant expression.
+func (p *parser) parseOperand() (ir.Value, error) {
+	return p.parseExpr(1)
+}
+
+// arithOpText returns the operator text if the current token is a binary
+// arithmetic operator (treating '*' as multiplication in this context).
+func (p *parser) arithOpText() (string, bool) {
+	switch p.cur().kind {
+	case tOp:
+		if _, ok := arithPrec[p.cur().text]; ok {
+			return p.cur().text, true
+		}
+	case tStar:
+		return "*", true
+	}
+	return "", false
+}
+
+func (p *parser) parseExpr(minPrec int) (ir.Value, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		opText, ok := p.arithOpText()
+		if !ok || arithPrec[opText] < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseExpr(arithPrec[opText] + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ir.ConstBinExpr{Op: arithOps[opText], X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (ir.Value, error) {
+	if p.cur().kind == tOp {
+		switch p.cur().text {
+		case "-":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			// Fold -literal immediately so "-1" is a literal.
+			if lit, ok := x.(*ir.Literal); ok && !lit.Bool {
+				return &ir.Literal{V: -lit.V}, nil
+			}
+			return &ir.ConstUnExpr{Op: ir.CNeg, X: x}, nil
+		case "~":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &ir.ConstUnExpr{Op: ir.CNot, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ir.Value, error) {
+	switch p.cur().kind {
+	case tReg:
+		return p.lookup(p.next().text), nil
+	case tNum:
+		text := p.next().text
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			u, uerr := strconv.ParseUint(text, 0, 64)
+			if uerr != nil {
+				return nil, p.errorf("bad integer literal %q", text)
+			}
+			v = int64(u)
+		}
+		return &ir.Literal{V: v}, nil
+	case tLParen:
+		p.next()
+		e, err := p.parseExpr(1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tIdent:
+		word := p.next().text
+		switch word {
+		case "undef":
+			p.undefSeq++
+			return &ir.UndefValue{Label: p.undefSeq}, nil
+		case "true":
+			return &ir.Literal{V: 1, Bool: true}, nil
+		case "false":
+			return &ir.Literal{V: 0, Bool: true}, nil
+		case "null":
+			return &ir.Literal{V: 0}, nil
+		}
+		if p.cur().kind == tLParen {
+			args, err := p.parseCallArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &ir.ConstFunc{FName: word, Args: args}, nil
+		}
+		return p.lookupConst(word), nil
+	}
+	return nil, p.errorf("expected operand, found %s", p.cur())
+}
+
+func (p *parser) parseCallArgs() ([]ir.Value, error) {
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var args []ir.Value
+	if p.cur().kind != tRParen {
+		for {
+			a, err := p.parseExpr(1)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.cur().kind != tComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// parsePred parses a precondition: disjunctions of conjunctions of atoms,
+// where atoms are negations, parenthesized predicates, comparisons over
+// constant expressions, or built-in predicate calls.
+func (p *parser) parsePred() (ir.Pred, error) {
+	lhs, err := p.parseAndPred()
+	if err != nil {
+		return nil, err
+	}
+	var parts []ir.Pred
+	parts = append(parts, lhs)
+	for p.cur().kind == tOp && p.cur().text == "||" {
+		p.next()
+		r, err := p.parseAndPred()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &ir.OrPred{Ps: parts}, nil
+}
+
+func (p *parser) parseAndPred() (ir.Pred, error) {
+	lhs, err := p.parseAtomPred()
+	if err != nil {
+		return nil, err
+	}
+	parts := []ir.Pred{lhs}
+	for p.cur().kind == tOp && p.cur().text == "&&" {
+		p.next()
+		r, err := p.parseAtomPred()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &ir.AndPred{Ps: parts}, nil
+}
+
+func (p *parser) parseAtomPred() (ir.Pred, error) {
+	if p.cur().kind == tOp && p.cur().text == "!" {
+		p.next()
+		q, err := p.parseAtomPred()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.NotPred{P: q}, nil
+	}
+	if p.atIdent("true") && !p.isCallNext() {
+		p.next()
+		return ir.TruePred{}, nil
+	}
+	// A parenthesis may open a nested predicate or an arithmetic
+	// expression; try the predicate reading first and backtrack.
+	if p.cur().kind == tLParen {
+		save := p.pos
+		p.next()
+		if q, err := p.parsePred(); err == nil && p.cur().kind == tRParen {
+			p.next()
+			// Accept only if what follows cannot continue an arithmetic
+			// expression or comparison (otherwise `(C1 & C2) == 0` would
+			// misparse).
+			if _, isArith := p.arithOpText(); !isArith {
+				isCmp := false
+				if p.cur().kind == tOp {
+					_, isCmp = cmpOps[p.cur().text]
+				}
+				if !isCmp {
+					return q, nil
+				}
+			}
+		}
+		p.pos = save
+	}
+	lhs, err := p.parseExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tOp {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.next()
+			rhs, err := p.parseExpr(1)
+			if err != nil {
+				return nil, err
+			}
+			return &ir.CmpPred{Op: op, X: lhs, Y: rhs}, nil
+		}
+	}
+	if f, ok := lhs.(*ir.ConstFunc); ok {
+		return &ir.FuncPred{FName: f.FName, Args: f.Args}, nil
+	}
+	return nil, p.errorf("expected predicate, found expression %s", lhs)
+}
+
+func (p *parser) isCallNext() bool {
+	return p.toks[p.pos+1].kind == tLParen
+}

@@ -1,0 +1,294 @@
+// Package parser implements a lexer and recursive-descent parser for the
+// Alive surface syntax of Figure 1: Name/Pre headers, source and target
+// instruction templates separated by "=>", typed and untyped operands,
+// instruction attributes, the constant-expression language, and the
+// precondition predicate language.
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tNewline
+	tIdent    // foo, C1, undef, add, i32 (type-ness decided by parser)
+	tReg      // %name
+	tNum      // 123, 0x1F (unsigned part only; unary minus is a token)
+	tArrow    // =>
+	tAssign   // =
+	tComma    // ,
+	tLParen   // (
+	tRParen   // )
+	tLBracket // [
+	tRBracket // ]
+	tStar     // *
+	tOp       // operator: + - / /u % %u << >> u>> & | ^ ~ ! == != < <= > >= u< u<= u> u>= && ||
+	tColon    // :
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) at(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// tokens lexes the whole input. Newlines are significant (statement
+// separators); comments run from ';' or '//' to end of line. A backslash
+// at end of line continues the line.
+func (lx *lexer) tokens() ([]token, error) {
+	var out []token
+	emit := func(k tokKind, text string) {
+		out = append(out, token{kind: k, text: text, line: lx.line, col: lx.col})
+	}
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.advance()
+		case c == '\\' && lx.at(1) == '\n':
+			lx.advance()
+			lx.advance()
+		case c == '\n':
+			lx.advance()
+			if len(out) > 0 && out[len(out)-1].kind != tNewline {
+				emit(tNewline, "\n")
+			}
+		case c == ';' || (c == '/' && lx.at(1) == '/'):
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case isIdentStart(c) && c == 'u' && (lx.at(1) == '<' || lx.at(1) == '>') && lx.at(1) != 0 && !isIdentCont(lx.at(1)):
+			// u< u<= u> u>= u>>
+			lx.advance()
+			op := "u" + string(lx.advance())
+			if lx.peekByte() == '=' {
+				op += string(lx.advance())
+			} else if op == "u>" && lx.peekByte() == '>' {
+				op += string(lx.advance())
+			}
+			emit(tOp, op)
+		case isIdentStart(c):
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentCont(lx.peekByte()) {
+				lx.advance()
+			}
+			emit(tIdent, lx.src[start:lx.pos])
+		case c == '%':
+			lx.advance()
+			// "%u" not followed by another identifier character is the
+			// unsigned remainder operator, and a lone '%' the signed one.
+			if lx.peekByte() == 'u' && !isIdentCont(lx.at(1)) {
+				lx.advance()
+				emit(tOp, "%u")
+				continue
+			}
+			if !isIdentCont(lx.peekByte()) {
+				emit(tOp, "%")
+				continue
+			}
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentCont(lx.peekByte()) {
+				lx.advance()
+			}
+			emit(tReg, "%"+lx.src[start:lx.pos])
+		case isDigit(c):
+			start := lx.pos
+			if c == '0' && (lx.at(1) == 'x' || lx.at(1) == 'X') {
+				lx.advance()
+				lx.advance()
+				for lx.pos < len(lx.src) && isHexDigit(lx.peekByte()) {
+					lx.advance()
+				}
+			} else {
+				for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+					lx.advance()
+				}
+			}
+			emit(tNum, lx.src[start:lx.pos])
+		default:
+			if err := lx.operator(&out); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(out) > 0 && out[len(out)-1].kind != tNewline {
+		out = append(out, token{kind: tNewline, text: "\n", line: lx.line})
+	}
+	out = append(out, token{kind: tEOF, line: lx.line})
+	return out, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (lx *lexer) operator(out *[]token) error {
+	emit := func(k tokKind, text string) {
+		*out = append(*out, token{kind: k, text: text, line: lx.line, col: lx.col})
+	}
+	c := lx.advance()
+	two := func(next byte, ifTwo, ifOne string) {
+		if lx.peekByte() == next {
+			lx.advance()
+			emit(tOp, ifTwo)
+		} else if ifOne == "" {
+			emit(tOp, string(c))
+		} else {
+			emit(tOp, ifOne)
+		}
+	}
+	switch c {
+	case '=':
+		switch lx.peekByte() {
+		case '>':
+			lx.advance()
+			emit(tArrow, "=>")
+		case '=':
+			lx.advance()
+			emit(tOp, "==")
+		default:
+			emit(tAssign, "=")
+		}
+	case ',':
+		emit(tComma, ",")
+	case '(':
+		emit(tLParen, "(")
+	case ')':
+		emit(tRParen, ")")
+	case '[':
+		emit(tLBracket, "[")
+	case ']':
+		emit(tRBracket, "]")
+	case '*':
+		emit(tStar, "*")
+	case ':':
+		emit(tColon, ":")
+	case '+':
+		emit(tOp, "+")
+	case '-':
+		emit(tOp, "-")
+	case '~':
+		emit(tOp, "~")
+	case '^':
+		emit(tOp, "^")
+	case '/':
+		// "/u" only when not immediately followed by an identifier char
+		// (so "C2/undef" still lexes as '/', "undef").
+		if lx.peekByte() == 'u' && !isIdentCont(lx.at(1)) {
+			lx.advance()
+			emit(tOp, "/u")
+		} else {
+			emit(tOp, "/")
+		}
+	case '%':
+		if lx.peekByte() == 'u' && !isIdentCont(lx.at(1)) {
+			lx.advance()
+			emit(tOp, "%u")
+		} else {
+			emit(tOp, "%")
+		}
+	case '<':
+		switch lx.peekByte() {
+		case '<':
+			lx.advance()
+			emit(tOp, "<<")
+		case '=':
+			lx.advance()
+			emit(tOp, "<=")
+		default:
+			emit(tOp, "<")
+		}
+	case '>':
+		switch lx.peekByte() {
+		case '>':
+			lx.advance()
+			emit(tOp, ">>")
+		case '=':
+			lx.advance()
+			emit(tOp, ">=")
+		default:
+			emit(tOp, ">")
+		}
+	case '!':
+		two('=', "!=", "!")
+	case '&':
+		two('&', "&&", "&")
+	case '|':
+		two('|', "||", "|")
+	default:
+		return lx.errorf("unexpected character %q", string(c))
+	}
+	return nil
+}
+
+// stripBOM removes a leading UTF-8 byte-order mark.
+func stripBOM(s string) string {
+	return strings.TrimPrefix(s, "\ufeff")
+}

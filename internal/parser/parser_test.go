@@ -1,0 +1,556 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"alive/internal/ir"
+)
+
+func mustParseOne(t *testing.T, src string) *ir.Transform {
+	t.Helper()
+	tr, err := ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	return tr
+}
+
+// The paper's introductory example.
+func TestIntroExample(t *testing.T) {
+	tr := mustParseOne(t, `
+%1 = xor %x, -1
+%2 = add %1, C
+=>
+%2 = sub C-1, %x
+`)
+	if len(tr.Source) != 2 || len(tr.Target) != 1 {
+		t.Fatalf("got %d source / %d target instructions", len(tr.Source), len(tr.Target))
+	}
+	if tr.Root != "%2" {
+		t.Fatalf("root = %q, want %%2", tr.Root)
+	}
+	x, ok := tr.Source[0].(*ir.BinOp)
+	if !ok || x.Op != ir.Xor {
+		t.Fatalf("first source instruction should be xor, got %v", tr.Source[0])
+	}
+	if _, ok := x.X.(*ir.Input); !ok {
+		t.Fatal("xor LHS should be the input register x")
+	}
+	if lit, ok := x.Y.(*ir.Literal); !ok || lit.V != -1 {
+		t.Fatalf("xor RHS should be -1, got %v", x.Y)
+	}
+	add, ok := tr.Source[1].(*ir.BinOp)
+	if !ok || add.Op != ir.Add {
+		t.Fatal("second source instruction should be add")
+	}
+	if add.X != ir.Value(x) {
+		t.Fatal("add should use the xor result")
+	}
+	if _, ok := add.Y.(*ir.AbstractConst); !ok {
+		t.Fatal("add RHS should be abstract constant C")
+	}
+	sub, ok := tr.Target[0].(*ir.BinOp)
+	if !ok || sub.Op != ir.Sub {
+		t.Fatal("target should be sub")
+	}
+	ce, ok := sub.X.(*ir.ConstBinExpr)
+	if !ok || ce.Op != ir.CSub {
+		t.Fatalf("target sub LHS should be C-1, got %v", sub.X)
+	}
+}
+
+// Figure 2, with the precondition exercising && and predicate calls.
+func TestFigure2(t *testing.T) {
+	tr := mustParseOne(t, `
+Pre: C1 & C2 == 0 && MaskedValueIsZero(%V, ~C1)
+%t0 = or %B, %V
+%t1 = and %t0, C1
+%t2 = and %B, C2
+%R = or %t1, %t2
+=>
+%R = and %t0, (C1 | C2)
+`)
+	if tr.Root != "%R" {
+		t.Fatalf("root = %q", tr.Root)
+	}
+	and, ok := tr.Pre.(*ir.AndPred)
+	if !ok || len(and.Ps) != 2 {
+		t.Fatalf("precondition should be a 2-way conjunction, got %v", tr.Pre)
+	}
+	cmp, ok := and.Ps[0].(*ir.CmpPred)
+	if !ok || cmp.Op != ir.PEq {
+		t.Fatalf("first conjunct should be ==, got %v", and.Ps[0])
+	}
+	if be, ok := cmp.X.(*ir.ConstBinExpr); !ok || be.Op != ir.CAnd {
+		t.Fatalf("LHS of == should be C1 & C2, got %v", cmp.X)
+	}
+	fp, ok := and.Ps[1].(*ir.FuncPred)
+	if !ok || fp.FName != "MaskedValueIsZero" || len(fp.Args) != 2 {
+		t.Fatalf("second conjunct should be MaskedValueIsZero/2, got %v", and.Ps[1])
+	}
+	if _, ok := fp.Args[0].(*ir.Input); !ok {
+		t.Fatal("first arg should be the input register V")
+	}
+	if ue, ok := fp.Args[1].(*ir.ConstUnExpr); !ok || ue.Op != ir.CNot {
+		t.Fatal("second arg should be ~C1")
+	}
+	// Target reuses the source temporary %t0.
+	tand := tr.Target[0].(*ir.BinOp)
+	if tand.X != ir.Value(tr.Source[0]) {
+		t.Fatal("target should reference the source temporary t0")
+	}
+}
+
+func TestNamedTransformWithAttributes(t *testing.T) {
+	tr := mustParseOne(t, `
+Name: PR20189
+%B = sub 0, %A
+%C = sub nsw %x, %B
+=>
+%C = add nsw %x, %A
+`)
+	if tr.Name != "PR20189" {
+		t.Fatalf("name = %q", tr.Name)
+	}
+	s := tr.Source[1].(*ir.BinOp)
+	if s.Flags != ir.NSW {
+		t.Fatalf("source sub flags = %v", s.Flags)
+	}
+	g := tr.Target[0].(*ir.BinOp)
+	if g.Flags != ir.NSW || g.Op != ir.Add {
+		t.Fatal("target should be add nsw")
+	}
+}
+
+func TestTypedOperands(t *testing.T) {
+	tr := mustParseOne(t, `
+%1 = xor i32 %x, -1
+%2 = add i32 %1, 3333
+=>
+%2 = sub i32 3332, %x
+`)
+	x := tr.Source[0].(*ir.BinOp)
+	if x.DeclaredType == nil || x.DeclaredType.(ir.IntType).Bits != 32 {
+		t.Fatalf("declared type = %v", x.DeclaredType)
+	}
+}
+
+func TestUndefAndSelect(t *testing.T) {
+	tr := mustParseOne(t, `
+%r = select undef, i4 -1, 0
+=>
+%r = ashr undef, 3
+`)
+	sel := tr.Source[0].(*ir.Select)
+	if _, ok := sel.Cond.(*ir.UndefValue); !ok {
+		t.Fatal("select condition should be undef")
+	}
+	if sel.DeclaredType.(ir.IntType).Bits != 4 {
+		t.Fatalf("select type = %v", sel.DeclaredType)
+	}
+	ashr := tr.Target[0].(*ir.BinOp)
+	u2, ok := ashr.X.(*ir.UndefValue)
+	if !ok {
+		t.Fatal("target operand should be undef")
+	}
+	if u2 == sel.Cond.(ir.Value) {
+		t.Fatal("distinct undef occurrences must be distinct values")
+	}
+}
+
+func TestICmpAndBoolLiterals(t *testing.T) {
+	tr := mustParseOne(t, `
+%1 = add nsw %x, 1
+%2 = icmp sgt %1, %x
+=>
+%2 = true
+`)
+	ic := tr.Source[1].(*ir.ICmp)
+	if ic.Cond != ir.CondSgt {
+		t.Fatalf("cond = %v", ic.Cond)
+	}
+	cp := tr.Target[0].(*ir.Copy)
+	lit, ok := cp.X.(*ir.Literal)
+	if !ok || !lit.Bool || lit.V != 1 {
+		t.Fatalf("target should be literal true, got %v", cp.X)
+	}
+}
+
+func TestFigure8Transforms(t *testing.T) {
+	// All eight buggy transformations from Figure 8 must parse.
+	srcs := []string{
+		"Name: PR20186\n%a = sdiv %X, C\n%r = sub 0, %a\n=>\n%r = sdiv %X, -C",
+		"Name: PR20189\n%B = sub 0, %A\n%C = sub nsw %x, %B\n=>\n%C = add nsw %x, %A",
+		"Name: PR21242\nPre: isPowerOf2(C1)\n%r = mul nsw %x, C1\n=>\n%r = shl nsw %x, log2(C1)",
+		"Name: PR21243\nPre: !WillNotOverflowSignedMul(C1, C2)\n%Op0 = sdiv %X, C1\n%r = sdiv %Op0, C2\n=>\n%r = 0",
+		"Name: PR21245\nPre: C2 % (1<<C1) == 0\n%s = shl nsw %X, C1\n%r = sdiv %s, C2\n=>\n%r = sdiv %X, C2/(1<<C1)",
+		"Name: PR21255\n%Op0 = lshr %X, C1\n%r = udiv %Op0, C2\n=>\n%r = udiv %X, C2 << C1",
+		"Name: PR21256\n%Op1 = sub 0, %X\n%r = srem %Op0, %Op1\n=>\n%r = srem %Op0, %X",
+		"Name: PR21274\nPre: isPowerOf2(%Power) && hasOneUse(%Y)\n%s = shl %Power, %A\n%Y = lshr %s, %B\n%r = udiv %X, %Y\n=>\n%sub = sub %A, %B\n%Y = shl %Power, %sub\n%r = udiv %X, %Y",
+	}
+	for _, src := range srcs {
+		tr := mustParseOne(t, src)
+		if tr.Name == "" {
+			t.Errorf("transform lost its name:\n%s", src)
+		}
+	}
+}
+
+func TestPR21274TargetScoping(t *testing.T) {
+	// The target redefines %Y; the final udiv must use the NEW %Y.
+	tr := mustParseOne(t, `
+Pre: isPowerOf2(%Power) && hasOneUse(%Y)
+%s = shl %Power, %A
+%Y = lshr %s, %B
+%r = udiv %X, %Y
+=>
+%sub = sub %A, %B
+%Y = shl %Power, %sub
+%r = udiv %X, %Y
+`)
+	udiv := tr.Target[2].(*ir.BinOp)
+	if udiv.Y != ir.Value(tr.Target[1]) {
+		t.Fatal("target udiv should use the target's Y redefinition")
+	}
+}
+
+func TestMultipleTransforms(t *testing.T) {
+	ts, err := Parse(`
+Name: one
+%r = add %x, 0
+=>
+%r = %x
+
+Name: two
+%r = mul %x, 2
+=>
+%r = shl %x, 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Name != "one" || ts[1].Name != "two" {
+		t.Fatalf("got %d transforms", len(ts))
+	}
+	cp, ok := ts[0].Target[0].(*ir.Copy)
+	if !ok {
+		t.Fatal("target of 'one' should be a copy")
+	}
+	if _, ok := cp.X.(*ir.Input); !ok {
+		t.Fatal("copy source should be the input register x")
+	}
+}
+
+func TestMemoryInstructions(t *testing.T) {
+	tr := mustParseOne(t, `
+%p = alloca i32, 1
+store %v, %p
+%x = load %p
+=>
+%x = %v
+`)
+	if len(tr.Source) != 3 {
+		t.Fatalf("got %d source instructions", len(tr.Source))
+	}
+	al := tr.Source[0].(*ir.Alloca)
+	if al.ElemType.(ir.IntType).Bits != 32 {
+		t.Fatal("alloca type wrong")
+	}
+	st := tr.Source[1].(*ir.Store)
+	if st.Ptr != ir.Value(al) {
+		t.Fatal("store pointer should be the alloca")
+	}
+	ld := tr.Source[2].(*ir.Load)
+	if ld.Ptr != ir.Value(al) {
+		t.Fatal("load pointer should be the alloca")
+	}
+}
+
+func TestLoadWithPointerType(t *testing.T) {
+	tr := mustParseOne(t, `
+%v = load i16* %p
+=>
+%v = load i16* %p
+`)
+	ld := tr.Source[0].(*ir.Load)
+	pt, ok := ld.DeclaredType.(ir.PtrType)
+	if !ok || pt.Elem.(ir.IntType).Bits != 16 {
+		t.Fatalf("load type = %v", ld.DeclaredType)
+	}
+	in := ld.Ptr.(*ir.Input)
+	if in.DeclaredType == nil {
+		t.Fatal("pointer input should inherit the declared type")
+	}
+}
+
+func TestGEPAndConversions(t *testing.T) {
+	tr := mustParseOne(t, `
+%ptr = getelementptr %a, %b, %c
+%val = load %ptr
+=>
+%q = ptrtoint %a
+%r = inttoptr %q
+%ptr = bitcast %r
+%val = load %ptr
+`)
+	g := tr.Source[0].(*ir.GEP)
+	if len(g.Indexes) != 2 {
+		t.Fatalf("GEP indexes = %d", len(g.Indexes))
+	}
+	if _, ok := tr.Target[0].(*ir.Conv); !ok {
+		t.Fatal("ptrtoint should parse as conversion")
+	}
+}
+
+func TestConvWithTypes(t *testing.T) {
+	tr := mustParseOne(t, `
+%r = zext i8 %x to i16
+=>
+%r = zext i8 %x to i16
+`)
+	cv := tr.Source[0].(*ir.Conv)
+	if cv.Kind != ir.ZExt {
+		t.Fatal("kind wrong")
+	}
+	if cv.FromType.(ir.IntType).Bits != 8 || cv.ToType.(ir.IntType).Bits != 16 {
+		t.Fatalf("types: from %v to %v", cv.FromType, cv.ToType)
+	}
+}
+
+func TestUnsignedPredOps(t *testing.T) {
+	tr := mustParseOne(t, `
+Pre: C1 u>= C2 && C1 u< width(%a)
+%0 = shl nsw i8 %a, C1
+%1 = ashr %0, C2
+=>
+%1 = shl nsw %a, C1-C2
+`)
+	and := tr.Pre.(*ir.AndPred)
+	c0 := and.Ps[0].(*ir.CmpPred)
+	if c0.Op != ir.PUge {
+		t.Fatalf("first cmp op = %v, want u>=", c0.Op)
+	}
+	c1 := and.Ps[1].(*ir.CmpPred)
+	if c1.Op != ir.PUlt {
+		t.Fatalf("second cmp op = %v, want u<", c1.Op)
+	}
+	if f, ok := c1.Y.(*ir.ConstFunc); !ok || f.FName != "width" {
+		t.Fatal("width() call should parse")
+	}
+}
+
+func TestUnsignedArithOps(t *testing.T) {
+	tr := mustParseOne(t, `
+Pre: C2 %u C1 == 0 && C2 /u C1 u> 0 && C1 u>> 1 == 0
+%r = udiv %x, C1
+=>
+%r = udiv %x, C1
+`)
+	and := tr.Pre.(*ir.AndPred)
+	if be := and.Ps[0].(*ir.CmpPred).X.(*ir.ConstBinExpr); be.Op != ir.CURem {
+		t.Fatalf("%%u should parse as urem, got %v", be.Op)
+	}
+	if be := and.Ps[1].(*ir.CmpPred).X.(*ir.ConstBinExpr); be.Op != ir.CUDiv {
+		t.Fatalf("/u should parse as udiv, got %v", be.Op)
+	}
+	if be := and.Ps[2].(*ir.CmpPred).X.(*ir.ConstBinExpr); be.Op != ir.CLShr {
+		t.Fatalf("u>> should parse as lshr, got %v", be.Op)
+	}
+}
+
+func TestParenthesizedPred(t *testing.T) {
+	tr := mustParseOne(t, `
+Pre: (isPowerOf2(C1) || isPowerOf2(C2)) && C1 != 0
+%r = udiv %x, C1
+=>
+%r = udiv %x, C1
+`)
+	and, ok := tr.Pre.(*ir.AndPred)
+	if !ok {
+		t.Fatalf("expected and, got %T", tr.Pre)
+	}
+	if _, ok := and.Ps[0].(*ir.OrPred); !ok {
+		t.Fatalf("expected or inside, got %T", and.Ps[0])
+	}
+}
+
+func TestNotPred(t *testing.T) {
+	tr := mustParseOne(t, `
+Pre: !WillNotOverflowSignedMul(C1, C2)
+%r = mul %x, C1
+=>
+%r = mul %x, C1
+`)
+	np, ok := tr.Pre.(*ir.NotPred)
+	if !ok {
+		t.Fatalf("expected negation, got %T", tr.Pre)
+	}
+	if _, ok := np.P.(*ir.FuncPred); !ok {
+		t.Fatal("negated predicate should be a function predicate")
+	}
+}
+
+func TestComments(t *testing.T) {
+	tr := mustParseOne(t, `
+; a comment line
+%r = add %x, 1 ; trailing comment
+=>
+// C++-style comment
+%r = add %x, 1
+`)
+	if len(tr.Source) != 1 || len(tr.Target) != 1 {
+		t.Fatal("comments should be ignored")
+	}
+}
+
+func TestRoundTripPrinting(t *testing.T) {
+	src := `Name: PR21245
+Pre: C2 % (1 << C1) == 0
+%s = shl nsw %X, C1
+%r = sdiv %s, C2
+=>
+%r = sdiv %X, C2 / (1 << C1)
+`
+	tr := mustParseOne(t, src)
+	printed := tr.String()
+	tr2, err := ParseOne(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed form failed: %v\n%s", err, printed)
+	}
+	if tr2.String() != printed {
+		t.Fatalf("printing is not a fixed point:\n%s\nvs\n%s", printed, tr2.String())
+	}
+}
+
+func TestScopeViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"unused source temporary",
+			"%a = add %x, 1\n%r = add %y, 1\n=>\n%r = %y",
+			"neither used later nor overwritten",
+		},
+		{
+			"dangling target instruction",
+			"%r = add %x, 1\n=>\n%t = sub %x, 1\n%r = add %x, 1",
+			"neither used later nor overwrites",
+		},
+		{
+			"root not redefined",
+			"%r = add %x, 1\n=>\n%q = add %x, 1",
+			"does not define the root",
+		},
+	}
+	for _, c := range cases {
+		_, err := ParseOne(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"%r = add %x\n=>\n%r = %x",         // missing second operand
+		"%r = icmp wtf %x, %y\n=>\n%r = 0", // bad condition
+		"%r = add nuw nuw ???\n=>\n%r = 0", // garbage
+		"%r = frobnicate %x, %y\n=>\n%r = %x",
+		"%r = add %x, 1",                         // missing =>
+		"Pre: %x +\n%r = add %x, 1\n=>\n%r = %x", // broken pre
+	}
+	for _, src := range bad {
+		if _, err := ParseOne(src); err == nil {
+			t.Errorf("expected error for:\n%s", src)
+		}
+	}
+}
+
+func TestInputsAndConstants(t *testing.T) {
+	tr := mustParseOne(t, `
+Pre: isPowerOf2(C1)
+%s = shl %Power, %A
+%r = udiv %X, %s
+=>
+%r = udiv %X, %s
+`)
+	ins := tr.Inputs()
+	names := map[string]bool{}
+	for _, in := range ins {
+		names[in.VName] = true
+	}
+	if !names["%Power"] || !names["%A"] || !names["%X"] {
+		t.Fatalf("inputs = %v", ins)
+	}
+	cs := tr.Constants()
+	if len(cs) != 1 || cs[0].CName != "C1" {
+		t.Fatalf("constants = %v", cs)
+	}
+}
+
+func TestSharedConstantIdentity(t *testing.T) {
+	// C appearing in source and target must be the same node.
+	tr := mustParseOne(t, `
+%a = sdiv %X, C
+%r = sub 0, %a
+=>
+%r = sdiv %X, -C
+`)
+	srcC := tr.Source[0].(*ir.BinOp).Y.(*ir.AbstractConst)
+	neg := tr.Target[0].(*ir.BinOp).Y.(*ir.ConstUnExpr)
+	if neg.X != ir.Value(srcC) {
+		t.Fatal("C in target must reference the same constant node")
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	tr := mustParseOne(t, `
+%r = and %x, 0xF0
+=>
+%r = and %x, 240
+`)
+	lit := tr.Source[0].(*ir.BinOp).Y.(*ir.Literal)
+	if lit.V != 0xF0 {
+		t.Fatalf("hex literal = %d", lit.V)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	tr := mustParseOne(t, "Pre: C1 != 0 && \\\n     C2 != 0\n%r = udiv %x, C1\n=>\n%r = udiv %x, C1")
+	if _, ok := tr.Pre.(*ir.AndPred); !ok {
+		t.Fatalf("continued precondition should parse as conjunction, got %T", tr.Pre)
+	}
+}
+
+func TestNullLiteral(t *testing.T) {
+	tr := mustParseOne(t, `
+%r = add %x, null
+=>
+%r = %x
+`)
+	lit := tr.Source[0].(*ir.BinOp).Y.(*ir.Literal)
+	if lit.V != 0 {
+		t.Fatal("null should parse as zero")
+	}
+}
+
+func TestPreReferencesSourceTemporary(t *testing.T) {
+	tr := mustParseOne(t, `
+Pre: hasOneUse(%1)
+%1 = xor %x, -1
+%r = xor %1, -1
+=>
+%r = %x
+`)
+	fp := tr.Pre.(*ir.FuncPred)
+	if _, isInstr := fp.Args[0].(ir.Instr); !isInstr {
+		t.Fatalf("pre argument should resolve to the source instruction, got %T", fp.Args[0])
+	}
+}

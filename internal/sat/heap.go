@@ -1,0 +1,89 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by activity, with position
+// tracking so activities can be updated in place.
+type varHeap struct {
+	s    *Solver
+	heap []int
+	pos  []int // variable -> index in heap, -1 if absent
+}
+
+func newVarHeap(s *Solver) *varHeap {
+	return &varHeap{s: s, pos: []int{-1}}
+}
+
+func (h *varHeap) less(i, j int) bool {
+	return h.s.vars[h.heap[i]].activity > h.s.vars[h.heap[j]].activity
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// insert adds v if absent.
+func (h *varHeap) insert(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v int) {
+	if v < len(h.pos) && h.pos[v] >= 0 {
+		h.up(h.pos[v])
+	}
+}
+
+// removeMax pops the highest-activity variable.
+func (h *varHeap) removeMax() (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}

@@ -1,0 +1,669 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in the MiniSat tradition: two-watched-literal propagation,
+// first-UIP conflict analysis with recursive clause minimization, EVSIDS
+// variable activity, phase saving, Luby restarts, and learned-clause
+// database reduction. It is the decision procedure underneath the
+// bitvector layer.
+package sat
+
+import "fmt"
+
+// Lit is a literal: variable v (1-based) encoded as v<<1, negated as
+// v<<1|1. The zero Lit is invalid.
+type Lit int32
+
+// MkLit builds a literal for the 1-based variable v; neg selects the
+// negative polarity.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the 1-based variable of l.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether l is a negative literal.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement of l.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var())
+	}
+	return fmt.Sprintf("%d", l.Var())
+}
+
+// Value is a ternary truth value.
+type Value int8
+
+// Truth values: Unassigned is the zero value.
+const (
+	Unassigned Value = iota
+	True
+	False
+)
+
+func (v Value) negate() Value {
+	switch v {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unassigned
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+// Solver outcomes. Unknown is returned when the conflict or propagation
+// budget is exhausted.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+type varData struct {
+	value    Value // current assignment
+	level    int32 // decision level of the assignment
+	reason   *clause
+	activity float64
+	phase    bool // saved phase: last assigned polarity (true = positive)
+	seen     bool // scratch for conflict analysis
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	vars    []varData // index 0 unused
+	watches [][]watcher
+	clauses []*clause
+	learnts []*clause
+
+	trail    []Lit
+	trailLim []int // decision-level boundaries in trail
+	qhead    int
+
+	varInc    float64
+	clauseInc float64
+
+	order *varHeap
+
+	conflicts    int64
+	decisions    int64
+	propagations int64
+
+	// MaxConflicts bounds the search; <= 0 means unbounded. When the bound
+	// is hit Solve returns Unknown.
+	MaxConflicts int64
+
+	ok bool // false once the clause set is trivially unsat
+
+	assumptions []Lit
+	conflictSet []Lit // final conflict clause over assumptions
+	model       []bool
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, clauseInc: 1, ok: true}
+	s.vars = make([]varData, 1)
+	s.watches = make([][]watcher, 2)
+	s.order = newVarHeap(s)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its 1-based index.
+func (s *Solver) NewVar() int {
+	v := len(s.vars)
+	s.vars = append(s.vars, varData{})
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.vars) - 1 }
+
+// NumClauses returns the number of problem (non-learnt) clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Conflicts returns the number of conflicts encountered so far.
+func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+func (s *Solver) value(l Lit) Value {
+	v := s.vars[l.Var()].value
+	if l.Neg() {
+		return v.negate()
+	}
+	return v
+}
+
+func (s *Solver) level(v int) int { return int(s.vars[v].level) }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause; it returns false if the clause set became
+// trivially unsatisfiable. Must be called at decision level 0.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Normalize: drop duplicate and false literals; detect tautologies and
+	// satisfied clauses.
+	out := lits[:0:0]
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if l.Var() <= 0 || l.Var() >= len(s.vars) {
+			panic(fmt.Sprintf("sat: literal %v references unallocated variable", l))
+		}
+		switch {
+		case s.value(l) == True || seen[l.Not()]:
+			return true // already satisfied / tautology
+		case s.value(l) == False || seen[l]:
+			continue
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	w0, w1 := c.lits[0].Not(), c.lits[1].Not()
+	s.watches[w0] = append(s.watches[w0], watcher{c, c.lits[1]})
+	s.watches[w1] = append(s.watches[w1], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, reason *clause) {
+	vd := &s.vars[l.Var()]
+	if l.Neg() {
+		vd.value = False
+		vd.phase = false
+	} else {
+		vd.value = True
+		vd.phase = true
+	}
+	vd.level = int32(s.decisionLevel())
+	vd.reason = reason
+	s.trail = append(s.trail, l)
+}
+
+// propagate runs unit propagation; it returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propagations++
+		ws := s.watches[p]
+		j := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == True {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == True {
+				ws[j] = watcher{c, c.lits[0]}
+				j++
+				continue
+			}
+			// Find a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c, c.lits[0]})
+					continue nextWatcher
+				}
+			}
+			// Unit or conflicting.
+			ws[j] = watcher{c, c.lits[0]}
+			j++
+			if s.value(c.lits[0]) == False {
+				// Conflict: copy back remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+	var toClear []int
+
+	for {
+		s.bumpClause(confl)
+		for _, q := range confl.lits {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.vars[v].seen && s.level(v) > 0 {
+				s.vars[v].seen = true
+				toClear = append(toClear, v)
+				s.bumpVar(v)
+				if s.level(v) >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find the next seen literal on the trail.
+		for !s.vars[s.trail[idx].Var()].seen {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.vars[p.Var()].seen = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.vars[p.Var()].reason
+	}
+	learnt[0] = p.Not()
+
+	// Recursive minimization: drop literals implied by the rest.
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		if s.vars[v].reason == nil || !s.litRedundant(learnt[i]) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	for _, v := range toClear {
+		s.vars[v].seen = false
+	}
+
+	// Compute backtrack level: second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level(learnt[i].Var()) > s.level(learnt[maxI].Var()) {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level(learnt[1].Var())
+	}
+	return learnt, btLevel
+}
+
+// litRedundant reports whether l is implied by the seen literals (simple
+// non-recursive approximation of MiniSat's ccmin: every antecedent literal
+// must itself be seen or at level 0).
+func (s *Solver) litRedundant(l Lit) bool {
+	r := s.vars[l.Var()].reason
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if !s.vars[q.Var()].seen && s.level(q.Var()) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.vars[v].value = Unassigned
+		s.vars[v].reason = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = bound
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.vars[v].activity += s.varInc
+	if s.vars[v].activity > 1e100 {
+		for i := 1; i < len(s.vars); i++ {
+			s.vars[i].activity *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.activity += s.clauseInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+const (
+	varDecay    = 1 / 0.95
+	clauseDecay = 1 / 0.999
+)
+
+// pickBranchLit selects the unassigned variable with the highest activity,
+// using its saved phase.
+func (s *Solver) pickBranchLit() Lit {
+	for {
+		v, ok := s.order.removeMax()
+		if !ok {
+			return 0
+		}
+		if s.vars[v].value == Unassigned {
+			s.decisions++
+			return MkLit(v, !s.vars[v].phase)
+		}
+	}
+}
+
+// reduceDB removes the least active half of the learnt clauses (keeping
+// binary clauses and current reasons).
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	// Selection by median of activities (approximate: nth element via sort).
+	acts := make([]float64, len(s.learnts))
+	for i, c := range s.learnts {
+		acts[i] = c.activity
+	}
+	pivot := quickSelect(acts, len(acts)/2)
+	locked := map[*clause]bool{}
+	for _, l := range s.trail {
+		if r := s.vars[l.Var()].reason; r != nil {
+			locked[r] = true
+		}
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) == 2 || locked[c] || c.activity >= pivot {
+			kept = append(kept, c)
+		} else {
+			s.detach(c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[wl]
+		for i, w := range ws {
+			if w.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// luby computes the Luby restart sequence element i (1-based).
+func luby(i int64) int64 {
+	for k := uint(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumption literals.
+// It returns Sat, Unsat, or Unknown (budget exhausted). After Sat, Model
+// and ValueOf are valid; after Unsat under assumptions, ConflictSubset
+// returns a subset of the assumptions that is jointly unsatisfiable.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.assumptions = assumptions
+	s.conflictSet = nil
+	defer s.backtrackTo(0)
+
+	restartNum := int64(0)
+	baseInterval := int64(100)
+	maxLearnts := len(s.clauses)/3 + 100
+	startConflicts := s.conflicts
+
+	for {
+		restartNum++
+		budget := luby(restartNum) * baseInterval
+		st := s.search(budget, maxLearnts)
+		if st == Sat {
+			// Snapshot the model before the deferred backtrack clears it.
+			if cap(s.model) < len(s.vars) {
+				s.model = make([]bool, len(s.vars))
+			}
+			s.model = s.model[:len(s.vars)]
+			for v := 1; v < len(s.vars); v++ {
+				s.model[v] = s.vars[v].value == True
+			}
+		}
+		if st != Unknown {
+			return st
+		}
+		if s.MaxConflicts > 0 && s.conflicts-startConflicts >= s.MaxConflicts {
+			return Unknown
+		}
+		maxLearnts += maxLearnts / 10
+	}
+}
+
+// search runs CDCL until a result, a restart (returns Unknown after
+// conflictBudget conflicts), or exhaustion.
+func (s *Solver) search(conflictBudget int64, maxLearnts int) Status {
+	conflictsHere := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 && btLevel == 0 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				if s.value(learnt[0]) == Unassigned {
+					s.uncheckedEnqueue(learnt[0], c)
+				}
+			}
+			s.varInc *= varDecay
+			s.clauseInc *= clauseDecay
+			continue
+		}
+		if conflictsHere >= conflictBudget {
+			s.backtrackTo(0)
+			return Unknown
+		}
+		if len(s.learnts) > maxLearnts+len(s.trail) {
+			s.reduceDB()
+		}
+		// Enqueue pending assumptions as decisions.
+		if s.decisionLevel() < len(s.assumptions) {
+			a := s.assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case True:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+				continue
+			case False:
+				s.buildConflictFromAssumption(a)
+				return Unsat
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.uncheckedEnqueue(a, nil)
+				continue
+			}
+		}
+		l := s.pickBranchLit()
+		if l == 0 {
+			return Sat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+// buildConflictFromAssumption computes the subset of assumptions
+// responsible for the assumption a being falsified: a plus the
+// assumption decisions reachable through the reason graph of ~a.
+func (s *Solver) buildConflictFromAssumption(a Lit) {
+	s.conflictSet = []Lit{a}
+	seen := map[int]bool{}
+	var rec func(l Lit)
+	rec = func(l Lit) {
+		v := l.Var()
+		if seen[v] || s.level(v) == 0 {
+			return
+		}
+		seen[v] = true
+		if r := s.vars[v].reason; r != nil {
+			for _, q := range r.lits {
+				if q.Var() != v {
+					rec(q)
+				}
+			}
+		} else {
+			// A decision below the assumption prefix is an assumption.
+			s.conflictSet = append(s.conflictSet, l)
+		}
+	}
+	rec(a.Not())
+}
+
+// ConflictSubset returns, after an Unsat result under assumptions, a
+// subset of the assumptions that is jointly unsatisfiable with the
+// clauses (empty when the clause set itself is unsat).
+func (s *Solver) ConflictSubset() []Lit { return s.conflictSet }
+
+// ValueOf returns the model value of variable v from the most recent Sat
+// result.
+func (s *Solver) ValueOf(v int) bool { return v < len(s.model) && s.model[v] }
+
+// Model returns the most recent satisfying assignment as a slice indexed
+// by variable (index 0 unused).
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.model))
+	copy(m, s.model)
+	return m
+}
+
+// quickSelect returns the k-th smallest element of a (a is scrambled).
+func quickSelect(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return a[k]
+}

@@ -1,0 +1,154 @@
+package smt
+
+import (
+	"fmt"
+
+	"alive/internal/bv"
+)
+
+// Model assigns values to variables: Bool variables in Bools, BitVec
+// variables in BVs.
+type Model struct {
+	Bools map[string]bool
+	BVs   map[string]bv.Vec
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{Bools: map[string]bool{}, BVs: map[string]bv.Vec{}}
+}
+
+// Value is the result of evaluating a term: a Bool or a BitVec.
+type Value struct {
+	IsBool bool
+	B      bool
+	V      bv.Vec
+}
+
+// BoolValue wraps a Bool evaluation result.
+func BoolValue(b bool) Value { return Value{IsBool: true, B: b} }
+
+// BVValue wraps a BitVec evaluation result.
+func BVValue(v bv.Vec) Value { return Value{V: v} }
+
+func (v Value) String() string {
+	if v.IsBool {
+		return fmt.Sprintf("%v", v.B)
+	}
+	return v.V.String()
+}
+
+// Eval evaluates t under m. Unassigned BitVec variables default to zero
+// and unassigned Bool variables to false (useful for partial models from
+// the SAT core, where unconstrained variables are arbitrary).
+func Eval(t *Term, m *Model) Value {
+	cache := map[*Term]Value{}
+	var ev func(u *Term) Value
+	evb := func(u *Term) bool { return ev(u).B }
+	evv := func(u *Term) bv.Vec { return ev(u).V }
+	ev = func(u *Term) Value {
+		if r, ok := cache[u]; ok {
+			return r
+		}
+		var r Value
+		switch u.Kind {
+		case KBoolConst:
+			r = BoolValue(u.BVal)
+		case KBVConst:
+			r = BVValue(u.Val)
+		case KVar:
+			if u.IsBool() {
+				r = BoolValue(m.Bools[u.Name])
+			} else if v, ok := m.BVs[u.Name]; ok {
+				if v.Width() != u.Width {
+					panic(fmt.Sprintf("smt: model width mismatch for %s: %d vs %d", u.Name, v.Width(), u.Width))
+				}
+				r = BVValue(v)
+			} else {
+				r = BVValue(bv.Zero(u.Width))
+			}
+		case KNot:
+			r = BoolValue(!evb(u.Args[0]))
+		case KAnd:
+			b := true
+			for _, a := range u.Args {
+				b = b && evb(a)
+			}
+			r = BoolValue(b)
+		case KOr:
+			b := false
+			for _, a := range u.Args {
+				b = b || evb(a)
+			}
+			r = BoolValue(b)
+		case KXor:
+			r = BoolValue(evb(u.Args[0]) != evb(u.Args[1]))
+		case KImplies:
+			r = BoolValue(!evb(u.Args[0]) || evb(u.Args[1]))
+		case KEq:
+			x, y := ev(u.Args[0]), ev(u.Args[1])
+			if x.IsBool {
+				r = BoolValue(x.B == y.B)
+			} else {
+				r = BoolValue(x.V.Eq(y.V))
+			}
+		case KIte:
+			if evb(u.Args[0]) {
+				r = ev(u.Args[1])
+			} else {
+				r = ev(u.Args[2])
+			}
+		case KBVNeg:
+			r = BVValue(evv(u.Args[0]).Neg())
+		case KBVNot:
+			r = BVValue(evv(u.Args[0]).Not())
+		case KBVAnd:
+			r = BVValue(evv(u.Args[0]).And(evv(u.Args[1])))
+		case KBVOr:
+			r = BVValue(evv(u.Args[0]).Or(evv(u.Args[1])))
+		case KBVXor:
+			r = BVValue(evv(u.Args[0]).Xor(evv(u.Args[1])))
+		case KBVAdd:
+			r = BVValue(evv(u.Args[0]).Add(evv(u.Args[1])))
+		case KBVSub:
+			r = BVValue(evv(u.Args[0]).Sub(evv(u.Args[1])))
+		case KBVMul:
+			r = BVValue(evv(u.Args[0]).Mul(evv(u.Args[1])))
+		case KBVUdiv:
+			r = BVValue(evv(u.Args[0]).Udiv(evv(u.Args[1])))
+		case KBVUrem:
+			r = BVValue(evv(u.Args[0]).Urem(evv(u.Args[1])))
+		case KBVSdiv:
+			r = BVValue(evv(u.Args[0]).Sdiv(evv(u.Args[1])))
+		case KBVSrem:
+			r = BVValue(evv(u.Args[0]).Srem(evv(u.Args[1])))
+		case KBVShl:
+			r = BVValue(evv(u.Args[0]).Shl(evv(u.Args[1])))
+		case KBVLshr:
+			r = BVValue(evv(u.Args[0]).Lshr(evv(u.Args[1])))
+		case KBVAshr:
+			r = BVValue(evv(u.Args[0]).Ashr(evv(u.Args[1])))
+		case KBVUlt:
+			r = BoolValue(evv(u.Args[0]).Ult(evv(u.Args[1])))
+		case KBVUle:
+			r = BoolValue(evv(u.Args[0]).Ule(evv(u.Args[1])))
+		case KBVSlt:
+			r = BoolValue(evv(u.Args[0]).Slt(evv(u.Args[1])))
+		case KBVSle:
+			r = BoolValue(evv(u.Args[0]).Sle(evv(u.Args[1])))
+		case KZExt:
+			r = BVValue(evv(u.Args[0]).ZExt(u.Width))
+		case KSExt:
+			r = BVValue(evv(u.Args[0]).SExt(u.Width))
+		case KExtract:
+			r = BVValue(evv(u.Args[0]).Extract(u.Hi, u.Lo))
+		case KConcat:
+			r = BVValue(evv(u.Args[0]).Concat(evv(u.Args[1])))
+		default:
+			panic(fmt.Sprintf("smt: eval of unexpected kind %v", u.Kind))
+		}
+		cache[u] = r
+		return r
+	}
+	return ev(t)
+}

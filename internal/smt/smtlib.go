@@ -1,0 +1,121 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToSMTLIB renders a satisfiability query over the given assertions as an
+// SMT-LIB 2 script (QF_BV), suitable for cross-checking this package's
+// solver against an external one such as Z3 or CVC5:
+//
+//	(set-logic QF_BV)
+//	(declare-const x (_ BitVec 8)) ...
+//	(assert ...)
+//	(check-sat)
+//	(get-model)
+//
+// Variable names are sanitized with |...| quoting where needed (Alive
+// register names contain '%').
+func ToSMTLIB(assertions ...*Term) string {
+	var sb strings.Builder
+	sb.WriteString("(set-logic QF_BV)\n")
+
+	// Declarations, sorted for determinism.
+	vars := map[string]*Term{}
+	for _, a := range assertions {
+		for _, v := range a.Vars() {
+			vars[smtlibName(v)] = v
+		}
+	}
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := vars[n]
+		if v.IsBool() {
+			fmt.Fprintf(&sb, "(declare-const %s Bool)\n", n)
+		} else {
+			fmt.Fprintf(&sb, "(declare-const %s (_ BitVec %d))\n", n, v.Width)
+		}
+	}
+	for _, a := range assertions {
+		fmt.Fprintf(&sb, "(assert %s)\n", smtlibTerm(a))
+	}
+	sb.WriteString("(check-sat)\n(get-model)\n")
+	return sb.String()
+}
+
+// smtlibName quotes identifiers that SMT-LIB's simple-symbol grammar
+// rejects.
+func smtlibName(v *Term) string {
+	name := v.Name
+	simple := name != ""
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case strings.IndexByte("~!@$^&*_-+=<>.?/", c) >= 0:
+		default:
+			simple = false
+		}
+	}
+	if name != "" && name[0] >= '0' && name[0] <= '9' {
+		simple = false
+	}
+	if simple {
+		return name
+	}
+	return "|" + name + "|"
+}
+
+func smtlibTerm(t *Term) string {
+	switch t.Kind {
+	case KBoolConst:
+		if t.BVal {
+			return "true"
+		}
+		return "false"
+	case KBVConst:
+		digits := (t.Width + 3) / 4 * 4
+		if digits == t.Width {
+			return "#x" + strings.TrimPrefix(t.Val.String(), "0x")
+		}
+		// Non-nibble widths use binary literals.
+		var bits strings.Builder
+		bits.WriteString("#b")
+		for i := t.Width - 1; i >= 0; i-- {
+			if t.Val.Bit(i) == 1 {
+				bits.WriteByte('1')
+			} else {
+				bits.WriteByte('0')
+			}
+		}
+		return bits.String()
+	case KVar:
+		return smtlibName(t)
+	case KExtract:
+		return fmt.Sprintf("((_ extract %d %d) %s)", t.Hi, t.Lo, smtlibTerm(t.Args[0]))
+	case KZExt:
+		return fmt.Sprintf("((_ zero_extend %d) %s)", t.Width-t.Args[0].Width, smtlibTerm(t.Args[0]))
+	case KSExt:
+		return fmt.Sprintf("((_ sign_extend %d) %s)", t.Width-t.Args[0].Width, smtlibTerm(t.Args[0]))
+	case KImplies:
+		return fmt.Sprintf("(=> %s %s)", smtlibTerm(t.Args[0]), smtlibTerm(t.Args[1]))
+	case KIte:
+		return fmt.Sprintf("(ite %s %s %s)", smtlibTerm(t.Args[0]), smtlibTerm(t.Args[1]), smtlibTerm(t.Args[2]))
+	}
+	op := kindNames[t.Kind]
+	var sb strings.Builder
+	sb.WriteByte('(')
+	sb.WriteString(op)
+	for _, a := range t.Args {
+		sb.WriteByte(' ')
+		sb.WriteString(smtlibTerm(a))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

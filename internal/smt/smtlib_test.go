@@ -1,0 +1,94 @@
+package smt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSMTLIBBasic(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("%x", 8)
+	c := b.Var("C", 8)
+	f := b.Eq(b.Add(x, c), b.ConstUint(8, 0xAB))
+	out := ToSMTLIB(f)
+	for _, needle := range []string{
+		"(set-logic QF_BV)",
+		"(declare-const |%x| (_ BitVec 8))",
+		"(declare-const C (_ BitVec 8))",
+		"(assert (= (bvadd ",
+		"#xAB",
+		"(check-sat)",
+		"(get-model)",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("missing %q in:\n%s", needle, out)
+		}
+	}
+}
+
+func TestSMTLIBNonNibbleWidth(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 5)
+	f := b.Eq(x, b.ConstUint(5, 0b10110))
+	out := ToSMTLIB(f)
+	if !strings.Contains(out, "#b10110") {
+		t.Errorf("non-nibble constants should print binary:\n%s", out)
+	}
+}
+
+func TestSMTLIBBoolAndQuantifierFree(t *testing.T) {
+	b := NewBuilder()
+	p := b.BoolVar("!p1")
+	x := b.Var("x", 4)
+	f := b.And(b.Implies(p, b.Ult(x, b.ConstUint(4, 3))), p)
+	out := ToSMTLIB(f)
+	for _, needle := range []string{
+		"(declare-const !p1 Bool)",
+		"(=> !p1 (bvult x #x3))",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("missing %q in:\n%s", needle, out)
+		}
+	}
+}
+
+func TestSMTLIBExtensionsAndIte(t *testing.T) {
+	b := NewBuilder()
+	b.Simplify = false
+	x := b.Var("x", 4)
+	p := b.BoolVar("p")
+	f := b.Eq(b.ZExt(x, 8), b.Ite(p, b.SExt(x, 8), b.ConstUint(8, 0)))
+	out := ToSMTLIB(f)
+	for _, needle := range []string{
+		"((_ zero_extend 4) x)",
+		"((_ sign_extend 4) x)",
+		"(ite p",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("missing %q in:\n%s", needle, out)
+		}
+	}
+	g := b.Eq(b.Extract(b.Var("y", 8), 6, 2), b.ConstUint(5, 1))
+	out = ToSMTLIB(g)
+	if !strings.Contains(out, "((_ extract 6 2) y)") {
+		t.Errorf("missing extract in:\n%s", out)
+	}
+}
+
+func TestSMTLIBDeterministic(t *testing.T) {
+	b := NewBuilder()
+	f := b.And(
+		b.Ult(b.Var("b", 4), b.Var("a", 4)),
+		b.Eq(b.Var("c", 4), b.Var("d", 4)),
+	)
+	if ToSMTLIB(f) != ToSMTLIB(f) {
+		t.Fatal("output must be deterministic")
+	}
+	// Declarations are sorted.
+	out := ToSMTLIB(f)
+	ia := strings.Index(out, "declare-const a")
+	id := strings.Index(out, "declare-const d")
+	if ia < 0 || id < 0 || ia > id {
+		t.Fatalf("declarations not sorted:\n%s", out)
+	}
+}

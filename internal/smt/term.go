@@ -1,0 +1,181 @@
+// Package smt provides a hash-consed term representation for quantifier-free
+// formulas over the Bool and fixed-width BitVec sorts, with constructor-time
+// simplification, evaluation under a model, and substitution. It plays the
+// role Z3's expression API plays for the original Alive: the verification
+// condition generator builds terms, and the solver layer decides them by
+// bit-blasting.
+//
+// Division and remainder follow the SMT-LIB conventions for zero divisors
+// (bvudiv x 0 = all-ones, bvurem x 0 = x, bvsdiv/bvsrem derived from the
+// unsigned forms via sign fixup); Alive's verification conditions guard all
+// divisions with definedness constraints, so the conventions only matter
+// for internal consistency between folding, evaluation, and bit-blasting.
+package smt
+
+import (
+	"fmt"
+	"strings"
+
+	"alive/internal/bv"
+)
+
+// Kind identifies the operator of a Term.
+type Kind uint8
+
+// Term kinds. Sorts: terms are either Bool (Width == 0) or BitVec
+// (Width > 0).
+const (
+	KBoolConst Kind = iota // BVal
+	KBVConst               // Val
+	KVar                   // Name; Width 0 for Bool vars
+
+	// Boolean connectives.
+	KNot
+	KAnd // n-ary
+	KOr  // n-ary
+	KXor // binary, bool
+	KImplies
+	KEq  // polymorphic: both args same sort; result Bool
+	KIte // cond, then, else; then/else same sort
+
+	// BitVec arithmetic and logic (binary unless noted).
+	KBVNeg // unary
+	KBVNot // unary
+	KBVAnd
+	KBVOr
+	KBVXor
+	KBVAdd
+	KBVSub
+	KBVMul
+	KBVUdiv
+	KBVUrem
+	KBVSdiv
+	KBVSrem
+	KBVShl
+	KBVLshr
+	KBVAshr
+
+	// BitVec relations (result Bool).
+	KBVUlt
+	KBVUle
+	KBVSlt
+	KBVSle
+
+	// Width changers. Hi/Lo used by KExtract; Width is the result width.
+	KZExt
+	KSExt
+	KExtract
+	KConcat
+)
+
+var kindNames = map[Kind]string{
+	KBoolConst: "bool", KBVConst: "bv", KVar: "var",
+	KNot: "not", KAnd: "and", KOr: "or", KXor: "xor", KImplies: "=>",
+	KEq: "=", KIte: "ite",
+	KBVNeg: "bvneg", KBVNot: "bvnot", KBVAnd: "bvand", KBVOr: "bvor",
+	KBVXor: "bvxor", KBVAdd: "bvadd", KBVSub: "bvsub", KBVMul: "bvmul",
+	KBVUdiv: "bvudiv", KBVUrem: "bvurem", KBVSdiv: "bvsdiv", KBVSrem: "bvsrem",
+	KBVShl: "bvshl", KBVLshr: "bvlshr", KBVAshr: "bvashr",
+	KBVUlt: "bvult", KBVUle: "bvule", KBVSlt: "bvslt", KBVSle: "bvsle",
+	KZExt: "zero_extend", KSExt: "sign_extend", KExtract: "extract",
+	KConcat: "concat",
+}
+
+// Term is an immutable, hash-consed formula node. Terms must be created
+// through a Builder; two terms from the same Builder are semantically
+// identical only if pointer-equal structure-wise (hash-consing makes
+// structurally equal terms pointer-equal).
+type Term struct {
+	Kind  Kind
+	Width int // 0 = Bool sort
+	Args  []*Term
+	Val   bv.Vec // KBVConst
+	BVal  bool   // KBoolConst
+	Name  string // KVar
+	Hi    int    // KExtract upper bit (inclusive)
+	Lo    int    // KExtract lower bit
+	id    uint64
+}
+
+// IsBool reports whether t has Bool sort.
+func (t *Term) IsBool() bool { return t.Width == 0 }
+
+// IsConst reports whether t is a Bool or BitVec constant.
+func (t *Term) IsConst() bool { return t.Kind == KBoolConst || t.Kind == KBVConst }
+
+// IsTrue reports whether t is the constant true.
+func (t *Term) IsTrue() bool { return t.Kind == KBoolConst && t.BVal }
+
+// IsFalse reports whether t is the constant false.
+func (t *Term) IsFalse() bool { return t.Kind == KBoolConst && !t.BVal }
+
+// ID returns the hash-consing identity of t, unique per Builder.
+func (t *Term) ID() uint64 { return t.id }
+
+// String renders t as an SMT-LIB-style s-expression.
+func (t *Term) String() string {
+	switch t.Kind {
+	case KBoolConst:
+		if t.BVal {
+			return "true"
+		}
+		return "false"
+	case KBVConst:
+		return t.Val.String()
+	case KVar:
+		return t.Name
+	case KExtract:
+		return fmt.Sprintf("((_ extract %d %d) %s)", t.Hi, t.Lo, t.Args[0])
+	case KZExt, KSExt:
+		return fmt.Sprintf("((_ %s %d) %s)", kindNames[t.Kind], t.Width-t.Args[0].Width, t.Args[0])
+	}
+	var sb strings.Builder
+	sb.WriteByte('(')
+	sb.WriteString(kindNames[t.Kind])
+	for _, a := range t.Args {
+		sb.WriteByte(' ')
+		sb.WriteString(a.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Vars appends every distinct variable reachable from t to out (keyed by
+// pointer identity) and returns the extended slice.
+func (t *Term) Vars() []*Term {
+	seen := map[*Term]bool{}
+	var out []*Term
+	var walk func(u *Term)
+	walk = func(u *Term) {
+		if seen[u] {
+			return
+		}
+		seen[u] = true
+		if u.Kind == KVar {
+			out = append(out, u)
+			return
+		}
+		for _, a := range u.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Size returns the number of distinct nodes in the DAG rooted at t.
+func (t *Term) Size() int {
+	seen := map[*Term]bool{}
+	var walk func(u *Term)
+	walk = func(u *Term) {
+		if seen[u] {
+			return
+		}
+		seen[u] = true
+		for _, a := range u.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return len(seen)
+}

@@ -1,0 +1,192 @@
+// Package solver is the decision-procedure façade used by the verifier:
+// quantifier-free bitvector satisfiability by bit-blasting to CDCL SAT,
+// plus an exists-forall engine (counterexample-guided instantiation) for
+// the single quantifier alternation that source-template undef values
+// introduce into Alive's correctness conditions.
+package solver
+
+import (
+	"alive/internal/bitblast"
+	"alive/internal/bv"
+	"alive/internal/sat"
+	"alive/internal/smt"
+)
+
+// Status mirrors the SAT result for formula-level queries.
+type Status = sat.Status
+
+// Re-exported statuses.
+const (
+	Unknown = sat.Unknown
+	Sat     = sat.Sat
+	Unsat   = sat.Unsat
+)
+
+// Result is the outcome of a satisfiability query. Model is non-nil only
+// for Sat and assigns every variable appearing in the checked formula.
+type Result struct {
+	Status Status
+	Model  *smt.Model
+	// Stats
+	Conflicts int64
+	Clauses   int
+	Rounds    int // CEGIS refinement rounds (1 for plain Check)
+}
+
+// Solver holds per-query configuration. The zero value is usable.
+type Solver struct {
+	// MaxConflicts bounds each SAT call; <= 0 means unbounded.
+	MaxConflicts int64
+	// MaxRounds bounds CEGIS refinement; <= 0 defaults to 10000.
+	MaxRounds int
+}
+
+// collectVars gathers variable terms of a formula keyed by name.
+func collectVars(ts ...*smt.Term) map[string]*smt.Term {
+	vars := map[string]*smt.Term{}
+	for _, t := range ts {
+		for _, v := range t.Vars() {
+			vars[v.Name] = v
+		}
+	}
+	return vars
+}
+
+// Check determines satisfiability of the conjunction of the assertions.
+func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
+	formula := b.And(assertions...)
+	if formula.IsTrue() {
+		return Result{Status: Sat, Model: smt.NewModel(), Rounds: 1}
+	}
+	if formula.IsFalse() {
+		return Result{Status: Unsat, Rounds: 1}
+	}
+	core := sat.New()
+	core.MaxConflicts = s.MaxConflicts
+	bl := bitblast.New(core)
+	bl.Assert(formula)
+	st := core.Solve()
+	res := Result{Status: st, Conflicts: core.Conflicts(), Clauses: core.NumClauses(), Rounds: 1}
+	if st == Sat {
+		res.Model = s.extractModel(bl, collectVars(formula))
+	}
+	return res
+}
+
+func (s *Solver) extractModel(bl *bitblast.Blaster, vars map[string]*smt.Term) *smt.Model {
+	m := smt.NewModel()
+	for name, v := range vars {
+		if v.IsBool() {
+			m.Bools[name] = bl.BoolVarValue(name)
+		} else {
+			m.BVs[name] = bl.BVVarValue(name, v.Width)
+		}
+	}
+	return m
+}
+
+// CheckExistsForall decides ∃x ∀y: body, where y ranges over the variables
+// named in forallVars and x over every other variable of body. On Sat the
+// model assigns the existential variables. The procedure is
+// counterexample-guided instantiation: candidate y-values are accumulated
+// and the synthesis formula is re-solved until either no x survives
+// (Unsat) or an x defeats the verifier (Sat).
+func (s *Solver) CheckExistsForall(b *smt.Builder, body *smt.Term, forallVars []*smt.Term) Result {
+	if len(forallVars) == 0 {
+		return s.Check(b, body)
+	}
+	isForall := map[string]*smt.Term{}
+	for _, y := range forallVars {
+		isForall[y.Name] = y
+	}
+	existVars := map[string]*smt.Term{}
+	for name, v := range collectVars(body) {
+		if _, ok := isForall[name]; !ok {
+			existVars[name] = v
+		}
+	}
+
+	maxRounds := s.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 10000
+	}
+
+	// Initial instantiations: all-zeros and all-ones.
+	candidates := []map[string]*smt.Term{
+		instantiation(b, forallVars, func(v *smt.Term) *smt.Term {
+			if v.IsBool() {
+				return b.False()
+			}
+			return b.ConstUint(v.Width, 0)
+		}),
+		instantiation(b, forallVars, func(v *smt.Term) *smt.Term {
+			if v.IsBool() {
+				return b.True()
+			}
+			return b.BVNot(b.ConstUint(v.Width, 0))
+		}),
+	}
+
+	totalConflicts := int64(0)
+	for round := 1; round <= maxRounds; round++ {
+		// Synthesis: find x satisfying body under every candidate y.
+		parts := make([]*smt.Term, len(candidates))
+		for i, c := range candidates {
+			parts[i] = b.Substitute(body, c)
+		}
+		synth := s.Check(b, parts...)
+		totalConflicts += synth.Conflicts
+		if synth.Status != Sat {
+			return Result{Status: synth.Status, Conflicts: totalConflicts, Rounds: round}
+		}
+		// Candidate x: complete the model over all existential vars.
+		xSub := map[string]*smt.Term{}
+		xModel := smt.NewModel()
+		for name, v := range existVars {
+			if v.IsBool() {
+				val := synth.Model.Bools[name]
+				xSub[name] = b.Bool(val)
+				xModel.Bools[name] = val
+			} else {
+				val, ok := synth.Model.BVs[name]
+				if !ok {
+					val = bv.Zero(v.Width)
+				}
+				xSub[name] = b.Const(val)
+				xModel.BVs[name] = val
+			}
+		}
+		// Verification: does some y defeat x? Check ¬body[x].
+		verify := s.Check(b, b.Not(b.Substitute(body, xSub)))
+		totalConflicts += verify.Conflicts
+		switch verify.Status {
+		case Unsat:
+			return Result{Status: Sat, Model: xModel, Conflicts: totalConflicts, Rounds: round}
+		case Unknown:
+			return Result{Status: Unknown, Conflicts: totalConflicts, Rounds: round}
+		}
+		// Counterexample y*: add as a new instantiation.
+		cand := map[string]*smt.Term{}
+		for _, y := range forallVars {
+			if y.IsBool() {
+				cand[y.Name] = b.Bool(verify.Model.Bools[y.Name])
+			} else {
+				val, ok := verify.Model.BVs[y.Name]
+				if !ok {
+					val = bv.Zero(y.Width)
+				}
+				cand[y.Name] = b.Const(val)
+			}
+		}
+		candidates = append(candidates, cand)
+	}
+	return Result{Status: Unknown, Conflicts: totalConflicts, Rounds: maxRounds}
+}
+
+func instantiation(b *smt.Builder, vars []*smt.Term, f func(v *smt.Term) *smt.Term) map[string]*smt.Term {
+	m := map[string]*smt.Term{}
+	for _, v := range vars {
+		m[v.Name] = f(v)
+	}
+	return m
+}

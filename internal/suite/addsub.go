@@ -1,0 +1,206 @@
+package suite
+
+// addSub: patterns from InstCombineAddSub.cpp. The two Figure 8 bugs
+// rooted in this file (PR20186, PR20189) are included with
+// WantInvalid set.
+var addSub = []Entry{
+	{Name: "AddSub:add-zero", File: "AddSub", Text: `
+%r = add %x, 0
+=>
+%r = %x
+`},
+	{Name: "AddSub:add-not-C", File: "AddSub", Text: `
+%1 = xor %x, -1
+%2 = add %1, C
+=>
+%2 = sub C-1, %x
+`},
+	{Name: "AddSub:neg-via-not", File: "AddSub", Text: `
+%1 = xor %x, -1
+%r = add %1, 1
+=>
+%r = sub 0, %x
+`},
+	{Name: "AddSub:add-neg-lhs", File: "AddSub", Text: `
+%n = sub 0, %x
+%r = add %n, %y
+=>
+%r = sub %y, %x
+`},
+	{Name: "AddSub:add-neg-rhs", File: "AddSub", Text: `
+%n = sub 0, %y
+%r = add %x, %n
+=>
+%r = sub %x, %y
+`},
+	{Name: "AddSub:sub-zero", File: "AddSub", Text: `
+%r = sub %x, 0
+=>
+%r = %x
+`},
+	{Name: "AddSub:sub-self", File: "AddSub", Text: `
+%r = sub %x, %x
+=>
+%r = 0
+`},
+	{Name: "AddSub:double-negation", File: "AddSub", Text: `
+%1 = sub 0, %x
+%r = sub 0, %1
+=>
+%r = %x
+`},
+	{Name: "AddSub:sub-neg-rhs", File: "AddSub", Text: `
+%n = sub 0, %y
+%r = sub %x, %n
+=>
+%r = add %x, %y
+`},
+	{Name: "AddSub:add-sub-cancel", File: "AddSub", Text: `
+%1 = sub %x, %y
+%r = add %1, %y
+=>
+%r = %x
+`},
+	{Name: "AddSub:sub-add-cancel", File: "AddSub", Text: `
+%1 = add %x, %y
+%r = sub %1, %y
+=>
+%r = %x
+`},
+	{Name: "AddSub:add-complement", File: "AddSub", Text: `
+%1 = xor %x, -1
+%r = add %x, %1
+=>
+%r = -1
+`},
+	{Name: "AddSub:nsw-increment-sgt", File: "AddSub", Text: `
+%1 = add nsw %x, 1
+%2 = icmp sgt %1, %x
+=>
+%2 = true
+`},
+	{Name: "AddSub:sub-allones-to-not", File: "AddSub", Text: `
+%r = sub -1, %x
+=>
+%r = xor %x, -1
+`},
+	{Name: "AddSub:add-constants-fold", File: "AddSub", Text: `
+%1 = add %x, C1
+%r = add %1, C2
+=>
+%r = add %x, C1+C2
+`},
+	{Name: "AddSub:sub-constants-fold", File: "AddSub", Text: `
+%1 = sub %x, C1
+%r = sub %1, C2
+=>
+%r = sub %x, C1+C2
+`},
+	{Name: "AddSub:add-then-sub-constants", File: "AddSub", Text: `
+%1 = add %x, C1
+%r = sub %1, C2
+=>
+%r = add %x, C1-C2
+`},
+	{Name: "AddSub:add-mul-factor", File: "AddSub", Text: `
+%m = mul %x, C
+%r = add %m, %x
+=>
+%r = mul %x, C+1
+`},
+	{Name: "AddSub:sub-const-to-add", File: "AddSub", Text: `
+%r = sub %x, C
+=>
+%r = add %x, -C
+`},
+	{Name: "AddSub:add-minus-one-to-sub", File: "AddSub", Text: `
+%r = add %x, -1
+=>
+%r = sub %x, 1
+`},
+	{Name: "AddSub:neg-distribute", File: "AddSub", Text: `
+%nx = sub 0, %x
+%ny = sub 0, %y
+%r = add %nx, %ny
+=>
+%s = add %x, %y
+%r = sub 0, %s
+`},
+	{Name: "AddSub:and-plus-or", File: "AddSub", Text: `
+%a = and %x, %y
+%o = or %x, %y
+%r = add %a, %o
+=>
+%r = add %x, %y
+`},
+	{Name: "AddSub:masked-halves", File: "AddSub", Text: `
+%1 = and %x, C
+%2 = and %x, ~C
+%r = add %1, %2
+=>
+%r = and %x, -1
+`},
+	{Name: "AddSub:xor-minus-or", File: "AddSub", Text: `
+%1 = xor %x, %y
+%2 = or %x, %y
+%r = sub %1, %2
+=>
+%a = and %x, %y
+%r = sub 0, %a
+`},
+	{Name: "AddSub:sub-or-and", File: "AddSub", Text: `
+%1 = or %x, %y
+%2 = and %x, %y
+%r = sub %1, %2
+=>
+%r = xor %x, %y
+`},
+	{Name: "AddSub:sub-from-zero-mul", File: "AddSub", Text: `
+%n = sub 0, %x
+%r = mul %n, C
+=>
+%r = mul %x, -C
+`},
+	{Name: "AddSub:add-xor-signbit", File: "AddSub", Text: `
+Pre: isSignBit(C)
+%r = add %x, C
+=>
+%r = xor %x, C
+`},
+	{Name: "AddSub:add-zext-bool-to-select", File: "AddSub", Text: `
+%z = zext i1 %b to i8
+%r = add i8 %x, %z
+=>
+%1 = add i8 %x, 1
+%r = select %b, i8 %1, %x
+`},
+	{Name: "AddSub:nuw-add-reassoc", File: "AddSub", Text: `
+%1 = add nuw %x, C1
+%r = add nuw %1, C2
+=>
+%r = add nuw %x, C1+C2
+`},
+	{Name: "AddSub:nsw-add-reassoc", File: "AddSub", Text: `
+Pre: WillNotOverflowSignedAdd(C1, C2)
+%1 = add nsw %x, C1
+%r = add nsw %1, C2
+=>
+%r = add nsw %x, C1+C2
+`},
+
+	// --- Figure 8 bugs rooted in AddSub ---
+	{Name: "PR20186", File: "AddSub", WantInvalid: true, Text: `
+Name: PR20186
+%a = sdiv %X, C
+%r = sub 0, %a
+=>
+%r = sdiv %X, -C
+`},
+	{Name: "PR20189", File: "AddSub", WantInvalid: true, Text: `
+Name: PR20189
+%B = sub 0, %A
+%C = sub nsw %x, %B
+=>
+%C = add nsw %x, %A
+`},
+}

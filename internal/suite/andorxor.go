@@ -1,0 +1,304 @@
+package suite
+
+// andOrXor: patterns from InstCombineAndOrXor.cpp — the largest file in
+// Table 3 (131 of the paper's translations, no bugs found).
+var andOrXor = []Entry{
+	{Name: "AndOrXor:and-zero", File: "AndOrXor", Text: `
+%r = and %x, 0
+=>
+%r = 0
+`},
+	{Name: "AndOrXor:and-allones", File: "AndOrXor", Text: `
+%r = and %x, -1
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:and-self", File: "AndOrXor", Text: `
+%r = and %x, %x
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:and-complement", File: "AndOrXor", Text: `
+%n = xor %x, -1
+%r = and %x, %n
+=>
+%r = 0
+`},
+	{Name: "AndOrXor:or-zero", File: "AndOrXor", Text: `
+%r = or %x, 0
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:or-allones", File: "AndOrXor", Text: `
+%r = or %x, -1
+=>
+%r = -1
+`},
+	{Name: "AndOrXor:or-self", File: "AndOrXor", Text: `
+%r = or %x, %x
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:or-complement", File: "AndOrXor", Text: `
+%n = xor %x, -1
+%r = or %x, %n
+=>
+%r = -1
+`},
+	{Name: "AndOrXor:xor-zero", File: "AndOrXor", Text: `
+%r = xor %x, 0
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:xor-self", File: "AndOrXor", Text: `
+%r = xor %x, %x
+=>
+%r = 0
+`},
+	{Name: "AndOrXor:xor-xor-cancel", File: "AndOrXor", Text: `
+%1 = xor %x, %y
+%r = xor %1, %y
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:double-not", File: "AndOrXor", Text: `
+%1 = xor %x, -1
+%r = xor %1, -1
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:and-absorb-or", File: "AndOrXor", Text: `
+%o = or %x, %y
+%r = and %o, %x
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:or-absorb-and", File: "AndOrXor", Text: `
+%a = and %x, %y
+%r = or %a, %x
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:demorgan-and", File: "AndOrXor", Text: `
+%nx = xor %x, -1
+%ny = xor %y, -1
+%r = and %nx, %ny
+=>
+%o = or %x, %y
+%r = xor %o, -1
+`},
+	{Name: "AndOrXor:demorgan-or", File: "AndOrXor", Text: `
+%nx = xor %x, -1
+%ny = xor %y, -1
+%r = or %nx, %ny
+=>
+%a = and %x, %y
+%r = xor %a, -1
+`},
+	{Name: "AndOrXor:xor-of-nots", File: "AndOrXor", Text: `
+%nx = xor %x, -1
+%ny = xor %y, -1
+%r = xor %nx, %ny
+=>
+%r = xor %x, %y
+`},
+	{Name: "AndOrXor:xor-or-and", File: "AndOrXor", Text: `
+%o = or %x, %y
+%a = and %x, %y
+%r = xor %o, %a
+=>
+%r = xor %x, %y
+`},
+	{Name: "AndOrXor:or-xor-absorb", File: "AndOrXor", Text: `
+%1 = xor %x, %y
+%r = or %1, %x
+=>
+%r = or %x, %y
+`},
+	{Name: "AndOrXor:and-xor-self", File: "AndOrXor", Text: `
+%1 = xor %x, %y
+%r = and %1, %x
+=>
+%n = xor %y, -1
+%r = and %x, %n
+`},
+	{Name: "AndOrXor:and-and-const", File: "AndOrXor", Text: `
+%1 = and %x, C1
+%r = and %1, C2
+=>
+%r = and %x, C1 & C2
+`},
+	{Name: "AndOrXor:or-or-const", File: "AndOrXor", Text: `
+%1 = or %x, C1
+%r = or %1, C2
+=>
+%r = or %x, C1 | C2
+`},
+	{Name: "AndOrXor:xor-xor-const", File: "AndOrXor", Text: `
+%1 = xor %x, C1
+%r = xor %1, C2
+=>
+%r = xor %x, C1 ^ C2
+`},
+	{Name: "AndOrXor:masked-or-partition", File: "AndOrXor", Text: `
+%1 = and %x, C
+%2 = and %x, ~C
+%r = or %1, %2
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:or-and-disjoint-const", File: "AndOrXor", Text: `
+Pre: C1 & C2 == 0
+%1 = or %x, C1
+%r = and %1, C2
+=>
+%r = and %x, C2
+`},
+	{Name: "AndOrXor:or-and-const-hoist", File: "AndOrXor", Text: `
+%1 = and %x, C1
+%r = or %1, C2
+=>
+%2 = or %x, C2
+%r = and %2, C1 | C2
+`},
+	{Name: "AndOrXor:figure2", File: "AndOrXor", Text: `
+Pre: C1 & C2 == 0 && MaskedValueIsZero(%V, ~C1)
+%t0 = or %B, %V
+%t1 = and %t0, C1
+%t2 = and %B, C2
+%R = or %t1, %t2
+=>
+%R = and %t0, (C1 | C2)
+`},
+	{Name: "AndOrXor:not-of-icmp-slt", File: "AndOrXor", Text: `
+%c = icmp slt %x, %y
+%r = xor %c, true
+=>
+%r = icmp sge %x, %y
+`},
+	{Name: "AndOrXor:not-of-icmp-eq", File: "AndOrXor", Text: `
+%c = icmp eq %x, %y
+%r = xor %c, true
+=>
+%r = icmp ne %x, %y
+`},
+	{Name: "AndOrXor:not-of-icmp-ult", File: "AndOrXor", Text: `
+%c = icmp ult %x, %y
+%r = xor %c, true
+=>
+%r = icmp uge %x, %y
+`},
+	{Name: "AndOrXor:not-of-add", File: "AndOrXor", Text: `
+%a = add %x, C
+%r = xor %a, -1
+=>
+%r = sub -1-C, %x
+`},
+	{Name: "AndOrXor:not-of-sub", File: "AndOrXor", Text: `
+%a = sub C, %x
+%r = xor %a, -1
+=>
+%r = add %x, -1-C
+`},
+	{Name: "AndOrXor:and-icmp-same-operands", File: "AndOrXor", Text: `
+%c1 = icmp ult %x, %y
+%c2 = icmp ule %x, %y
+%r = and %c1, %c2
+=>
+%r = icmp ult %x, %y
+`},
+	{Name: "AndOrXor:or-icmp-same-operands", File: "AndOrXor", Text: `
+%c1 = icmp ult %x, %y
+%c2 = icmp ule %x, %y
+%r = or %c1, %c2
+=>
+%r = icmp ule %x, %y
+`},
+	{Name: "AndOrXor:and-icmp-eq-ne-contradiction", File: "AndOrXor", Text: `
+%c1 = icmp eq %x, %y
+%c2 = icmp ne %x, %y
+%r = and %c1, %c2
+=>
+%r = false
+`},
+	{Name: "AndOrXor:or-icmp-eq-ne-tautology", File: "AndOrXor", Text: `
+%c1 = icmp eq %x, %y
+%c2 = icmp ne %x, %y
+%r = or %c1, %c2
+=>
+%r = true
+`},
+	{Name: "AndOrXor:and-shifted-mask-zero", File: "AndOrXor", Text: `
+Pre: C2 & (-1 << C1) == 0
+%s = shl %x, C1
+%r = and %s, C2
+=>
+%r = 0
+`},
+	{Name: "AndOrXor:and-lshr-mask-redundant", File: "AndOrXor", Text: `
+Pre: (-1 u>> C1) & C2 == -1 u>> C1
+%s = lshr %x, C1
+%r = and %s, C2
+=>
+%r = lshr %x, C1
+`},
+	{Name: "AndOrXor:xor-to-or-disjoint", File: "AndOrXor", Text: `
+Pre: C1 & C2 == 0
+%1 = and %x, C1
+%r = xor %1, C2
+=>
+%2 = and %x, C1
+%r = or %2, C2
+`},
+	{Name: "AndOrXor:or-to-add-disjoint", File: "AndOrXor", Text: `
+Pre: MaskedValueIsZero(%x, C)
+%r = or %x, C
+=>
+%r = add %x, C
+`},
+	{Name: "AndOrXor:and-sign-mask-of-ashr", File: "AndOrXor", Text: `
+Pre: isSignBit(C)
+%s = ashr %x, width(%x)-1
+%r = and %s, C
+=>
+%s2 = lshr %x, width(%x)-1
+%r = shl %s2, width(%x)-1
+`},
+	{Name: "AndOrXor:xor-icmp-pair", File: "AndOrXor", Text: `
+%c1 = icmp ult %x, %y
+%c2 = icmp uge %x, %y
+%r = xor %c1, %c2
+=>
+%r = true
+`},
+	{Name: "AndOrXor:and-with-nested-not", File: "AndOrXor", Text: `
+%n = xor %y, -1
+%o = or %x, %n
+%r = and %o, %y
+=>
+%r = and %x, %y
+`},
+	{Name: "AndOrXor:or-with-nested-not", File: "AndOrXor", Text: `
+%n = xor %y, -1
+%a = and %x, %n
+%r = or %a, %y
+=>
+%r = or %x, %y
+`},
+	{Name: "AndOrXor:and-zext-bool", File: "AndOrXor", Text: `
+%zx = zext i1 %a to i8
+%zy = zext i1 %b to i8
+%r = and %zx, %zy
+=>
+%ab = and %a, %b
+%r = zext %ab to i8
+`},
+	{Name: "AndOrXor:or-zext-bool", File: "AndOrXor", Text: `
+%zx = zext i1 %a to i8
+%zy = zext i1 %b to i8
+%r = or %zx, %zy
+=>
+%ab = or %a, %b
+%r = zext %ab to i8
+`},
+}

@@ -1,0 +1,376 @@
+package suite
+
+// Additional corpus entries, appended to their Table 3 files via init:
+// more AndOrXor coverage (the paper's largest file), icmp fusions, typed
+// conversion patterns, and commuted variants that InstCombine implements
+// as separate cases.
+func init() {
+	andOrXor = append(andOrXor, extraAndOrXor...)
+	selectOps = append(selectOps, extraSelect...)
+	shifts = append(shifts, extraShifts...)
+	addSub = append(addSub, extraAddSub...)
+	mulDivRem = append(mulDivRem, extraMulDivRem...)
+}
+
+var extraAndOrXor = []Entry{
+	{Name: "AndOrXor:and-sext-bool-to-select", File: "AndOrXor", Text: `
+%s = sext i1 %b to i8
+%r = and %s, %x
+=>
+%r = select %b, i8 %x, 0
+`},
+	{Name: "AndOrXor:or-sext-bool-to-select", File: "AndOrXor", Text: `
+%s = sext i1 %b to i8
+%r = or %s, %x
+=>
+%r = select %b, i8 -1, %x
+`},
+	{Name: "AndOrXor:and-ashr-lshr", File: "AndOrXor", Text: `
+%a = ashr %x, C
+%b = lshr %x, C
+%r = and %a, %b
+=>
+%r = lshr %x, C
+`},
+	{Name: "AndOrXor:or-ashr-lshr", File: "AndOrXor", Text: `
+%a = ashr %x, C
+%b = lshr %x, C
+%r = or %a, %b
+=>
+%r = ashr %x, C
+`},
+	{Name: "AndOrXor:not-of-ashr", File: "AndOrXor", Text: `
+%s = ashr %x, C
+%r = xor %s, -1
+=>
+%n = xor %x, -1
+%r = ashr %n, C
+`},
+	{Name: "AndOrXor:and-zext-bool-one", File: "AndOrXor", Text: `
+%z = zext i1 %b to i8
+%r = and %z, 1
+=>
+%r = zext %b to i8
+`},
+	{Name: "AndOrXor:and-zext-full-mask", File: "AndOrXor", Text: `
+%z = zext i8 %x to i16
+%r = and %z, 255
+=>
+%r = %z
+`},
+	{Name: "AndOrXor:and-icmp-eq-distinct-consts", File: "AndOrXor", Text: `
+Pre: C1 != C2
+%c1 = icmp eq %x, C1
+%c2 = icmp eq %x, C2
+%r = and %c1, %c2
+=>
+%r = false
+`},
+	{Name: "AndOrXor:or-icmp-ne-distinct-consts", File: "AndOrXor", Text: `
+Pre: C1 != C2
+%c1 = icmp ne %x, C1
+%c2 = icmp ne %x, C2
+%r = or %c1, %c2
+=>
+%r = true
+`},
+	{Name: "AndOrXor:and-sgt-slt-same-bound", File: "AndOrXor", Text: `
+%c1 = icmp sgt %x, C
+%c2 = icmp slt %x, C
+%r = and %c1, %c2
+=>
+%r = false
+`},
+	{Name: "AndOrXor:or-sge-sle-same-bound", File: "AndOrXor", Text: `
+%c1 = icmp sge %x, C
+%c2 = icmp sle %x, C
+%r = or %c1, %c2
+=>
+%r = true
+`},
+	{Name: "AndOrXor:and-of-ors-factor", File: "AndOrXor", Text: `
+%1 = or %x, %y
+%2 = or %x, %z
+%r = and %1, %2
+=>
+%a = and %y, %z
+%r = or %x, %a
+`},
+	{Name: "AndOrXor:or-of-ands-factor", File: "AndOrXor", Text: `
+%1 = and %x, %y
+%2 = and %x, %z
+%r = or %1, %2
+=>
+%o = or %y, %z
+%r = and %x, %o
+`},
+	{Name: "AndOrXor:and-xor-disjoint-const", File: "AndOrXor", Text: `
+Pre: C1 & C2 == 0
+%1 = xor %x, C1
+%r = and %1, C2
+=>
+%r = and %x, C2
+`},
+	{Name: "AndOrXor:or-xor-const-split", File: "AndOrXor", Text: `
+%1 = xor %x, C1
+%r = or %1, C2
+=>
+%o = or %x, C2
+%r = xor %o, C1 & ~C2
+`},
+	{Name: "AndOrXor:icmp-eq-xor-zero", File: "AndOrXor", Text: `
+%1 = xor %x, %y
+%r = icmp eq %1, 0
+=>
+%r = icmp eq %x, %y
+`},
+	{Name: "AndOrXor:icmp-masked-eq-impossible", File: "AndOrXor", Text: `
+Pre: C2 & ~C1 != 0
+%m = and %x, C1
+%r = icmp eq %m, C2
+=>
+%r = false
+`},
+	{Name: "AndOrXor:icmp-masked-ne-certain", File: "AndOrXor", Text: `
+Pre: C2 & ~C1 != 0
+%m = and %x, C1
+%r = icmp ne %m, C2
+=>
+%r = true
+`},
+}
+
+var extraSelect = []Entry{
+	{Name: "Select:nonzero-guard", File: "Select", Text: `
+%c = icmp ne %x, 0
+%r = select %c, %x, 0
+=>
+%r = %x
+`},
+	{Name: "Select:zero-guard", File: "Select", Text: `
+%c = icmp eq %x, 0
+%r = select %c, 0, %x
+=>
+%r = %x
+`},
+	{Name: "Select:nested-same-cond-true-arm", File: "Select", Text: `
+%1 = select %c, %x, %y
+%r = select %c, %1, %z
+=>
+%r = select %c, %x, %z
+`},
+	{Name: "Select:add-into-arm", File: "Select", Text: `
+%1 = add %x, C
+%r = select %c, %1, %x
+=>
+%s = select %c, C, 0
+%r = add %x, %s
+`},
+	{Name: "Select:nested-inverted-cond", File: "Select", Text: `
+%n = xor %c, true
+%1 = select %n, %y, %z
+%r = select %c, %x, %1
+=>
+%r = select %c, %x, %y
+`},
+}
+
+var extraShifts = []Entry{
+	{Name: "Shifts:shl-nuw-eq-zero", File: "Shifts", Text: `
+%s = shl nuw %x, C
+%r = icmp eq %s, 0
+=>
+%r = icmp eq %x, 0
+`},
+	{Name: "Shifts:lshr-exact-eq-zero", File: "Shifts", Text: `
+%s = lshr exact %x, C
+%r = icmp eq %s, 0
+=>
+%r = icmp eq %x, 0
+`},
+	{Name: "Shifts:ashr-of-shl-to-sext-trunc", File: "Shifts", Text: `
+%s = shl i8 %x, 4
+%r = ashr i8 %s, 4
+=>
+%t = trunc i8 %x to i4
+%r = sext %t to i8
+`},
+	{Name: "Shifts:lshr-of-shl-low-nibble", File: "Shifts", Text: `
+%s = shl i8 %x, 4
+%r = lshr i8 %s, 4
+=>
+%r = and i8 %x, 15
+`},
+}
+
+var extraAddSub = []Entry{
+	{Name: "AddSub:sub-add-common-lhs", File: "AddSub", Text: `
+%1 = add %x, %y
+%r = sub %1, %x
+=>
+%r = %y
+`},
+	{Name: "AddSub:add-sub-const-lhs", File: "AddSub", Text: `
+%1 = sub C1, %x
+%r = add %1, C2
+=>
+%r = sub C1+C2, %x
+`},
+	{Name: "AddSub:sub-const-of-sub-const", File: "AddSub", Text: `
+%1 = sub %x, C2
+%r = sub C1, %1
+=>
+%r = sub C1+C2, %x
+`},
+	{Name: "AddSub:sub-const-of-const-sub", File: "AddSub", Text: `
+%1 = sub C2, %x
+%r = sub C1, %1
+=>
+%r = add %x, C1-C2
+`},
+	{Name: "AddSub:sub-of-sub-common", File: "AddSub", Text: `
+%1 = sub %x, %y
+%r = sub %1, %x
+=>
+%r = sub 0, %y
+`},
+	{Name: "AddSub:add-then-neg-cancel", File: "AddSub", Text: `
+%s = add %x, %y
+%n = sub 0, %y
+%r = add %s, %n
+=>
+%r = %x
+`},
+	{Name: "AddSub:icmp-eq-add-nonzero-const", File: "AddSub", Text: `
+Pre: C != 0
+%1 = add %x, C
+%r = icmp eq %1, %x
+=>
+%r = false
+`},
+}
+
+var extraMulDivRem = []Entry{
+	{Name: "MulDivRem:mul-neg-rhs", File: "MulDivRem", Text: `
+%n = sub 0, %y
+%r = mul %x, %n
+=>
+%m = mul %x, %y
+%r = sub 0, %m
+`},
+	{Name: "MulDivRem:urem-of-nuw-mul", File: "MulDivRem", Text: `
+%m = mul nuw %x, C
+%r = urem %m, C
+=>
+%r = 0
+`},
+	{Name: "MulDivRem:srem-of-nsw-mul", File: "MulDivRem", Text: `
+%m = mul nsw %x, C
+%r = srem %m, C
+=>
+%r = 0
+`},
+}
+
+// Flag-dropping entries: translated the way LLVM developers write them —
+// attributes present on the matched source but omitted from the target
+// "rather than determining whether they can be added safely"
+// (Section 3.4). These are the patterns attribute inference strengthens.
+func init() {
+	addSub = append(addSub, flagDropAddSub...)
+	mulDivRem = append(mulDivRem, flagDropMulDivRem...)
+	shifts = append(shifts, flagDropShifts...)
+}
+
+var flagDropAddSub = []Entry{
+	{Name: "AddSub:add-nsw-neg-to-sub", File: "AddSub", Text: `
+%n = sub nsw 0, %x
+%r = add nsw %y, %n
+=>
+%r = sub %y, %x
+`},
+	{Name: "AddSub:add-nuw-neg-cancel", File: "AddSub", Text: `
+%n = sub 0, %x
+%r = add nuw %x, %n
+=>
+%r = 0
+`},
+	{Name: "AddSub:double-nsw-to-mul", File: "AddSub", Text: `
+%r = add nsw %x, %x
+=>
+%r = mul %x, 2
+`},
+	{Name: "AddSub:sub-nsw-allones-not", File: "AddSub", Text: `
+%r = sub nsw -1, %x
+=>
+%r = xor %x, -1
+`},
+	{Name: "AddSub:commuted-nsw-nuw-add", File: "AddSub", Text: `
+%r = add nsw nuw %x, %y
+=>
+%r = add %y, %x
+`},
+}
+
+var flagDropMulDivRem = []Entry{
+	{Name: "MulDivRem:mul-nsw-minus-one", File: "MulDivRem", Text: `
+%r = mul nsw %x, -1
+=>
+%r = sub 0, %x
+`},
+	{Name: "MulDivRem:mul-nuw-pow2-to-shl", File: "MulDivRem", Text: `
+Pre: isPowerOf2(C)
+%r = mul nuw %x, C
+=>
+%r = shl %x, log2(C)
+`},
+	{Name: "MulDivRem:udiv-exact-pow2-to-lshr", File: "MulDivRem", Text: `
+Pre: isPowerOf2(C)
+%r = udiv exact %x, C
+=>
+%r = lshr %x, log2(C)
+`},
+	// The sign bit is also a power of two, but sdiv by INT_MIN is not a
+	// shift.
+	{Name: "MulDivRem:sdiv-exact-pow2-to-ashr", File: "MulDivRem", Text: `
+Pre: isPowerOf2(C) && !isSignBit(C)
+%r = sdiv exact %x, C
+=>
+%r = ashr %x, log2(C)
+`},
+	{Name: "MulDivRem:mul-nuw-commute", File: "MulDivRem", Text: `
+%r = mul nuw %x, %y
+=>
+%r = mul %y, %x
+`},
+}
+
+var flagDropShifts = []Entry{
+	{Name: "Shifts:shl-nuw-nuw-sum", File: "Shifts", Text: `
+Pre: C1+C2 u< width(%x) && C1 u< width(%x) && C2 u< width(%x)
+%1 = shl nuw %x, C1
+%r = shl nuw %1, C2
+=>
+%r = shl %x, C1+C2
+`},
+	{Name: "Shifts:lshr-exact-exact-sum", File: "Shifts", Text: `
+Pre: C1+C2 u< width(%x) && C1 u< width(%x) && C2 u< width(%x)
+%1 = lshr exact %x, C1
+%r = lshr exact %1, C2
+=>
+%r = lshr %x, C1+C2
+`},
+	{Name: "Shifts:shl-nsw-commuted-add", File: "Shifts", Text: `
+%s = shl nsw %x, 1
+%r = add %s, %y
+=>
+%d = add %x, %x
+%r = add %y, %d
+`},
+	{Name: "Shifts:ashr-exact-of-shl-nsw", File: "Shifts", Text: `
+%s = shl nsw %x, C
+%r = ashr exact %s, C
+=>
+%r = %x
+`},
+}

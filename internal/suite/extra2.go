@@ -1,0 +1,183 @@
+package suite
+
+// A further round of corpus entries: lattice identities over and/or/xor,
+// shift distribution, icmp fusions over the same bound, zext-narrowing
+// division, and select commutations.
+func init() {
+	andOrXor = append(andOrXor, extra2AndOrXor...)
+	selectOps = append(selectOps, extra2Select...)
+	shifts = append(shifts, extra2Shifts...)
+	addSub = append(addSub, extra2AddSub...)
+	mulDivRem = append(mulDivRem, extra2MulDivRem...)
+}
+
+var extra2AndOrXor = []Entry{
+	{Name: "AndOrXor:and-or-xor-absorb", File: "AndOrXor", Text: `
+%o = or %x, %y
+%e = xor %x, %y
+%r = and %o, %e
+=>
+%r = xor %x, %y
+`},
+	{Name: "AndOrXor:or-and-xor-join", File: "AndOrXor", Text: `
+%a = and %x, %y
+%e = xor %x, %y
+%r = or %a, %e
+=>
+%r = or %x, %y
+`},
+	{Name: "AndOrXor:demorgan-of-or", File: "AndOrXor", Text: `
+%o = or %x, %y
+%r = xor %o, -1
+=>
+%nx = xor %x, -1
+%ny = xor %y, -1
+%r = and %nx, %ny
+`},
+	{Name: "AndOrXor:demorgan-of-and", File: "AndOrXor", Text: `
+%a = and %x, %y
+%r = xor %a, -1
+=>
+%nx = xor %x, -1
+%ny = xor %y, -1
+%r = or %nx, %ny
+`},
+	{Name: "AndOrXor:and-absorb-commuted", File: "AndOrXor", Text: `
+%o = or %y, %x
+%r = and %x, %o
+=>
+%r = %x
+`},
+	{Name: "AndOrXor:or-icmp-slt-sge-bound", File: "AndOrXor", Text: `
+%c1 = icmp slt %x, C
+%c2 = icmp sge %x, C
+%r = or %c1, %c2
+=>
+%r = true
+`},
+	{Name: "AndOrXor:and-icmp-eq-ne-same-const", File: "AndOrXor", Text: `
+%c1 = icmp ne %x, C1
+%c2 = icmp eq %x, C1
+%r = and %c1, %c2
+=>
+%r = false
+`},
+	{Name: "AndOrXor:or-shl-distribute", File: "AndOrXor", Text: `
+%1 = shl %x, C
+%2 = shl %y, C
+%r = or %1, %2
+=>
+%o = or %x, %y
+%r = shl %o, C
+`},
+	{Name: "AndOrXor:and-shl-distribute", File: "AndOrXor", Text: `
+%1 = shl %x, C
+%2 = shl %y, C
+%r = and %1, %2
+=>
+%a = and %x, %y
+%r = shl %a, C
+`},
+	{Name: "AndOrXor:xor-shl-distribute", File: "AndOrXor", Text: `
+%1 = shl %x, C
+%2 = shl %y, C
+%r = xor %1, %2
+=>
+%e = xor %x, %y
+%r = shl %e, C
+`},
+	{Name: "AndOrXor:or-zext-bool-with-one", File: "AndOrXor", Text: `
+%z = zext i1 %b to i8
+%r = or %z, 1
+=>
+%r = 1
+`},
+	{Name: "AndOrXor:and-sext-bool-with-one", File: "AndOrXor", Text: `
+%s = sext i1 %b to i8
+%r = and %s, 1
+=>
+%r = zext %b to i8
+`},
+}
+
+var extra2Select = []Entry{
+	{Name: "Select:smax-commute", File: "Select", Text: `
+%c = icmp slt %x, %y
+%r = select %c, %y, %x
+=>
+%c2 = icmp sge %x, %y
+%r = select %c2, %x, %y
+`},
+	{Name: "Select:nested-same-cond-false-arm", File: "Select", Text: `
+%1 = select %c, %y, %z
+%r = select %c, %x, %1
+=>
+%r = select %c, %x, %z
+`},
+	{Name: "Select:sink-sub", File: "Select", Text: `
+%1 = sub %x, %y
+%2 = sub %x, %z
+%r = select %c, %1, %2
+=>
+%s = select %c, %y, %z
+%r = sub %x, %s
+`},
+	{Name: "Select:umax-commute", File: "Select", Text: `
+%c = icmp ugt %x, %y
+%r = select %c, %x, %y
+=>
+%c2 = icmp ult %x, %y
+%r = select %c2, %y, %x
+`},
+}
+
+var extra2Shifts = []Entry{
+	{Name: "Shifts:lshr-zext-beyond-source", File: "Shifts", Text: `
+%z = zext i8 %x to i16
+%r = lshr i16 %z, 8
+=>
+%r = 0
+`},
+	{Name: "Shifts:ashr-of-zext-is-lshr", File: "Shifts", Text: `
+%z = zext i8 %x to i16
+%r = ashr %z, C
+=>
+%r = lshr %z, C
+`},
+}
+
+var extra2AddSub = []Entry{
+	{Name: "AddSub:add-select-zero-arm", File: "AddSub", Text: `
+%s = select %c, 0, C
+%r = add %s, %x
+=>
+%a = add %x, C
+%r = select %c, %x, %a
+`},
+	{Name: "AddSub:sub-select-zero-arm", File: "AddSub", Text: `
+%s = select %c, 0, C
+%r = sub %x, %s
+=>
+%a = sub %x, C
+%r = select %c, %x, %a
+`},
+}
+
+var extra2MulDivRem = []Entry{
+	{Name: "MulDivRem:udiv-narrow-zext", File: "MulDivRem", Text: `
+%zx = zext i8 %x to i16
+%zy = zext i8 %y to i16
+%r = udiv %zx, %zy
+=>
+%d = udiv i8 %x, %y
+%r = zext %d to i16
+`},
+	{Name: "MulDivRem:urem-narrow-zext", File: "MulDivRem", Text: `
+%zx = zext i8 %x to i16
+%zy = zext i8 %y to i16
+%r = urem %zx, %zy
+=>
+%m = urem i8 %x, %y
+%r = zext %m to i16
+`},
+}

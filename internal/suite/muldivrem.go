@@ -1,0 +1,199 @@
+package suite
+
+// mulDivRem: patterns from InstCombineMulDivRem.cpp — the paper's
+// buggiest file: six of the eight Figure 8 bugs are rooted here.
+var mulDivRem = []Entry{
+	{Name: "MulDivRem:mul-one", File: "MulDivRem", Text: `
+%r = mul %x, 1
+=>
+%r = %x
+`},
+	{Name: "MulDivRem:mul-zero", File: "MulDivRem", Text: `
+%r = mul %x, 0
+=>
+%r = 0
+`},
+	{Name: "MulDivRem:mul-minus-one", File: "MulDivRem", Text: `
+%r = mul %x, -1
+=>
+%r = sub 0, %x
+`},
+	{Name: "MulDivRem:mul-pow2-to-shl", File: "MulDivRem", Text: `
+Pre: isPowerOf2(C)
+%r = mul %x, C
+=>
+%r = shl %x, log2(C)
+`},
+	{Name: "MulDivRem:mul-mul-const", File: "MulDivRem", Text: `
+%1 = mul %x, C1
+%r = mul %1, C2
+=>
+%r = mul %x, C1*C2
+`},
+	{Name: "MulDivRem:mul-shl-hoist", File: "MulDivRem", Text: `
+%s = shl %x, C
+%r = mul %s, %y
+=>
+%m = mul %x, %y
+%r = shl %m, C
+`},
+	{Name: "MulDivRem:mul-neg-neg", File: "MulDivRem", Text: `
+%nx = sub 0, %x
+%ny = sub 0, %y
+%r = mul %nx, %ny
+=>
+%r = mul %x, %y
+`},
+	{Name: "MulDivRem:mul-neg-lhs", File: "MulDivRem", Text: `
+%n = sub 0, %x
+%r = mul %n, %y
+=>
+%m = mul %x, %y
+%r = sub 0, %m
+`},
+	{Name: "MulDivRem:udiv-one", File: "MulDivRem", Text: `
+%r = udiv %x, 1
+=>
+%r = %x
+`},
+	{Name: "MulDivRem:sdiv-one", File: "MulDivRem", Text: `
+%r = sdiv %x, 1
+=>
+%r = %x
+`},
+	{Name: "MulDivRem:sdiv-minus-one", File: "MulDivRem", Text: `
+%r = sdiv %x, -1
+=>
+%r = sub 0, %x
+`},
+	{Name: "MulDivRem:udiv-pow2-to-lshr", File: "MulDivRem", Text: `
+Pre: isPowerOf2(C)
+%r = udiv %x, C
+=>
+%r = lshr %x, log2(C)
+`},
+	{Name: "MulDivRem:udiv-self", File: "MulDivRem", Text: `
+%r = udiv %x, %x
+=>
+%r = 1
+`},
+	{Name: "MulDivRem:urem-one", File: "MulDivRem", Text: `
+%r = urem %x, 1
+=>
+%r = 0
+`},
+	{Name: "MulDivRem:srem-one", File: "MulDivRem", Text: `
+%r = srem %x, 1
+=>
+%r = 0
+`},
+	{Name: "MulDivRem:srem-minus-one", File: "MulDivRem", Text: `
+%r = srem %x, -1
+=>
+%r = 0
+`},
+	{Name: "MulDivRem:urem-pow2-to-and", File: "MulDivRem", Text: `
+Pre: isPowerOf2(C)
+%r = urem %x, C
+=>
+%r = and %x, C-1
+`},
+	{Name: "MulDivRem:sdiv-of-nsw-mul", File: "MulDivRem", Text: `
+%m = mul nsw %x, C
+%r = sdiv %m, C
+=>
+%r = %x
+`},
+	{Name: "MulDivRem:udiv-of-nuw-mul", File: "MulDivRem", Text: `
+%m = mul nuw %x, C
+%r = udiv %m, C
+=>
+%r = %x
+`},
+	{Name: "MulDivRem:udiv-udiv-const", File: "MulDivRem", Text: `
+Pre: C1*C2 /u C1 == C2 && C1*C2 /u C2 == C1 && C1 != 0 && C2 != 0
+%1 = udiv %x, C1
+%r = udiv %1, C2
+=>
+%r = udiv %x, C1*C2
+`},
+	{Name: "MulDivRem:udiv-shl-nuw", File: "MulDivRem", Text: `
+Pre: (C << C1) u>> C1 == C && C != 0
+%s = shl nuw %x, C1
+%r = udiv %s, C << C1
+=>
+%r = udiv %x, C
+`},
+	{Name: "MulDivRem:urem-of-urem", File: "MulDivRem", Text: `
+%1 = urem %x, C
+%r = urem %1, C
+=>
+%r = urem %x, C
+`},
+	{Name: "MulDivRem:mul-nuw-nuw-const", File: "MulDivRem", Text: `
+%1 = mul nuw %x, C1
+%r = mul nuw %1, C2
+=>
+%r = mul nuw %x, C1*C2
+`},
+	{Name: "MulDivRem:mul-bool-and", File: "MulDivRem", Text: `
+%r = mul i1 %x, %y
+=>
+%r = and i1 %x, %y
+`},
+	{Name: "MulDivRem:urem-self", File: "MulDivRem", Text: `
+%r = urem %x, %x
+=>
+%r = 0
+`},
+
+	// --- Figure 8 bugs rooted in MulDivRem ---
+	{Name: "PR21242", File: "MulDivRem", WantInvalid: true, Text: `
+Name: PR21242
+Pre: isPowerOf2(C1)
+%r = mul nsw %x, C1
+=>
+%r = shl nsw %x, log2(C1)
+`},
+	{Name: "PR21243", File: "MulDivRem", WantInvalid: true, Text: `
+Name: PR21243
+Pre: !WillNotOverflowSignedMul(C1, C2)
+%Op0 = sdiv %X, C1
+%r = sdiv %Op0, C2
+=>
+%r = 0
+`},
+	{Name: "PR21245", File: "MulDivRem", WantInvalid: true, Text: `
+Name: PR21245
+Pre: C2 % (1<<C1) == 0
+%s = shl nsw %X, C1
+%r = sdiv %s, C2
+=>
+%r = sdiv %X, C2/(1<<C1)
+`},
+	{Name: "PR21255", File: "MulDivRem", WantInvalid: true, Text: `
+Name: PR21255
+%Op0 = lshr %X, C1
+%r = udiv %Op0, C2
+=>
+%r = udiv %X, C2 << C1
+`},
+	{Name: "PR21256", File: "MulDivRem", WantInvalid: true, Text: `
+Name: PR21256
+%Op1 = sub 0, %X
+%r = srem %Op0, %Op1
+=>
+%r = srem %Op0, %X
+`},
+	{Name: "PR21274", File: "MulDivRem", WantInvalid: true, Text: `
+Name: PR21274
+Pre: isPowerOf2(%Power) && hasOneUse(%Y)
+%s = shl %Power, %A
+%Y = lshr %s, %B
+%r = udiv %X, %Y
+=>
+%sub = sub %A, %B
+%Y = shl %Power, %sub
+%r = udiv %X, %Y
+`},
+}

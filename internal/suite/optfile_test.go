@@ -1,0 +1,57 @@
+package suite
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alive/internal/parser"
+)
+
+// TestOptFilesInSync checks that the .opt exports under testdata/ match
+// the compiled-in corpus (regenerate with suite.OptFile on drift).
+func TestOptFilesInSync(t *testing.T) {
+	for _, f := range Files {
+		path := filepath.Join("..", "..", "testdata", f+".opt")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing export %s: %v (regenerate with suite.OptFile)", path, err)
+		}
+		if string(data) != OptFile(f) {
+			t.Errorf("%s is out of sync with the corpus; regenerate with suite.OptFile", path)
+		}
+	}
+}
+
+// TestOptFilesParse round-trips every exported file through the parser
+// and checks the per-file counts.
+func TestOptFilesParse(t *testing.T) {
+	byFile := ByFile()
+	for _, f := range Files {
+		path := filepath.Join("..", "..", "testdata", f+".opt")
+		ts, err := parser.ParseFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(ts) != len(byFile[f]) {
+			t.Errorf("%s: parsed %d transforms, corpus has %d", path, len(ts), len(byFile[f]))
+		}
+	}
+}
+
+// TestCorpusRoundTrip checks printing is a parse fixed point for every
+// entry.
+func TestCorpusRoundTrip(t *testing.T) {
+	for _, e := range All() {
+		tr := e.Parse()
+		printed := tr.String()
+		tr2, err := parser.ParseOne(printed)
+		if err != nil {
+			t.Errorf("%s: reparse failed: %v\n%s", e.Name, err, printed)
+			continue
+		}
+		if tr2.String() != printed {
+			t.Errorf("%s: printing not a fixed point:\n%s\nvs\n%s", e.Name, printed, tr2.String())
+		}
+	}
+}

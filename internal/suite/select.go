@@ -1,0 +1,150 @@
+package suite
+
+// selectOps: patterns from InstCombineSelect.cpp.
+var selectOps = []Entry{
+	{Name: "Select:true-cond", File: "Select", Text: `
+%r = select true, %x, %y
+=>
+%r = %x
+`},
+	{Name: "Select:false-cond", File: "Select", Text: `
+%r = select false, %x, %y
+=>
+%r = %y
+`},
+	{Name: "Select:same-arms", File: "Select", Text: `
+%r = select %c, %x, %x
+=>
+%r = %x
+`},
+	{Name: "Select:bool-identity", File: "Select", Text: `
+%r = select %c, true, false
+=>
+%r = %c
+`},
+	{Name: "Select:bool-negation", File: "Select", Text: `
+%r = select %c, false, true
+=>
+%r = xor %c, true
+`},
+	{Name: "Select:inverted-cond", File: "Select", Text: `
+%n = xor %c, true
+%r = select %n, %x, %y
+=>
+%r = select %c, %y, %x
+`},
+	{Name: "Select:eq-cond-arms", File: "Select", Text: `
+%c = icmp eq %x, %y
+%r = select %c, %x, %y
+=>
+%r = %y
+`},
+	{Name: "Select:ne-cond-arms", File: "Select", Text: `
+%c = icmp ne %x, %y
+%r = select %c, %x, %y
+=>
+%r = %x
+`},
+	{Name: "Select:to-sext", File: "Select", Text: `
+%r = select %c, i8 -1, 0
+=>
+%r = sext %c to i8
+`},
+	{Name: "Select:to-zext", File: "Select", Text: `
+%r = select %c, i8 1, 0
+=>
+%r = zext %c to i8
+`},
+	{Name: "Select:to-not-sext", File: "Select", Text: `
+%r = select %c, i8 0, -1
+=>
+%n = xor %c, true
+%r = sext %n to i8
+`},
+	{Name: "Select:and-pattern", File: "Select", Text: `
+%r = select %c, %y, false
+=>
+%r = and %c, %y
+`},
+	{Name: "Select:or-pattern", File: "Select", Text: `
+%r = select %c, true, %y
+=>
+%r = or %c, %y
+`},
+	{Name: "Select:or-not-pattern", File: "Select", Text: `
+%r = select %c, %y, true
+=>
+%n = xor %c, true
+%r = or %n, %y
+`},
+	{Name: "Select:and-not-pattern", File: "Select", Text: `
+%r = select %c, false, %y
+=>
+%n = xor %c, true
+%r = and %n, %y
+`},
+	{Name: "Select:sink-add", File: "Select", Text: `
+%1 = add %x, C1
+%2 = add %x, C2
+%r = select %c, %1, %2
+=>
+%s = select %c, C1, C2
+%r = add %x, %s
+`},
+	{Name: "Select:sink-common-operand", File: "Select", Text: `
+%1 = xor %x, %y
+%2 = xor %x, %z
+%r = select %c, %1, %2
+=>
+%s = select %c, %y, %z
+%r = xor %x, %s
+`},
+	{Name: "Select:commute-compare", File: "Select", Text: `
+%c = icmp sgt %x, %y
+%r = select %c, %x, %y
+=>
+%c2 = icmp slt %y, %x
+%r = select %c2, %x, %y
+`},
+	{Name: "Select:max-abs-canonical", File: "Select", Text: `
+%c = icmp slt %x, 0
+%n = sub 0, %x
+%r = select %c, %n, %x
+=>
+%c2 = icmp sgt %x, 0
+%n2 = sub 0, %x
+%r = select %c2, %x, %n2
+`},
+	{Name: "Select:guarded-div-collapse", File: "Select", Text: `
+%c = icmp eq %y, 0
+%d = udiv %x, %y
+%r = select %c, 0, %d
+=>
+%r = udiv %x, %y
+`},
+	{Name: "Select:double-select-same-cond", File: "Select", Text: `
+%1 = select %c, %x, %y
+%r = select %c, %1, %y
+=>
+%r = select %c, %x, %y
+`},
+	{Name: "Select:select-of-select-arm", File: "Select", Text: `
+%1 = select %c, %x, %y
+%r = select %c, %z, %1
+=>
+%r = select %c, %z, %y
+`},
+	{Name: "Select:umax-via-ugt", File: "Select", Text: `
+%c = icmp ugt %x, C
+%r = select %c, %x, C
+=>
+%c2 = icmp ult %x, C
+%r = select %c2, C, %x
+`},
+	{Name: "Select:icmp-eq-const-arm", File: "Select", Text: `
+%c = icmp eq %x, C
+%r = select %c, C, %x
+=>
+%r = %x
+`},
+}

@@ -1,0 +1,148 @@
+package suite
+
+// shifts: patterns from InstCombineShifts.cpp.
+var shifts = []Entry{
+	{Name: "Shifts:shl-zero-amount", File: "Shifts", Text: `
+%r = shl %x, 0
+=>
+%r = %x
+`},
+	{Name: "Shifts:lshr-zero-amount", File: "Shifts", Text: `
+%r = lshr %x, 0
+=>
+%r = %x
+`},
+	{Name: "Shifts:ashr-zero-amount", File: "Shifts", Text: `
+%r = ashr %x, 0
+=>
+%r = %x
+`},
+	{Name: "Shifts:shl-of-zero", File: "Shifts", Text: `
+%r = shl 0, %x
+=>
+%r = 0
+`},
+	{Name: "Shifts:lshr-of-zero", File: "Shifts", Text: `
+%r = lshr 0, %x
+=>
+%r = 0
+`},
+	{Name: "Shifts:ashr-of-allones", File: "Shifts", Text: `
+%r = ashr -1, %x
+=>
+%r = -1
+`},
+	{Name: "Shifts:lshr-shl-nuw-roundtrip", File: "Shifts", Text: `
+%s = shl nuw %x, C
+%r = lshr %s, C
+=>
+%r = %x
+`},
+	{Name: "Shifts:ashr-shl-nsw-roundtrip", File: "Shifts", Text: `
+%s = shl nsw %x, C
+%r = ashr %s, C
+=>
+%r = %x
+`},
+	{Name: "Shifts:shl-lshr-exact-roundtrip", File: "Shifts", Text: `
+%s = lshr exact %x, C
+%r = shl %s, C
+=>
+%r = %x
+`},
+	{Name: "Shifts:shl-ashr-exact-roundtrip", File: "Shifts", Text: `
+%s = ashr exact %x, C
+%r = shl %s, C
+=>
+%r = %x
+`},
+	{Name: "Shifts:shl-shl-sum", File: "Shifts", Text: `
+Pre: C1+C2 u< width(%x) && C1 u< width(%x) && C2 u< width(%x)
+%1 = shl %x, C1
+%r = shl %1, C2
+=>
+%r = shl %x, C1+C2
+`},
+	{Name: "Shifts:lshr-lshr-sum", File: "Shifts", Text: `
+Pre: C1+C2 u< width(%x) && C1 u< width(%x) && C2 u< width(%x)
+%1 = lshr %x, C1
+%r = lshr %1, C2
+=>
+%r = lshr %x, C1+C2
+`},
+	{Name: "Shifts:ashr-ashr-sum", File: "Shifts", Text: `
+Pre: C1+C2 u< width(%x) && C1 u< width(%x) && C2 u< width(%x)
+%1 = ashr %x, C1
+%r = ashr %1, C2
+=>
+%r = ashr %x, C1+C2
+`},
+	{Name: "Shifts:shl-shl-overflow-to-zero", File: "Shifts", Text: `
+Pre: C1 u< width(%x) && C2 u< width(%x) && C1+C2 u>= width(%x) && C1+C2 u>= C1
+%1 = shl %x, C1
+%r = shl %1, C2
+=>
+%r = 0
+`},
+	{Name: "Shifts:lshr-shl-mask", File: "Shifts", Text: `
+%s = shl %x, C
+%r = lshr %s, C
+=>
+%m = lshr -1, C
+%r = and %x, %m
+`},
+	{Name: "Shifts:shl-lshr-mask", File: "Shifts", Text: `
+%s = lshr %x, C
+%r = shl %s, C
+=>
+%m = shl -1, C
+%r = and %x, %m
+`},
+	{Name: "Shifts:shl-mul-combine", File: "Shifts", Text: `
+%s = shl %x, C1
+%r = mul %s, C2
+=>
+%r = mul %x, C2 << C1
+`},
+	{Name: "Shifts:shl-nuw-pow2-test", File: "Shifts", Text: `
+%s = shl nuw 1, %x
+%r = icmp eq %s, 0
+=>
+%r = false
+`},
+	{Name: "Shifts:lshr-sign-to-bool", File: "Shifts", Text: `
+%s = lshr i8 %x, 7
+%r = icmp ne i8 %s, 0
+=>
+%r = icmp slt i8 %x, 0
+`},
+	{Name: "Shifts:ashr-sign-splat-test", File: "Shifts", Text: `
+%s = ashr i8 %x, 7
+%r = icmp eq i8 %s, -1
+=>
+%r = icmp slt i8 %x, 0
+`},
+	{Name: "Shifts:shl-and-const-fold", File: "Shifts", Text: `
+%s = shl %x, C1
+%r = and %s, C2
+=>
+%a = and %x, C2 u>> C1
+%r = shl %a, C1
+`},
+	{Name: "Shifts:lshr-or-shl-rotate-halves", File: "Shifts", Text: `
+%h = shl i8 %x, 4
+%l = lshr i8 %x, 4
+%r = or %h, %l
+=>
+%l2 = lshr i8 %x, 4
+%h2 = shl i8 %x, 4
+%r = or %l2, %h2
+`},
+	{Name: "Shifts:shl-xor-const", File: "Shifts", Text: `
+%s = shl %x, C1
+%r = xor %s, C2 << C1
+=>
+%a = xor %x, C2
+%r = shl %a, C1
+`},
+}

@@ -1,0 +1,149 @@
+// Package suite holds the corpus of LLVM InstCombine transformations
+// hand-translated into Alive syntax, organized by the same source files
+// as Table 3 of the paper (AddSub, AndOrXor, LoadStoreAlloca, MulDivRem,
+// Select, Shifts). It includes the eight wrong transformations of
+// Figure 8 (marked WantInvalid), their fixed variants, and the
+// three-revision patch sequence of Section 6.2.
+//
+// Every entry is a real InstCombine pattern; the corpus is smaller than
+// the paper's 334 translations but preserves the per-file structure and
+// the buggy/correct split (2 AddSub bugs, 6 MulDivRem bugs).
+package suite
+
+import (
+	"fmt"
+	"strings"
+
+	"alive/internal/ir"
+	"alive/internal/parser"
+)
+
+// Entry is one corpus transformation.
+type Entry struct {
+	Name string
+	// File is the InstCombine source file the pattern comes from
+	// (Table 3 grouping).
+	File string
+	Text string
+	// WantInvalid marks the Figure 8 bugs.
+	WantInvalid bool
+}
+
+// Files lists the InstCombine file names of Table 3 that the corpus
+// covers, in the paper's order.
+var Files = []string{"AddSub", "AndOrXor", "LoadStoreAlloca", "MulDivRem", "Select", "Shifts"}
+
+// PaperTable3 records the paper's Table 3 numbers for the translated
+// files: total optimizations in the file, number translated, number
+// found buggy.
+var PaperTable3 = map[string][3]int{
+	"AddSub":          {67, 49, 2},
+	"AndOrXor":        {165, 131, 0},
+	"LoadStoreAlloca": {28, 17, 0},
+	"MulDivRem":       {65, 44, 6},
+	"Select":          {74, 52, 0},
+	"Shifts":          {43, 41, 0},
+}
+
+// All returns the full corpus (correct entries plus the Figure 8 bugs).
+func All() []Entry {
+	var out []Entry
+	out = append(out, addSub...)
+	out = append(out, andOrXor...)
+	out = append(out, loadStoreAlloca...)
+	out = append(out, mulDivRem...)
+	out = append(out, selectOps...)
+	out = append(out, shifts...)
+	return out
+}
+
+// ByFile groups the corpus by InstCombine file.
+func ByFile() map[string][]Entry {
+	m := map[string][]Entry{}
+	for _, e := range All() {
+		m[e.File] = append(m[e.File], e)
+	}
+	return m
+}
+
+// Figure8 returns the eight wrong transformations of Figure 8.
+func Figure8() []Entry {
+	var out []Entry
+	for _, e := range All() {
+		if e.WantInvalid {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Fixed returns corrected variants of the Figure 8 bugs (used by the
+// re-translation check of Section 6.1: "We re-translated the fixed
+// optimizations to Alive and proved them correct").
+func Fixed() []Entry { return fixedFigure8 }
+
+// PatchSequence returns the Section 6.2 patch-review reconstruction:
+// two buggy revisions followed by the correct third revision.
+func PatchSequence() []PatchRevision { return patchSequence }
+
+// PatchRevision is one submitted revision of the Section 6.2 patch.
+type PatchRevision struct {
+	Revision int
+	Text     string
+	// WantValid is true only for the final revision.
+	WantValid bool
+}
+
+// Parse parses one entry, panicking on corpus syntax errors (the corpus
+// is compiled in; a parse failure is a programming error caught by the
+// tests).
+func (e Entry) Parse() *ir.Transform {
+	t, err := parser.ParseOne(e.Text)
+	if err != nil {
+		panic(fmt.Sprintf("suite: entry %s does not parse: %v", e.Name, err))
+	}
+	if t.Name == "" {
+		t.Name = e.Name
+	}
+	return t
+}
+
+// ParseAll parses the whole corpus.
+func ParseAll() []*ir.Transform {
+	var out []*ir.Transform
+	for _, e := range All() {
+		out = append(out, e.Parse())
+	}
+	return out
+}
+
+// parseRevision parses one patch revision.
+func parseRevision(r PatchRevision) (*ir.Transform, error) {
+	return parser.ParseOne(r.Text)
+}
+
+// ParseOrError parses the entry, returning the error instead of
+// panicking (used by the bench harness for ad-hoc entries).
+func (e Entry) ParseOrError() (*ir.Transform, error) {
+	return parser.ParseOne(e.Text)
+}
+
+// OptFile renders the entries of one InstCombine file as a .opt document
+// (the on-disk interchange format the original Alive consumes).
+func OptFile(file string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %s: InstCombine patterns translated to Alive (see DESIGN.md).\n", file)
+	sb.WriteString("; Entries marked INVALID are the Figure 8 bugs and must fail verification.\n\n")
+	for _, e := range ByFile()[file] {
+		if e.WantInvalid {
+			sb.WriteString("; INVALID (Figure 8)\n")
+		}
+		t := e.Parse()
+		if t.Name == "" {
+			t.Name = e.Name
+		}
+		sb.WriteString(t.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,438 @@
+package typing
+
+import (
+	"fmt"
+	"sort"
+
+	"alive/internal/ir"
+)
+
+// Infer generates the typing constraints of a transformation and
+// enumerates feasible type assignments. The result is never empty on
+// success; an error means the transformation is ill-typed or no feasible
+// assignment exists within the width bound.
+func Infer(t *ir.Transform, opts Options) ([]*Assignment, error) {
+	opts = opts.withDefaults()
+	s := newSystem()
+
+	collect := func(instrs []ir.Instr) {
+		for _, in := range instrs {
+			s.instruction(in)
+		}
+	}
+	collect(t.Source)
+	collect(t.Target)
+	s.pred(t.Pre)
+
+	// A name defined in both templates denotes the same runtime value
+	// (target overwrites source), so the types must agree.
+	for _, src := range t.Source {
+		if n := src.Name(); n != "" {
+			if tgt := t.TargetValue(n); tgt != nil {
+				s.union(src, tgt)
+			}
+		}
+	}
+	if s.err != nil {
+		return nil, fmt.Errorf("%s: %w", t.Name, s.err)
+	}
+	asgs, err := s.enumerate(opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", t.Name, err)
+	}
+	return asgs, nil
+}
+
+// value registers constraints intrinsic to a value node (and its
+// children, for constant expressions).
+func (s *system) value(v ir.Value) {
+	s.find(v) // register the class even when no constraint applies
+	switch v := v.(type) {
+	case *ir.Input:
+		if v.DeclaredType != nil {
+			s.applyConcrete(v, v.DeclaredType)
+		}
+	case *ir.Literal:
+		s.setShape(v, shapeInt)
+		if v.Bool {
+			s.fixWidth(v, 1)
+		}
+	case *ir.AbstractConst:
+		s.setShape(v, shapeInt)
+		if v.DeclaredType != nil {
+			s.applyConcrete(v, v.DeclaredType)
+		}
+	case *ir.UndefValue:
+		// Sort comes from context.
+	case *ir.ConstUnExpr:
+		s.value(v.X)
+		s.setShape(v, shapeInt)
+		s.union(v, v.X)
+	case *ir.ConstBinExpr:
+		s.value(v.X)
+		s.value(v.Y)
+		s.setShape(v, shapeInt)
+		s.union(v, v.X)
+		s.union(v, v.Y)
+	case *ir.ConstFunc:
+		for _, a := range v.Args {
+			s.value(a)
+		}
+		s.constFunc(v)
+	}
+}
+
+// constFunc applies the typing rule of a built-in constant function.
+func (s *system) constFunc(v *ir.ConstFunc) {
+	s.setShape(v, shapeInt)
+	switch v.FName {
+	case "width":
+		// width(%x): the result width is independent of the argument.
+		if len(v.Args) != 1 {
+			s.fail("width() takes one argument")
+		}
+	case "log2", "abs", "ctlz", "cttz", "countLeadingZeros", "countTrailingZeros":
+		if len(v.Args) != 1 {
+			s.fail("%s() takes one argument", v.FName)
+		}
+		for _, a := range v.Args {
+			s.setShape(a, shapeInt)
+			s.union(v, a)
+		}
+	case "umax", "umin", "smax", "smin", "max", "min":
+		if len(v.Args) != 2 {
+			s.fail("%s() takes two arguments", v.FName)
+		}
+		for _, a := range v.Args {
+			s.setShape(a, shapeInt)
+			s.union(v, a)
+		}
+	case "zext", "sext":
+		if len(v.Args) != 1 {
+			s.fail("%s() takes one argument", v.FName)
+		}
+		s.setShape(v.Args[0], shapeInt)
+		s.smaller = append(s.smaller, [2]ir.Value{v.Args[0], v})
+	case "trunc":
+		if len(v.Args) != 1 {
+			s.fail("trunc() takes one argument")
+		}
+		s.setShape(v.Args[0], shapeInt)
+		s.smaller = append(s.smaller, [2]ir.Value{v, v.Args[0]})
+	default:
+		s.fail("unknown constant function %q", v.FName)
+	}
+}
+
+// instruction applies the typing rule of Figure 3 for one instruction.
+func (s *system) instruction(in ir.Instr) {
+	s.find(in)
+	for _, op := range ir.Operands(in) {
+		s.value(op)
+	}
+	switch in := in.(type) {
+	case *ir.BinOp:
+		s.setShape(in, shapeInt)
+		s.union(in, in.X)
+		s.union(in, in.Y)
+		if in.DeclaredType != nil {
+			s.applyConcrete(in, in.DeclaredType)
+		}
+	case *ir.ICmp:
+		s.fixWidth(in, 1)
+		s.union(in.X, in.Y)
+		if in.DeclaredType != nil {
+			s.applyConcrete(in.X, in.DeclaredType)
+		}
+	case *ir.Select:
+		s.fixWidth(in.Cond, 1)
+		s.union(in, in.TrueV)
+		s.union(in, in.FalseV)
+		if in.DeclaredType != nil {
+			s.applyConcrete(in, in.DeclaredType)
+		}
+	case *ir.Conv:
+		s.conv(in)
+	case *ir.Alloca:
+		tok := &ir.TypeToken{Desc: "pointee of " + in.VName}
+		s.addPointsTo(in, tok)
+		if in.ElemType != nil {
+			s.applyConcrete(tok, in.ElemType)
+		}
+		if in.NumElems != nil {
+			// The element count is a compile-time constant; its width is
+			// immaterial, so pin it to keep it out of the enumeration.
+			s.fixWidth(in.NumElems, 32)
+		}
+	case *ir.GEP:
+		s.setShape(in.Ptr, shapePtr)
+		s.setShape(in, shapePtr)
+		for _, ix := range in.Indexes {
+			// LLVM GEP indices are i32/i64; pin them so polymorphic width
+			// enumeration cannot truncate literal offsets.
+			s.fixWidth(ix, 32)
+		}
+		// Single-index GEPs step within an array of the pointee type, so
+		// the result pointee matches the operand pointee.
+		if len(in.Indexes) == 1 {
+			tok := &ir.TypeToken{Desc: "pointee of " + in.VName}
+			s.addPointsTo(in, tok)
+			s.addPointsTo(in.Ptr, tok)
+		}
+	case *ir.Load:
+		if in.DeclaredType != nil {
+			s.applyConcrete(in.Ptr, in.DeclaredType)
+		}
+		s.addPointsTo(in.Ptr, in)
+	case *ir.Store:
+		s.applyConcrete(in, ir.VoidType{})
+		s.addPointsTo(in.Ptr, in.Val)
+	case *ir.Copy:
+		s.union(in, in.X)
+	case *ir.Unreachable:
+		s.applyConcrete(in, ir.VoidType{})
+	}
+}
+
+func (s *system) conv(in *ir.Conv) {
+	if in.FromType != nil {
+		s.applyConcrete(in.X, in.FromType)
+	}
+	if in.ToType != nil {
+		s.applyConcrete(in, in.ToType)
+	}
+	switch in.Kind {
+	case ir.ZExt, ir.SExt:
+		s.setShape(in.X, shapeInt)
+		s.setShape(in, shapeInt)
+		s.smaller = append(s.smaller, [2]ir.Value{in.X, in})
+	case ir.Trunc:
+		s.setShape(in.X, shapeInt)
+		s.setShape(in, shapeInt)
+		s.smaller = append(s.smaller, [2]ir.Value{in, in.X})
+	case ir.BitCast:
+		s.sameBits = append(s.sameBits, [2]ir.Value{in.X, in})
+	case ir.PtrToInt:
+		s.setShape(in.X, shapePtr)
+		s.setShape(in, shapeInt)
+	case ir.IntToPtr:
+		s.setShape(in.X, shapeInt)
+		s.setShape(in, shapePtr)
+	}
+}
+
+// pred applies typing constraints of the precondition.
+func (s *system) pred(p ir.Pred) {
+	switch q := p.(type) {
+	case nil, ir.TruePred:
+	case *ir.NotPred:
+		s.pred(q.P)
+	case *ir.AndPred:
+		for _, r := range q.Ps {
+			s.pred(r)
+		}
+	case *ir.OrPred:
+		for _, r := range q.Ps {
+			s.pred(r)
+		}
+	case *ir.CmpPred:
+		s.value(q.X)
+		s.value(q.Y)
+		s.setShape(q.X, shapeInt)
+		s.union(q.X, q.Y)
+	case *ir.FuncPred:
+		for _, a := range q.Args {
+			s.value(a)
+		}
+		switch q.FName {
+		case "MaskedValueIsZero", "WillNotOverflowSignedAdd",
+			"WillNotOverflowUnsignedAdd", "WillNotOverflowSignedSub",
+			"WillNotOverflowUnsignedSub", "WillNotOverflowSignedMul",
+			"WillNotOverflowUnsignedMul", "WillNotOverflowSignedShl",
+			"WillNotOverflowUnsignedShl", "mayAlias", "noAlias":
+			if len(q.Args) == 2 {
+				s.setShape(q.Args[0], shapeInt)
+				s.union(q.Args[0], q.Args[1])
+			}
+		case "isPowerOf2", "isPowerOf2OrZero", "isSignBit", "isShiftedMask",
+			"OneUse", "isSignedMin":
+			for _, a := range q.Args {
+				s.setShape(a, shapeInt)
+			}
+		case "hasOneUse":
+			// Structural predicate; no type constraints.
+		}
+	}
+}
+
+// enumerate produces feasible type assignments by backtracking over the
+// integer classes' widths.
+func (s *system) enumerate(opts Options) ([]*Assignment, error) {
+	// Normalize all classes.
+	roots := []ir.Value{}
+	seen := map[ir.Value]bool{}
+	for _, v := range s.order {
+		r := s.find(v)
+		if !seen[r] {
+			seen[r] = true
+			roots = append(roots, r)
+		}
+	}
+
+	// Resolve shapes: unconstrained classes default to integer.
+	shapeOf := func(r ir.Value) shape {
+		if sh, ok := s.shapes[r]; ok {
+			return sh
+		}
+		return shapeInt
+	}
+
+	// Integer classes in deterministic order; fixed widths first.
+	var intClasses []ir.Value
+	for _, r := range roots {
+		if shapeOf(r) == shapeInt {
+			if _, isFixed := s.fixed[r]; !isFixed {
+				intClasses = append(intClasses, r)
+			}
+		}
+	}
+
+	// Constraint projections onto roots.
+	type pair struct{ a, b ir.Value }
+	var smaller, sameBits []pair
+	for _, c := range s.smaller {
+		smaller = append(smaller, pair{s.find(c[0]), s.find(c[1])})
+	}
+	for _, c := range s.sameBits {
+		sameBits = append(sameBits, pair{s.find(c[0]), s.find(c[1])})
+	}
+
+	width := map[ir.Value]int{}
+	for r, w := range s.fixed {
+		width[s.find(r)] = w
+	}
+
+	check := func() bool {
+		widthOf := func(r ir.Value) (int, bool) {
+			if shapeOf(r) == shapePtr {
+				return opts.PtrWidth, true
+			}
+			w, ok := width[r]
+			return w, ok
+		}
+		for _, c := range smaller {
+			wa, oka := widthOf(c.a)
+			wb, okb := widthOf(c.b)
+			if oka && okb && wa >= wb {
+				return false
+			}
+		}
+		for _, c := range sameBits {
+			wa, oka := widthOf(c.a)
+			wb, okb := widthOf(c.b)
+			if oka && okb && wa != wb {
+				return false
+			}
+		}
+		return true
+	}
+	if !check() {
+		return nil, fmt.Errorf("no feasible type assignment (fixed widths violate ordering constraints)")
+	}
+
+	var out []*Assignment
+	var rec func(i int)
+	rec = func(i int) {
+		if len(out) >= opts.MaxAssignments {
+			return
+		}
+		if i == len(intClasses) {
+			out = append(out, s.buildAssignment(opts, width, shapeOf))
+			return
+		}
+		r := intClasses[i]
+		for _, w := range opts.Widths {
+			width[r] = w
+			if check() {
+				rec(i + 1)
+			}
+			if len(out) >= opts.MaxAssignments {
+				break
+			}
+		}
+		delete(width, r)
+	}
+	rec(0)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no feasible type assignment within widths %v", opts.Widths)
+	}
+	return out, nil
+}
+
+// buildAssignment converts a solved width map into concrete types for
+// every registered value.
+func (s *system) buildAssignment(opts Options, width map[ir.Value]int, shapeOf func(ir.Value) shape) *Assignment {
+	typeOfRoot := map[ir.Value]ir.Type{}
+	var resolve func(r ir.Value, depth int) ir.Type
+	resolve = func(r ir.Value, depth int) ir.Type {
+		if t, ok := typeOfRoot[r]; ok {
+			return t
+		}
+		if depth > 4 {
+			return ir.IntType{Bits: 8} // break pointer cycles defensively
+		}
+		var t ir.Type
+		switch shapeOf(r) {
+		case shapePtr:
+			var elem ir.Type
+			if e, ok := s.elemType[r]; ok {
+				elem = e
+			} else if e, ok := s.pointsTo[r]; ok {
+				elem = resolve(s.find(e), depth+1)
+			} else {
+				elem = ir.IntType{Bits: 8}
+			}
+			t = ir.PtrType{Elem: elem}
+		case shapeOther:
+			t = s.fixedType[r]
+		default:
+			if w, ok := width[r]; ok {
+				t = ir.IntType{Bits: w}
+			} else {
+				t = ir.IntType{Bits: 8} // unreachable: all int classes enumerated
+			}
+		}
+		typeOfRoot[r] = t
+		return t
+	}
+
+	types := map[ir.Value]ir.Type{}
+	for v := range s.parent {
+		if _, isTok := v.(*ir.TypeToken); isTok {
+			continue
+		}
+		types[v] = resolve(s.find(v), 0)
+	}
+	return &Assignment{types: types, PtrWidth: opts.PtrWidth}
+}
+
+// SortByPreference orders assignments so that widths the paper favors for
+// counterexamples (4 and 8 bits) come first, then ascending total width.
+// The verifier checks assignments in this order and reports the first
+// failure, which keeps counterexamples readable.
+func SortByPreference(asgs []*Assignment, root ir.Value) {
+	score := func(a *Assignment) int {
+		w := a.WidthOf(root)
+		switch w {
+		case 4:
+			return 0
+		case 8:
+			return 1
+		case 16:
+			return 2
+		default:
+			return 3 + w
+		}
+	}
+	sort.SliceStable(asgs, func(i, j int) bool { return score(asgs[i]) < score(asgs[j]) })
+}

@@ -1,0 +1,268 @@
+// Package typing implements Alive's type system (Figure 3): constraint
+// generation over the polymorphic types of a transformation and
+// enumeration of all feasible concrete type assignments up to a width
+// bound (Section 3.2).
+//
+// Where the original Alive encodes typing constraints in SMT (QF_LIA) and
+// enumerates models with a solver, we use a dedicated union-find plus
+// backtracking enumerator: the constraint language is small (equalities,
+// sort memberships, strict width orderings, width equalities, and
+// points-to edges), so direct enumeration produces exactly the same
+// assignments without solver round-trips.
+package typing
+
+import (
+	"fmt"
+	"sort"
+
+	"alive/internal/ir"
+)
+
+// Options configures enumeration.
+type Options struct {
+	// Widths is the candidate set of integer widths, ascending. Default:
+	// {1, 4, 8, 16, 32, 64}. The paper's bound is all widths 1..64; the
+	// default samples that range (see DESIGN.md).
+	Widths []int
+	// PtrWidth is the pointer width in bits (ABI-parametric; default 32,
+	// as in the paper's example ABI).
+	PtrWidth int
+	// MaxAssignments caps the number of enumerated assignments
+	// (default 16).
+	MaxAssignments int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Widths) == 0 {
+		o.Widths = []int{1, 4, 8, 16, 32, 64}
+	}
+	if o.PtrWidth == 0 {
+		o.PtrWidth = 32
+	}
+	if o.MaxAssignments == 0 {
+		o.MaxAssignments = 16
+	}
+	return o
+}
+
+// Assignment maps every value of a transformation to a concrete type.
+type Assignment struct {
+	types    map[ir.Value]ir.Type
+	PtrWidth int
+}
+
+// TypeOf returns the concrete type of v (nil if v is unknown).
+func (a *Assignment) TypeOf(v ir.Value) ir.Type { return a.types[v] }
+
+// WidthOf returns the bit width of v's type (pointer types have the ABI
+// pointer width).
+func (a *Assignment) WidthOf(v ir.Value) int { return a.bitWidth(a.types[v]) }
+
+func (a *Assignment) bitWidth(t ir.Type) int {
+	switch t := t.(type) {
+	case ir.IntType:
+		return t.Bits
+	case ir.PtrType:
+		return a.PtrWidth
+	case ir.ArrayType:
+		return t.N * a.bitWidth(t.Elem)
+	}
+	return 0
+}
+
+// String renders the named part of the assignment deterministically.
+func (a *Assignment) String() string {
+	var keys []string
+	byName := map[string]ir.Type{}
+	for v, t := range a.types {
+		n := v.Name()
+		if n == "" {
+			continue
+		}
+		if _, dup := byName[n]; dup {
+			continue
+		}
+		byName[n] = t
+		keys = append(keys, n)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += ", "
+		}
+		s += k + ":" + byName[k].String()
+	}
+	return s
+}
+
+// shape is the sort a type class must have.
+type shape int
+
+const (
+	shapeAny shape = iota
+	shapeInt
+	shapePtr
+	shapeOther // array/void fixed by annotation
+)
+
+func (sh shape) String() string {
+	switch sh {
+	case shapeInt:
+		return "integer"
+	case shapePtr:
+		return "pointer"
+	case shapeOther:
+		return "aggregate"
+	}
+	return "any"
+}
+
+// system accumulates typing constraints over value classes (union-find).
+type system struct {
+	parent map[ir.Value]ir.Value
+	order  []ir.Value // registration order, for deterministic output
+
+	shapes    map[ir.Value]shape
+	fixed     map[ir.Value]int     // fixed integer width
+	fixedType map[ir.Value]ir.Type // concrete non-int annotation (array/void)
+	elemType  map[ir.Value]ir.Type // ptr class: concrete element annotation
+	pointsTo  map[ir.Value]ir.Value
+	smaller   [][2]ir.Value // width(a) < width(b)
+	sameBits  [][2]ir.Value // equal bit width (bitcast)
+
+	err error
+}
+
+func newSystem() *system {
+	return &system{
+		parent:    map[ir.Value]ir.Value{},
+		shapes:    map[ir.Value]shape{},
+		fixed:     map[ir.Value]int{},
+		fixedType: map[ir.Value]ir.Type{},
+		elemType:  map[ir.Value]ir.Type{},
+		pointsTo:  map[ir.Value]ir.Value{},
+	}
+}
+
+func (s *system) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (s *system) find(v ir.Value) ir.Value {
+	p, ok := s.parent[v]
+	if !ok {
+		s.parent[v] = v
+		s.order = append(s.order, v)
+		return v
+	}
+	if p == v {
+		return v
+	}
+	root := s.find(p)
+	s.parent[v] = root
+	return root
+}
+
+func (s *system) union(a, b ir.Value) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	s.parent[ra] = rb
+	if sh, ok := s.shapes[ra]; ok {
+		s.setShapeRoot(rb, sh)
+		delete(s.shapes, ra)
+	}
+	if w, ok := s.fixed[ra]; ok {
+		s.fixWidthRoot(rb, w)
+		delete(s.fixed, ra)
+	}
+	if t, ok := s.fixedType[ra]; ok {
+		s.fixedType[rb] = t
+		delete(s.fixedType, ra)
+	}
+	if e, ok := s.elemType[ra]; ok {
+		s.setElemTypeRoot(rb, e)
+		delete(s.elemType, ra)
+	}
+	if e, ok := s.pointsTo[ra]; ok {
+		s.addPointsToRoot(rb, e)
+		delete(s.pointsTo, ra)
+	}
+}
+
+func (s *system) setShape(v ir.Value, sh shape) { s.setShapeRoot(s.find(v), sh) }
+
+func (s *system) setShapeRoot(r ir.Value, sh shape) {
+	if sh == shapeAny {
+		return
+	}
+	if cur, ok := s.shapes[r]; ok && cur != sh {
+		s.fail("type conflict on %s: %s vs %s", display(r), cur, sh)
+		return
+	}
+	s.shapes[r] = sh
+}
+
+func (s *system) fixWidth(v ir.Value, w int) { s.fixWidthRoot(s.find(v), w) }
+
+func (s *system) fixWidthRoot(r ir.Value, w int) {
+	s.setShapeRoot(r, shapeInt)
+	if cur, ok := s.fixed[r]; ok && cur != w {
+		s.fail("width conflict on %s: i%d vs i%d", display(r), cur, w)
+		return
+	}
+	s.fixed[r] = w
+}
+
+func (s *system) setElemTypeRoot(r ir.Value, t ir.Type) {
+	s.setShapeRoot(r, shapePtr)
+	if cur, ok := s.elemType[r]; ok && cur.String() != t.String() {
+		s.fail("pointee conflict on %s: %s vs %s", display(r), cur, t)
+		return
+	}
+	s.elemType[r] = t
+	// Propagate the annotation onto an existing pointee class so loads
+	// and stores through this pointer see the concrete type.
+	if e, ok := s.pointsTo[r]; ok {
+		s.applyConcrete(e, t)
+	}
+}
+
+func (s *system) addPointsTo(p, e ir.Value) { s.addPointsToRoot(s.find(p), e) }
+
+func (s *system) addPointsToRoot(rp ir.Value, e ir.Value) {
+	s.setShapeRoot(rp, shapePtr)
+	if old, ok := s.pointsTo[rp]; ok {
+		s.union(old, e)
+		return
+	}
+	s.pointsTo[rp] = s.find(e)
+	if t, ok := s.elemType[rp]; ok {
+		s.applyConcrete(e, t)
+	}
+}
+
+// applyConcrete records a concrete type annotation on v.
+func (s *system) applyConcrete(v ir.Value, t ir.Type) {
+	switch t := t.(type) {
+	case ir.IntType:
+		s.fixWidth(v, t.Bits)
+	case ir.PtrType:
+		s.setElemTypeRoot(s.find(v), t.Elem)
+	default:
+		r := s.find(v)
+		s.setShapeRoot(r, shapeOther)
+		s.fixedType[r] = t
+	}
+}
+
+func display(v ir.Value) string {
+	if n := v.Name(); n != "" {
+		return n
+	}
+	return v.String()
+}

@@ -1,0 +1,447 @@
+package typing
+
+import (
+	"testing"
+
+	"alive/internal/ir"
+	"alive/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ir.Transform {
+	t.Helper()
+	tr, err := parser.ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return tr
+}
+
+func TestPolymorphicSingleClass(t *testing.T) {
+	tr := parse(t, `
+%1 = xor %x, -1
+%2 = add %1, C
+=>
+%2 = sub C-1, %x
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One free integer class: one assignment per candidate width.
+	if len(asgs) != 6 {
+		t.Fatalf("got %d assignments, want 6 (one per width)", len(asgs))
+	}
+	seen := map[int]bool{}
+	for _, a := range asgs {
+		w := a.WidthOf(tr.Source[0])
+		seen[w] = true
+		// Everything in the transform shares the class.
+		for _, in := range tr.Source {
+			if a.WidthOf(in) != w {
+				t.Fatalf("instruction widths differ within one assignment")
+			}
+		}
+	}
+	for _, w := range []int{1, 4, 8, 16, 32, 64} {
+		if !seen[w] {
+			t.Errorf("width %d missing", w)
+		}
+	}
+}
+
+func TestDeclaredTypeFixesWidth(t *testing.T) {
+	tr := parse(t, `
+%1 = xor i32 %x, -1
+%2 = add %1, C
+=>
+%2 = sub C-1, %x
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asgs) != 1 {
+		t.Fatalf("got %d assignments, want 1", len(asgs))
+	}
+	if w := asgs[0].WidthOf(tr.Source[1]); w != 32 {
+		t.Fatalf("width = %d, want 32", w)
+	}
+}
+
+func TestICmpProducesI1(t *testing.T) {
+	tr := parse(t, `
+%1 = add nsw %x, 1
+%2 = icmp sgt %1, %x
+=>
+%2 = true
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range asgs {
+		if w := a.WidthOf(tr.Source[1]); w != 1 {
+			t.Fatalf("icmp result width = %d, want 1", w)
+		}
+	}
+	// The compared operands are free: expect one assignment per width.
+	if len(asgs) != 6 {
+		t.Fatalf("got %d assignments, want 6", len(asgs))
+	}
+}
+
+func TestSelectTypeAnnotation(t *testing.T) {
+	tr := parse(t, `
+%r = select undef, i4 -1, 0
+=>
+%r = ashr undef, 3
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asgs) != 1 {
+		t.Fatalf("got %d assignments, want 1", len(asgs))
+	}
+	if w := asgs[0].WidthOf(tr.Source[0]); w != 4 {
+		t.Fatalf("select width = %d, want 4", w)
+	}
+	// The target's undef operand is unified with the root.
+	ashr := tr.Target[0].(*ir.BinOp)
+	if w := asgs[0].WidthOf(ashr.X); w != 4 {
+		t.Fatalf("target undef width = %d, want 4", w)
+	}
+}
+
+func TestZExtOrdering(t *testing.T) {
+	tr := parse(t, `
+%r = zext %x
+=>
+%r = zext %x
+`)
+	asgs, err := Infer(tr, Options{Widths: []int{4, 8, 16}, MaxAssignments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs (from, to) with from < to: (4,8), (4,16), (8,16).
+	if len(asgs) != 3 {
+		t.Fatalf("got %d assignments, want 3", len(asgs))
+	}
+	cv := tr.Source[0].(*ir.Conv)
+	for _, a := range asgs {
+		if a.WidthOf(cv.X) >= a.WidthOf(cv) {
+			t.Fatalf("zext must strictly widen: %d -> %d", a.WidthOf(cv.X), a.WidthOf(cv))
+		}
+	}
+}
+
+func TestTruncOrdering(t *testing.T) {
+	tr := parse(t, `
+%r = trunc i16 %x to i8
+=>
+%r = trunc i16 %x to i8
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asgs) != 1 {
+		t.Fatalf("got %d, want 1", len(asgs))
+	}
+	cv := tr.Source[0].(*ir.Conv)
+	if asgs[0].WidthOf(cv.X) != 16 || asgs[0].WidthOf(cv) != 8 {
+		t.Fatal("declared conversion widths not honored")
+	}
+}
+
+func TestInfeasibleConversion(t *testing.T) {
+	tr := parse(t, `
+%r = zext i16 %x to i8
+=>
+%r = zext i16 %x to i8
+`)
+	if _, err := Infer(tr, Options{}); err == nil {
+		t.Fatal("zext i16 -> i8 must be infeasible")
+	}
+}
+
+func TestWidthConflict(t *testing.T) {
+	tr := parse(t, `
+%1 = add i8 %x, 1
+%r = add i16 %1, 1
+=>
+%r = add i16 %x, 2
+`)
+	if _, err := Infer(tr, Options{}); err == nil {
+		t.Fatal("i8/i16 conflict must be rejected")
+	}
+}
+
+func TestMemoryTypes(t *testing.T) {
+	tr := parse(t, `
+%p = alloca i32, 1
+store %v, %p
+%x = load %p
+=>
+%x = %v
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asgs) != 1 {
+		t.Fatalf("got %d assignments, want 1", len(asgs))
+	}
+	a := asgs[0]
+	al := tr.Source[0].(*ir.Alloca)
+	pt, ok := a.TypeOf(al).(ir.PtrType)
+	if !ok {
+		t.Fatalf("alloca type = %v, want pointer", a.TypeOf(al))
+	}
+	if pt.Elem.(ir.IntType).Bits != 32 {
+		t.Fatalf("pointee = %v, want i32", pt.Elem)
+	}
+	// Load result and stored value share the pointee type.
+	ld := tr.Source[2].(*ir.Load)
+	if a.WidthOf(ld) != 32 {
+		t.Fatalf("load width = %d, want 32", a.WidthOf(ld))
+	}
+	if a.WidthOf(al) != 32 {
+		t.Fatalf("pointer width = %d, want ABI 32", a.WidthOf(al))
+	}
+}
+
+func TestLoadPointerAnnotation(t *testing.T) {
+	tr := parse(t, `
+%v = load i16* %p
+=>
+%v = load i16* %p
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asgs) != 1 {
+		t.Fatalf("got %d assignments", len(asgs))
+	}
+	ld := tr.Source[0].(*ir.Load)
+	if asgs[0].WidthOf(ld) != 16 {
+		t.Fatalf("load width = %d, want 16", asgs[0].WidthOf(ld))
+	}
+}
+
+func TestPtrToIntShape(t *testing.T) {
+	tr := parse(t, `
+%q = ptrtoint %a
+%r = add %q, 1
+=>
+%r = add %q, 1
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := tr.Source[0].(*ir.Conv)
+	for _, a := range asgs {
+		if _, ok := a.TypeOf(cv.X).(ir.PtrType); !ok {
+			t.Fatalf("ptrtoint operand should be a pointer, got %v", a.TypeOf(cv.X))
+		}
+		if _, ok := a.TypeOf(cv).(ir.IntType); !ok {
+			t.Fatalf("ptrtoint result should be integer, got %v", a.TypeOf(cv))
+		}
+	}
+}
+
+func TestWidthFunctionIndependent(t *testing.T) {
+	// width(%a) in the precondition compares against C1, but the
+	// comparison class must not be unified with %a's class.
+	tr := parse(t, `
+Pre: C1 u< width(%a)
+%0 = shl i8 %a, C1
+%1 = ashr %0, C1
+=>
+%1 = %a
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asgs) == 0 {
+		t.Fatal("expected assignments")
+	}
+}
+
+func TestPredicateUnifiesArgs(t *testing.T) {
+	tr := parse(t, `
+Pre: MaskedValueIsZero(%V, ~C1)
+%t = and %V, C1
+=>
+%t = and %V, C1
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asgs) != 6 {
+		t.Fatalf("got %d assignments, want 6", len(asgs))
+	}
+}
+
+func TestMaxAssignmentsCap(t *testing.T) {
+	// Two independent classes: 6*6 = 36 combos, capped.
+	tr := parse(t, `
+%a = add %x, 1
+%r = zext %a
+=>
+%b = zext %x
+%r = add %b, 1
+`)
+	asgs, err := Infer(tr, Options{MaxAssignments: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asgs) != 5 {
+		t.Fatalf("got %d assignments, want cap of 5", len(asgs))
+	}
+}
+
+func TestBitcastSameWidth(t *testing.T) {
+	tr := parse(t, `
+%r = bitcast %x
+=>
+%r = bitcast %x
+`)
+	asgs, err := Infer(tr, Options{Widths: []int{8, 16}, MaxAssignments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := tr.Source[0].(*ir.Conv)
+	for _, a := range asgs {
+		if a.WidthOf(cv.X) != a.WidthOf(cv) {
+			t.Fatal("bitcast must preserve bit width")
+		}
+	}
+}
+
+func TestSortByPreference(t *testing.T) {
+	tr := parse(t, `
+%r = add %x, C
+=>
+%r = add %x, C
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortByPreference(asgs, tr.Source[0])
+	if w := asgs[0].WidthOf(tr.Source[0]); w != 4 {
+		t.Fatalf("first preferred width = %d, want 4", w)
+	}
+	if w := asgs[1].WidthOf(tr.Source[0]); w != 8 {
+		t.Fatalf("second preferred width = %d, want 8", w)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	tr := parse(t, `
+%r = add i8 %x, C
+=>
+%r = add i8 %x, C
+`)
+	asgs, err := Infer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := asgs[0].String()
+	if s == "" {
+		t.Fatal("empty assignment rendering")
+	}
+}
+
+// TestAssignmentConstraintProperty: every enumerated assignment must
+// satisfy the typing rules — binop operands share the result width, icmp
+// results are i1, conversions strictly order widths, and declared types
+// are honored. Checked across a sample of structurally diverse
+// transformations.
+func TestAssignmentConstraintProperty(t *testing.T) {
+	srcs := []string{
+		"%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x",
+		"%c = icmp ult %x, %y\n%r = select %c, %x, %y\n=>\n%r = select %c, %x, %y",
+		"%w = zext %x\n%r = add %w, %w\n=>\n%r = shl %w, 1",
+		"%t = trunc i16 %x to i8\n%r = zext %t to i16\n=>\n%r = and %x, 255",
+		"%p = alloca i32, 1\nstore %v, %p\n%r = load %p\n=>\n%r = %v",
+	}
+	for _, src := range srcs {
+		tr := parse(t, src)
+		asgs, err := Infer(tr, Options{MaxAssignments: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, a := range asgs {
+			checkAssignment(t, tr, a)
+		}
+	}
+}
+
+func checkAssignment(t *testing.T, tr *ir.Transform, a *Assignment) {
+	t.Helper()
+	check := func(in ir.Instr) {
+		switch in := in.(type) {
+		case *ir.BinOp:
+			if a.WidthOf(in) != a.WidthOf(in.X) || a.WidthOf(in) != a.WidthOf(in.Y) {
+				t.Errorf("%s: binop operand widths differ", in)
+			}
+			if in.DeclaredType != nil && a.TypeOf(in).String() != in.DeclaredType.String() {
+				t.Errorf("%s: declared type not honored", in)
+			}
+		case *ir.ICmp:
+			if a.WidthOf(in) != 1 {
+				t.Errorf("%s: icmp result must be i1", in)
+			}
+			if a.WidthOf(in.X) != a.WidthOf(in.Y) {
+				t.Errorf("%s: icmp operand widths differ", in)
+			}
+		case *ir.Select:
+			if a.WidthOf(in.Cond) != 1 {
+				t.Errorf("%s: select condition must be i1", in)
+			}
+			if a.WidthOf(in) != a.WidthOf(in.TrueV) || a.WidthOf(in) != a.WidthOf(in.FalseV) {
+				t.Errorf("%s: select arm widths differ", in)
+			}
+		case *ir.Conv:
+			switch in.Kind {
+			case ir.ZExt, ir.SExt:
+				if a.WidthOf(in.X) >= a.WidthOf(in) {
+					t.Errorf("%s: extension must strictly widen", in)
+				}
+			case ir.Trunc:
+				if a.WidthOf(in.X) <= a.WidthOf(in) {
+					t.Errorf("%s: trunc must strictly narrow", in)
+				}
+			}
+		case *ir.Load:
+			pt, ok := a.TypeOf(in.Ptr).(ir.PtrType)
+			if !ok {
+				t.Errorf("%s: load pointer is not a pointer type", in)
+			} else if pt.Elem.String() != a.TypeOf(in).String() {
+				t.Errorf("%s: load result type differs from pointee", in)
+			}
+		}
+	}
+	for _, in := range tr.Source {
+		check(in)
+	}
+	for _, in := range tr.Target {
+		check(in)
+	}
+	// Shared names agree across templates.
+	for _, in := range tr.Source {
+		if n := in.Name(); n != "" {
+			if tgt := tr.TargetValue(n); tgt != nil {
+				if a.WidthOf(in) != a.WidthOf(tgt) {
+					t.Errorf("%s: source/target widths differ", n)
+				}
+			}
+		}
+	}
+}

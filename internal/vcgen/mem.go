@@ -1,0 +1,398 @@
+package vcgen
+
+import (
+	"fmt"
+
+	"alive/internal/bv"
+	"alive/internal/ir"
+	"alive/internal/smt"
+)
+
+// MemEncoding carries the memory-related parts of an encoding
+// (Section 3.3). Memory is byte-addressed and encoded with the paper's
+// eager Ackermannization: stores become ite chains and loads walk them;
+// reads of untouched initial memory become fresh variables cached per
+// address term (consistent per syntactic address, as in Section 3.3.3 —
+// the paper's encoding likewise does not guarantee consistency across
+// distinct loads of the same uninitialized location).
+type MemEncoding struct {
+	// Alpha is α ∧ ᾱ: the allocation constraints of both sides.
+	Alpha *smt.Term
+	// AddrVar is the quantified address i of correctness condition 4.
+	AddrVar *smt.Term
+	// SrcFinal and TgtFinal are the final memory contents at AddrVar.
+	SrcFinal, TgtFinal *smt.Term
+	// OutsideLocal restricts condition 4 to addresses outside
+	// template-local alloca blocks (stack memory allocated inside the
+	// template is dead once it ends, so its contents are unobservable;
+	// see DESIGN.md).
+	OutsideLocal *smt.Term
+	// SrcSeqDef and TgtSeqDef are the accumulated sequence-point
+	// definedness of each template: the target may only be undefined
+	// (e.g. via an introduced store) where the source already was.
+	SrcSeqDef, TgtSeqDef *smt.Term
+}
+
+type storeEntry struct {
+	addr  *smt.Term // byte address
+	data  *smt.Term // 8-bit value
+	guard *smt.Term // definedness at the sequence point of the store
+}
+
+type allocBlock struct {
+	base  *smt.Term
+	size  int // bytes
+	align int
+}
+
+type memState struct {
+	c     *context
+	addrW int
+
+	chain  []storeEntry // most recent last
+	seqDef *smt.Term    // accumulated definedness at sequence points
+
+	blocks      []allocBlock // all alloca blocks (both sides)
+	localBlocks []allocBlock // same, used to exclude from condition 4
+	inputSizes  map[string]*smt.Term
+	alpha       []*smt.Term
+
+	m0      map[uint64]*smt.Term // initial-memory reads keyed by address term id
+	m0Reads []m0Read             // same, ordered, for Ackermann constraints
+}
+
+// m0Read records one initial-memory read for the Ackermann expansion.
+type m0Read struct {
+	addr *smt.Term
+	val  *smt.Term
+}
+
+type memSnapshot struct {
+	chain  []storeEntry
+	seqDef *smt.Term
+}
+
+func newMemState(c *context) *memState {
+	return &memState{
+		c:          c,
+		addrW:      c.asg.PtrWidth,
+		seqDef:     c.b.True(),
+		inputSizes: map[string]*smt.Term{},
+		m0:         map[uint64]*smt.Term{},
+	}
+}
+
+func (m *memState) snapshot() *memSnapshot {
+	return &memSnapshot{chain: append([]storeEntry{}, m.chain...), seqDef: m.seqDef}
+}
+
+// startTarget resets the dynamic memory state for the target template;
+// both executions start from the same initial memory m0 and the same
+// input blocks.
+func (m *memState) startTarget() {
+	m.chain = nil
+	m.seqDef = m.c.b.True()
+}
+
+// finish builds the MemEncoding once both sides are encoded.
+func (m *memState) finish(src *memSnapshot) *MemEncoding {
+	b := m.c.b
+	i := b.Var("!memidx", m.addrW)
+	outside := b.True()
+	for _, blk := range m.localBlocks {
+		inBlk := m.inRange(i, 1, blk)
+		outside = b.And(outside, b.Not(inBlk))
+	}
+	srcFinal := m.selectChain(src.chain, i)
+	tgtFinal := m.selectChain(m.chain, i)
+	// Ackermann consistency for initial-memory reads: syntactically
+	// distinct address terms that evaluate to the same address must read
+	// the same byte. (The paper's eager encoding omits this for loads of
+	// uninitialized memory; we add it because the final-memory comparison
+	// of condition 4 reads through a quantified address.)
+	for x := 0; x < len(m.m0Reads); x++ {
+		for y := x + 1; y < len(m.m0Reads); y++ {
+			rx, ry := m.m0Reads[x], m.m0Reads[y]
+			m.alpha = append(m.alpha,
+				b.Implies(b.Eq(rx.addr, ry.addr), b.Eq(rx.val, ry.val)))
+		}
+	}
+	return &MemEncoding{
+		Alpha:        b.And(m.alpha...),
+		AddrVar:      i,
+		SrcFinal:     srcFinal,
+		TgtFinal:     tgtFinal,
+		OutsideLocal: outside,
+		SrcSeqDef:    src.seqDef,
+		TgtSeqDef:    m.seqDef,
+	}
+}
+
+// initialByte returns the initial-memory content at address a, cached per
+// address term so the same syntactic address reads consistently.
+func (m *memState) initialByte(a *smt.Term) *smt.Term {
+	if v, ok := m.m0[a.ID()]; ok {
+		return v
+	}
+	v := m.c.b.Var(fmt.Sprintf("!mem0@%d", a.ID()), 8)
+	m.m0[a.ID()] = v
+	m.m0Reads = append(m.m0Reads, m0Read{addr: a, val: v})
+	return v
+}
+
+// selectChain reads one byte at address q from a store chain.
+func (m *memState) selectChain(chain []storeEntry, q *smt.Term) *smt.Term {
+	b := m.c.b
+	out := m.initialByte(q)
+	for _, st := range chain {
+		out = b.Ite(b.And(st.guard, b.Eq(q, st.addr)), st.data, out)
+	}
+	return out
+}
+
+// inRange builds: [a, a+size) lies within blk.
+func (m *memState) inRange(a *smt.Term, size int, blk allocBlock) *smt.Term {
+	b := m.c.b
+	end := b.Add(a, b.ConstUint(m.addrW, uint64(size)))
+	blkEnd := b.Add(blk.base, b.ConstUint(m.addrW, uint64(blk.size)))
+	return b.And(b.Ule(blk.base, a), b.Ule(end, blkEnd), b.Ule(a, end))
+}
+
+// accessDefined builds the definedness constraint of a size-byte access
+// at address a: non-null and within some known block (Section 3.3.1).
+func (m *memState) accessDefined(a *smt.Term, size int) *smt.Term {
+	b := m.c.b
+	parts := []*smt.Term{}
+	for _, blk := range m.blocks {
+		parts = append(parts, m.inRange(a, size, blk))
+	}
+	for name, sz := range m.inputSizes {
+		base := b.Var(name, m.addrW)
+		end := b.Add(a, b.ConstUint(m.addrW, uint64(size)))
+		blkEnd := b.Add(base, sz)
+		parts = append(parts, b.And(b.Ule(base, a), b.Ule(end, blkEnd), b.Ule(a, end), b.Ule(base, blkEnd)))
+	}
+	inSome := b.Or(parts...)
+	return b.And(b.Ne(a, b.ConstUint(m.addrW, 0)), inSome)
+}
+
+// registerInputPointer gives an input pointer a symbolic block size and
+// the non-alias-with-allocas constraints of Section 3.3.1.
+func (m *memState) registerInputPointer(name string) {
+	if _, ok := m.inputSizes[name]; ok {
+		return
+	}
+	b := m.c.b
+	sz := b.Var("!size"+name, m.addrW)
+	m.inputSizes[name] = sz
+	base := b.Var(name, m.addrW)
+	// The block does not wrap around the address space.
+	m.alpha = append(m.alpha, b.Ule(base, b.Add(base, sz)))
+}
+
+// allocSizeBytes computes the ABI-aligned allocation size of a type in
+// bytes (Section 3.3.1: round to a byte boundary, then to the ABI
+// alignment).
+func (m *memState) allocSizeBytes(t ir.Type) (size, align int) {
+	w := m.typeBits(t)
+	byteSize := (w + 7) / 8
+	align = 1
+	for align < byteSize && align < 8 {
+		align *= 2
+	}
+	size = (byteSize + align - 1) / align * align
+	return size, align
+}
+
+func (m *memState) typeBits(t ir.Type) int {
+	switch t := t.(type) {
+	case ir.IntType:
+		return t.Bits
+	case ir.PtrType:
+		return m.addrW
+	case ir.ArrayType:
+		es, _ := m.allocSizeBytes(t.Elem)
+		return es * 8 * t.N
+	}
+	return 8
+}
+
+// encodeMemInstr handles alloca, load, store, and getelementptr.
+func (c *context) encodeMemInstr(in ir.Instr) InstrEnc {
+	if c.mem == nil {
+		c.fail("vcgen: memory instruction outside memory context")
+		return InstrEnc{Val: c.b.ConstUint(1, 0), Def: c.b.True(), Poison: c.b.True()}
+	}
+	m := c.mem
+	b := c.b
+	switch in := in.(type) {
+	case *ir.Alloca:
+		return m.encodeAlloca(in)
+	case *ir.GEP:
+		return m.encodeGEP(in)
+	case *ir.Load:
+		ptr := c.encodeValue(in.Ptr)
+		c.registerIfInputPointer(in.Ptr)
+		w := c.width(in)
+		nBytes := (w + 7) / 8
+		ownDef := m.accessDefined(ptr.Val, nBytes)
+		var val *smt.Term
+		for i := 0; i < nBytes; i++ {
+			byteAt := m.selectChain(m.chain, b.Add(ptr.Val, b.ConstUint(m.addrW, uint64(i))))
+			if val == nil {
+				val = byteAt
+			} else {
+				val = b.Concat(byteAt, val) // little-endian
+			}
+		}
+		if val.Width > w {
+			val = b.Trunc(val, w)
+		}
+		def := b.And(ownDef, ptr.Def, m.seqDef)
+		return InstrEnc{Val: val, Def: def, Poison: ptr.Poison}
+	case *ir.Store:
+		val := c.encodeValue(in.Val)
+		ptr := c.encodeValue(in.Ptr)
+		c.registerIfInputPointer(in.Ptr)
+		w := val.Val.Width
+		nBytes := (w + 7) / 8
+		ownDef := m.accessDefined(ptr.Val, nBytes)
+		def := b.And(ownDef, ptr.Def, val.Def, m.seqDef)
+		padded := val.Val
+		if nBytes*8 > w {
+			padded = b.ZExt(padded, nBytes*8)
+		}
+		for i := 0; i < nBytes; i++ {
+			m.chain = append(m.chain, storeEntry{
+				addr:  b.Add(ptr.Val, b.ConstUint(m.addrW, uint64(i))),
+				data:  b.Extract(padded, i*8+7, i*8),
+				guard: def,
+			})
+		}
+		m.seqDef = def // sequence point
+		return InstrEnc{Def: def, Poison: b.And(val.Poison, ptr.Poison)}
+	}
+	c.fail("vcgen: unexpected memory instruction %T", in)
+	return InstrEnc{}
+}
+
+func (c *context) registerIfInputPointer(v ir.Value) {
+	if in, ok := v.(*ir.Input); ok {
+		if _, isPtr := c.asg.TypeOf(in).(ir.PtrType); isPtr {
+			c.mem.registerInputPointer(in.VName)
+		}
+	}
+}
+
+func (m *memState) encodeAlloca(in *ir.Alloca) InstrEnc {
+	c, b := m.c, m.c.b
+	pt, ok := c.asg.TypeOf(in).(ir.PtrType)
+	if !ok {
+		c.fail("vcgen: alloca %s is not pointer-typed", in.VName)
+		return InstrEnc{Val: b.ConstUint(m.addrW, 0), Def: b.True(), Poison: b.True()}
+	}
+	elemSize, align := m.allocSizeBytes(pt.Elem)
+	n := 1
+	if in.NumElems != nil {
+		if lit, ok := in.NumElems.(*ir.Literal); ok {
+			n = int(lit.V)
+		} else {
+			c.fail("vcgen: alloca with symbolic element count is unsupported")
+		}
+	}
+	total := elemSize * n
+	if total <= 0 {
+		total = 1
+	}
+
+	p := b.Var(in.VName, m.addrW)
+	zero := b.ConstUint(m.addrW, 0)
+	// (1) non-null, (2) aligned, (3) disjoint from other blocks,
+	// (4) no wraparound.
+	cons := []*smt.Term{b.Ne(p, zero)}
+	if align > 1 {
+		low := 0
+		for 1<<uint(low+1) <= align {
+			low++
+		}
+		cons = append(cons, b.Eq(b.Extract(p, low-1, 0), b.ConstUint(low, 0)))
+	}
+	end := b.Add(p, b.ConstUint(m.addrW, uint64(total)))
+	cons = append(cons, b.Ule(p, end))
+	for _, blk := range m.blocks {
+		blkEnd := b.Add(blk.base, b.ConstUint(m.addrW, uint64(blk.size)))
+		cons = append(cons, b.Or(b.Ule(blkEnd, p), b.Ule(end, blk.base)))
+	}
+	// Input pointer blocks must not alias alloca blocks.
+	for name, sz := range m.inputSizes {
+		base := b.Var(name, m.addrW)
+		blkEnd := b.Add(base, sz)
+		cons = append(cons, b.Or(b.Ule(blkEnd, p), b.Ule(end, base)))
+	}
+	m.alpha = append(m.alpha, cons...)
+
+	blk := allocBlock{base: p, size: total, align: align}
+	m.blocks = append(m.blocks, blk)
+	m.localBlocks = append(m.localBlocks, blk)
+
+	// Mark the region uninitialized: store a fresh value (one variable
+	// per byte) so repeated loads of the same location agree; the
+	// variables join the source undef set U.
+	for i := 0; i < total; i++ {
+		u := b.Var(fmt.Sprintf("!uninit%s@%d.%d", in.VName, len(m.blocks), i), 8)
+		if c.side == srcSide {
+			c.srcUndefs = append(c.srcUndefs, u)
+		} else {
+			c.tgtUndefs = append(c.tgtUndefs, u)
+		}
+		m.chain = append(m.chain, storeEntry{
+			addr:  b.Add(p, b.ConstUint(m.addrW, uint64(i))),
+			data:  u,
+			guard: b.True(),
+		})
+	}
+	return InstrEnc{Val: p, Def: b.True(), Poison: b.True()}
+}
+
+func (m *memState) encodeGEP(in *ir.GEP) InstrEnc {
+	c, b := m.c, m.c.b
+	ptr := c.encodeValue(in.Ptr)
+	c.registerIfInputPointer(in.Ptr)
+	addr := ptr.Val
+	def := ptr.Def
+	poison := ptr.Poison
+
+	// Element size of the pointee for the first index; nested indexes
+	// step through array element types when known, else bytes.
+	var elem ir.Type
+	if pt, ok := c.asg.TypeOf(in.Ptr).(ir.PtrType); ok {
+		elem = pt.Elem
+	}
+	scale := 1
+	if elem != nil {
+		scale, _ = m.allocSizeBytes(elem)
+	}
+	for _, ixv := range in.Indexes {
+		ix := c.encodeValue(ixv)
+		def = b.And(def, ix.Def)
+		poison = b.And(poison, ix.Poison)
+		idx := ix.Val
+		switch {
+		case idx.Width < m.addrW:
+			idx = b.SExt(idx, m.addrW)
+		case idx.Width > m.addrW:
+			idx = b.Trunc(idx, m.addrW)
+		}
+		addr = b.Add(addr, b.Mul(idx, b.ConstUint(m.addrW, uint64(scale))))
+		// Descend one level for the next index.
+		if at, ok := elem.(ir.ArrayType); ok {
+			elem = at.Elem
+			scale, _ = m.allocSizeBytes(elem)
+		} else {
+			scale = 1
+		}
+	}
+	return InstrEnc{Val: addr, Def: def, Poison: poison}
+}
+
+func minSigned(w int) bv.Vec { return bv.MinSigned(w) }

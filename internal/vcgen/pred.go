@@ -1,0 +1,183 @@
+package vcgen
+
+import (
+	"alive/internal/ir"
+	"alive/internal/smt"
+)
+
+// encodePred lowers a precondition to SMT. Built-in predicates backed by
+// LLVM dataflow analyses are encoded precisely when every argument is a
+// compile-time constant and as fresh must-analysis Booleans with a side
+// constraint p ⇒ s otherwise (Section 3.1.1). The side constraints
+// accumulate in c.sideCons and are conjoined into φ by Encode.
+func (c *context) encodePred(p ir.Pred) *smt.Term {
+	b := c.b
+	switch q := p.(type) {
+	case nil, ir.TruePred:
+		return b.True()
+	case *ir.NotPred:
+		return b.Not(c.encodePred(q.P))
+	case *ir.AndPred:
+		parts := make([]*smt.Term, len(q.Ps))
+		for i, r := range q.Ps {
+			parts[i] = c.encodePred(r)
+		}
+		return b.And(parts...)
+	case *ir.OrPred:
+		parts := make([]*smt.Term, len(q.Ps))
+		for i, r := range q.Ps {
+			parts[i] = c.encodePred(r)
+		}
+		return b.Or(parts...)
+	case *ir.CmpPred:
+		x := c.encodeValue(q.X).Val
+		y := c.encodeValue(q.Y).Val
+		switch q.Op {
+		case ir.PEq:
+			return b.Eq(x, y)
+		case ir.PNe:
+			return b.Ne(x, y)
+		case ir.PSlt:
+			return b.Slt(x, y)
+		case ir.PSle:
+			return b.Sle(x, y)
+		case ir.PSgt:
+			return b.Sgt(x, y)
+		case ir.PSge:
+			return b.Sge(x, y)
+		case ir.PUlt:
+			return b.Ult(x, y)
+		case ir.PUle:
+			return b.Ule(x, y)
+		case ir.PUgt:
+			return b.Ugt(x, y)
+		case ir.PUge:
+			return b.Uge(x, y)
+		}
+		c.fail("vcgen: unknown comparison in precondition")
+		return b.True()
+	case *ir.FuncPred:
+		return c.encodeFuncPred(q)
+	}
+	c.fail("vcgen: unknown predicate %T", p)
+	return b.True()
+}
+
+// analysisKind distinguishes how a built-in predicate approximates the
+// dataflow fact it reports.
+type analysisKind int
+
+const (
+	mustAnalysis analysisKind = iota // p ⇒ s
+	mayAnalysis                      // s ⇒ p
+	structural                       // about the IR graph, not values
+)
+
+// predSpec describes one built-in predicate.
+type predSpec struct {
+	kind  analysisKind
+	arity int
+	// sem builds the exact semantic fact s over the encoded arguments.
+	sem func(c *context, args []*smt.Term) *smt.Term
+}
+
+var predSpecs = map[string]predSpec{
+	"isPowerOf2": {mustAnalysis, 1, func(c *context, a []*smt.Term) *smt.Term {
+		b := c.b
+		zero := b.ConstUint(a[0].Width, 0)
+		one := b.ConstUint(a[0].Width, 1)
+		return b.And(b.Ne(a[0], zero), b.Eq(b.BVAnd(a[0], b.Sub(a[0], one)), zero))
+	}},
+	"isPowerOf2OrZero": {mustAnalysis, 1, func(c *context, a []*smt.Term) *smt.Term {
+		b := c.b
+		zero := b.ConstUint(a[0].Width, 0)
+		one := b.ConstUint(a[0].Width, 1)
+		return b.Eq(b.BVAnd(a[0], b.Sub(a[0], one)), zero)
+	}},
+	"isSignBit": {mustAnalysis, 1, func(c *context, a []*smt.Term) *smt.Term {
+		return c.b.Eq(a[0], c.b.Const(minSigned(a[0].Width)))
+	}},
+	"isShiftedMask": {mustAnalysis, 1, func(c *context, a []*smt.Term) *smt.Term {
+		// A contiguous run of ones: a != 0 and (a | (a-1)) + 1 shares no
+		// bits with (a | (a-1)).
+		b := c.b
+		w := a[0].Width
+		zero := b.ConstUint(w, 0)
+		one := b.ConstUint(w, 1)
+		filled := b.BVOr(a[0], b.Sub(a[0], one))
+		return b.And(b.Ne(a[0], zero), b.Eq(b.BVAnd(b.Add(filled, one), filled), zero))
+	}},
+	"MaskedValueIsZero": {mustAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return c.b.Eq(c.b.BVAnd(a[0], a[1]), c.b.ConstUint(a[0].Width, 0))
+	}},
+	"WillNotOverflowSignedAdd": {mustAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return noWrapFact(c, ir.Add, a, true)
+	}},
+	"WillNotOverflowUnsignedAdd": {mustAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return noWrapFact(c, ir.Add, a, false)
+	}},
+	"WillNotOverflowSignedSub": {mustAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return noWrapFact(c, ir.Sub, a, true)
+	}},
+	"WillNotOverflowUnsignedSub": {mustAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return noWrapFact(c, ir.Sub, a, false)
+	}},
+	"WillNotOverflowSignedMul": {mustAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return noWrapFact(c, ir.Mul, a, true)
+	}},
+	"WillNotOverflowUnsignedMul": {mustAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return noWrapFact(c, ir.Mul, a, false)
+	}},
+	"WillNotOverflowSignedShl": {mustAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return noWrapFact(c, ir.Shl, a, true)
+	}},
+	"WillNotOverflowUnsignedShl": {mustAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return noWrapFact(c, ir.Shl, a, false)
+	}},
+	"mayAlias": {mayAnalysis, 2, func(c *context, a []*smt.Term) *smt.Term {
+		return c.b.Eq(a[0], a[1])
+	}},
+	"hasOneUse": {structural, 1, nil},
+	"OneUse":    {structural, 1, nil},
+}
+
+func noWrapFact(c *context, op ir.BinOpKind, a []*smt.Term, signed bool) *smt.Term {
+	return c.noWrap(op, a[0], a[1], signed)
+}
+
+func (c *context) encodeFuncPred(q *ir.FuncPred) *smt.Term {
+	spec, ok := predSpecs[q.FName]
+	if !ok {
+		c.fail("vcgen: unknown predicate %q", q.FName)
+		return c.b.True()
+	}
+	if spec.arity != len(q.Args) {
+		c.fail("vcgen: %s expects %d arguments, got %d", q.FName, spec.arity, len(q.Args))
+		return c.b.True()
+	}
+	if spec.kind == structural {
+		// Structural predicates (hasOneUse) constrain where the generated
+		// code fires, not the values; for refinement they are vacuous.
+		return c.b.True()
+	}
+	args := make([]*smt.Term, len(q.Args))
+	precise := true
+	for i, a := range q.Args {
+		args[i] = c.encodeValue(a).Val
+		if !ir.IsConstValue(a) {
+			precise = false
+		}
+	}
+	s := spec.sem(c, args)
+	if precise {
+		// Analyses are precise on compile-time constants.
+		return s
+	}
+	p := c.b.BoolVar(c.freshName("pred." + q.FName))
+	if spec.kind == mustAnalysis {
+		c.sideCons = append(c.sideCons, c.b.Implies(p, s))
+	} else {
+		c.sideCons = append(c.sideCons, c.b.Implies(s, p))
+	}
+	return p
+}

@@ -1,0 +1,546 @@
+// Package vcgen generates verification conditions for Alive
+// transformations (Section 3.1.1 of the paper). For each instruction it
+// computes three SMT expressions: the value produced (ι), the cases where
+// execution is defined (δ, Table 1), and the cases where no poison value
+// is produced (ρ, Table 2). Definedness and poison-freedom aggregate over
+// def-use chains. Undef values become fresh quantified variables;
+// precondition predicates are encoded precisely when their arguments are
+// compile-time constants and as fresh must-analysis variables with side
+// constraints otherwise (Section 3.1.1).
+package vcgen
+
+import (
+	"fmt"
+
+	"alive/internal/ir"
+	"alive/internal/smt"
+	"alive/internal/typing"
+)
+
+// InstrEnc is the triple (ι, δ, ρ) for one value: δ and ρ are aggregated
+// over the value's def-use chain.
+type InstrEnc struct {
+	Val    *smt.Term // ι: nil for void instructions
+	Def    *smt.Term // δ: defined
+	Poison *smt.Term // ρ: poison-free
+}
+
+// Encoding is the full encoding of a transformation under one type
+// assignment.
+type Encoding struct {
+	B   *smt.Builder
+	Asg *typing.Assignment
+
+	// Pre is φ conjoined with the side constraints of approximated
+	// analyses (must: p ⇒ s).
+	Pre *smt.Term
+
+	// Src and Tgt map instruction names to their encodings.
+	Src map[string]InstrEnc
+	Tgt map[string]InstrEnc
+
+	// SharedNames lists the names defined in both templates (the root and
+	// any overwritten temporaries) — the pairs the correctness conditions
+	// range over.
+	SharedNames []string
+	Root        string
+
+	// SrcUndefs (U) and TgtUndefs (U̅) are the quantified undef variables.
+	SrcUndefs []*smt.Term
+	TgtUndefs []*smt.Term
+
+	// Memory state; nil when the transformation is memory-free.
+	Mem *MemEncoding
+}
+
+type side int
+
+const (
+	srcSide side = iota
+	tgtSide
+)
+
+type context struct {
+	b   *smt.Builder
+	asg *typing.Assignment
+	t   *ir.Transform
+
+	cache map[ir.Value]InstrEnc
+	side  side
+
+	srcUndefs []*smt.Term
+	tgtUndefs []*smt.Term
+	sideCons  []*smt.Term // predicate side constraints
+	fresh     int
+
+	mem *memState
+	err error
+}
+
+// Encode builds the verification-condition encoding of t under the type
+// assignment asg, using builder b.
+func Encode(b *smt.Builder, t *ir.Transform, asg *typing.Assignment) (*Encoding, error) {
+	c := &context{b: b, asg: asg, t: t, cache: map[ir.Value]InstrEnc{}}
+	if hasMemory(t) {
+		c.mem = newMemState(c)
+	}
+
+	enc := &Encoding{B: b, Asg: asg, Src: map[string]InstrEnc{}, Tgt: map[string]InstrEnc{}, Root: t.Root}
+
+	// Register every pointer-typed input up front so both templates see
+	// the same set of input memory blocks (access definedness must not
+	// depend on the order blocks are first touched).
+	if c.mem != nil {
+		for _, in := range t.Inputs() {
+			c.registerIfInputPointer(in)
+		}
+	}
+
+	// Source template, in order (sequence points matter for memory).
+	c.side = srcSide
+	for _, in := range t.Source {
+		e := c.encodeInstr(in)
+		if n := in.Name(); n != "" {
+			enc.Src[n] = e
+		}
+	}
+	var srcMem *memSnapshot
+	if c.mem != nil {
+		srcMem = c.mem.snapshot()
+		c.mem.startTarget()
+	}
+
+	// Target template.
+	c.side = tgtSide
+	for _, in := range t.Target {
+		e := c.encodeInstr(in)
+		if n := in.Name(); n != "" {
+			enc.Tgt[n] = e
+		}
+	}
+
+	// Precondition (encoded with the source-side cache; predicates refer
+	// only to inputs, constants, and source temporaries).
+	pre := c.encodePred(t.Pre)
+	if c.err != nil {
+		return nil, c.err
+	}
+	enc.Pre = b.And(append([]*smt.Term{pre}, c.sideCons...)...)
+
+	for _, in := range t.Source {
+		n := in.Name()
+		if n != "" && t.TargetValue(n) != nil {
+			enc.SharedNames = append(enc.SharedNames, n)
+		}
+	}
+	enc.SrcUndefs = c.srcUndefs
+	enc.TgtUndefs = c.tgtUndefs
+	if c.mem != nil {
+		enc.Mem = c.mem.finish(srcMem)
+	}
+	return enc, nil
+}
+
+func hasMemory(t *ir.Transform) bool {
+	for _, ins := range [][]ir.Instr{t.Source, t.Target} {
+		for _, in := range ins {
+			switch in.(type) {
+			case *ir.Alloca, *ir.Load, *ir.Store, *ir.GEP:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *context) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *context) freshName(prefix string) string {
+	c.fresh++
+	return fmt.Sprintf("!%s%d", prefix, c.fresh)
+}
+
+// width returns the bit width of v under the current type assignment.
+func (c *context) width(v ir.Value) int {
+	w := c.asg.WidthOf(v)
+	if w <= 0 {
+		c.fail("vcgen: no width for %s", v)
+		return 1
+	}
+	return w
+}
+
+// encodeValue returns the (ι, δ, ρ) triple of any operand value.
+func (c *context) encodeValue(v ir.Value) InstrEnc {
+	if e, ok := c.cache[v]; ok {
+		return e
+	}
+	var e InstrEnc
+	tru := c.b.True()
+	switch v := v.(type) {
+	case *ir.Input:
+		e = InstrEnc{Val: c.b.Var(v.VName, c.width(v)), Def: tru, Poison: tru}
+	case *ir.Literal:
+		e = InstrEnc{Val: c.b.ConstInt(c.width(v), v.V), Def: tru, Poison: tru}
+	case *ir.AbstractConst:
+		e = InstrEnc{Val: c.b.Var(v.CName, c.width(v)), Def: tru, Poison: tru}
+	case *ir.UndefValue:
+		u := c.b.Var(fmt.Sprintf("undef!%d", v.Label), c.width(v))
+		if c.side == srcSide {
+			c.srcUndefs = append(c.srcUndefs, u)
+		} else {
+			c.tgtUndefs = append(c.tgtUndefs, u)
+		}
+		e = InstrEnc{Val: u, Def: tru, Poison: tru}
+	case *ir.ConstUnExpr:
+		x := c.encodeValue(v.X)
+		val := x.Val
+		if v.Op == ir.CNeg {
+			val = c.b.Neg(val)
+		} else {
+			val = c.b.BVNot(val)
+		}
+		e = InstrEnc{Val: val, Def: tru, Poison: tru}
+	case *ir.ConstBinExpr:
+		x, y := c.encodeValue(v.X), c.encodeValue(v.Y)
+		e = InstrEnc{Val: c.constBin(v.Op, x.Val, y.Val), Def: tru, Poison: tru}
+	case *ir.ConstFunc:
+		e = InstrEnc{Val: c.constFunc(v), Def: tru, Poison: tru}
+	case ir.Instr:
+		e = c.encodeInstr(v)
+		c.cache[v] = e
+		return e
+	default:
+		c.fail("vcgen: cannot encode %T", v)
+		e = InstrEnc{Val: c.b.ConstUint(1, 0), Def: tru, Poison: tru}
+	}
+	c.cache[v] = e
+	return e
+}
+
+func (c *context) constBin(op ir.ConstBinOp, x, y *smt.Term) *smt.Term {
+	switch op {
+	case ir.CAdd:
+		return c.b.Add(x, y)
+	case ir.CSub:
+		return c.b.Sub(x, y)
+	case ir.CMul:
+		return c.b.Mul(x, y)
+	case ir.CSDiv:
+		return c.b.Sdiv(x, y)
+	case ir.CUDiv:
+		return c.b.Udiv(x, y)
+	case ir.CSRem:
+		return c.b.Srem(x, y)
+	case ir.CURem:
+		return c.b.Urem(x, y)
+	case ir.CShl:
+		return c.b.Shl(x, y)
+	case ir.CAShr:
+		return c.b.Ashr(x, y)
+	case ir.CLShr:
+		return c.b.Lshr(x, y)
+	case ir.CAnd:
+		return c.b.BVAnd(x, y)
+	case ir.COr:
+		return c.b.BVOr(x, y)
+	case ir.CXor:
+		return c.b.BVXor(x, y)
+	}
+	c.fail("vcgen: unknown constant operator %v", op)
+	return x
+}
+
+// constFunc encodes the built-in constant functions.
+func (c *context) constFunc(v *ir.ConstFunc) *smt.Term {
+	w := c.width(v)
+	arg := func(i int) *smt.Term { return c.encodeValue(v.Args[i]).Val }
+	switch v.FName {
+	case "width":
+		// Compile-time constant: the bit width of the argument.
+		return c.b.ConstUint(w, uint64(c.width(v.Args[0])))
+	case "log2":
+		return c.log2(arg(0))
+	case "abs":
+		a := arg(0)
+		return c.b.Ite(c.b.Slt(a, c.b.ConstUint(w, 0)), c.b.Neg(a), a)
+	case "umax":
+		a, b := arg(0), arg(1)
+		return c.b.Ite(c.b.Ugt(a, b), a, b)
+	case "umin":
+		a, b := arg(0), arg(1)
+		return c.b.Ite(c.b.Ult(a, b), a, b)
+	case "smax", "max":
+		a, b := arg(0), arg(1)
+		return c.b.Ite(c.b.Sgt(a, b), a, b)
+	case "smin", "min":
+		a, b := arg(0), arg(1)
+		return c.b.Ite(c.b.Slt(a, b), a, b)
+	case "ctlz", "countLeadingZeros":
+		return c.countZeros(arg(0), true)
+	case "cttz", "countTrailingZeros":
+		return c.countZeros(arg(0), false)
+	case "zext":
+		return c.b.ZExt(arg(0), w)
+	case "sext":
+		return c.b.SExt(arg(0), w)
+	case "trunc":
+		return c.b.Trunc(arg(0), w)
+	}
+	c.fail("vcgen: unknown constant function %q", v.FName)
+	return c.b.ConstUint(w, 0)
+}
+
+// log2 returns the index of the highest set bit (0 for input 0).
+func (c *context) log2(a *smt.Term) *smt.Term {
+	w := a.Width
+	out := c.b.ConstUint(w, 0)
+	for i := 1; i < w; i++ {
+		bit := c.b.Extract(a, i, i)
+		out = c.b.Ite(c.b.Eq(bit, c.b.ConstUint(1, 1)), c.b.ConstUint(w, uint64(i)), out)
+	}
+	return out
+}
+
+func (c *context) countZeros(a *smt.Term, leading bool) *smt.Term {
+	w := a.Width
+	out := c.b.ConstUint(w, uint64(w))
+	// Scan from the far end toward the counted end so the nearest set bit
+	// wins.
+	for i := 0; i < w; i++ {
+		var idx, count int
+		if leading {
+			idx, count = i, w-1-i
+		} else {
+			idx, count = w-1-i, w-1-i
+			count = idx
+		}
+		bit := c.b.Extract(a, idx, idx)
+		out = c.b.Ite(c.b.Eq(bit, c.b.ConstUint(1, 1)), c.b.ConstUint(w, uint64(count)), out)
+	}
+	return out
+}
+
+// encodeInstr encodes one instruction, aggregating δ and ρ over operands.
+func (c *context) encodeInstr(in ir.Instr) InstrEnc {
+	if e, ok := c.cache[in]; ok {
+		return e
+	}
+	var e InstrEnc
+	switch in := in.(type) {
+	case *ir.BinOp:
+		e = c.encodeBinOp(in)
+	case *ir.ICmp:
+		x, y := c.encodeValue(in.X), c.encodeValue(in.Y)
+		cond := c.icmpTerm(in.Cond, x.Val, y.Val)
+		e = InstrEnc{
+			Val:    c.b.Ite(cond, c.b.ConstUint(1, 1), c.b.ConstUint(1, 0)),
+			Def:    c.b.And(x.Def, y.Def),
+			Poison: c.b.And(x.Poison, y.Poison),
+		}
+	case *ir.Select:
+		cd, tv, fv := c.encodeValue(in.Cond), c.encodeValue(in.TrueV), c.encodeValue(in.FalseV)
+		sel := c.b.Eq(cd.Val, c.b.ConstUint(1, 1))
+		e = InstrEnc{
+			Val:    c.b.Ite(sel, tv.Val, fv.Val),
+			Def:    c.b.And(cd.Def, tv.Def, fv.Def),
+			Poison: c.b.And(cd.Poison, tv.Poison, fv.Poison),
+		}
+	case *ir.Conv:
+		e = c.encodeConv(in)
+	case *ir.Copy:
+		e = c.encodeValue(in.X)
+	case *ir.Alloca, *ir.Load, *ir.Store, *ir.GEP:
+		e = c.encodeMemInstr(in)
+	case *ir.Unreachable:
+		e = InstrEnc{Def: c.b.False(), Poison: c.b.True()}
+	default:
+		c.fail("vcgen: cannot encode instruction %T", in)
+		e = InstrEnc{Val: c.b.ConstUint(1, 0), Def: c.b.True(), Poison: c.b.True()}
+	}
+	c.cache[in] = e
+	return e
+}
+
+func (c *context) icmpTerm(cond ir.CmpCond, x, y *smt.Term) *smt.Term {
+	switch cond {
+	case ir.CondEq:
+		return c.b.Eq(x, y)
+	case ir.CondNe:
+		return c.b.Ne(x, y)
+	case ir.CondUgt:
+		return c.b.Ugt(x, y)
+	case ir.CondUge:
+		return c.b.Uge(x, y)
+	case ir.CondUlt:
+		return c.b.Ult(x, y)
+	case ir.CondUle:
+		return c.b.Ule(x, y)
+	case ir.CondSgt:
+		return c.b.Sgt(x, y)
+	case ir.CondSge:
+		return c.b.Sge(x, y)
+	case ir.CondSlt:
+		return c.b.Slt(x, y)
+	case ir.CondSle:
+		return c.b.Sle(x, y)
+	}
+	c.fail("vcgen: unknown icmp condition")
+	return c.b.True()
+}
+
+// encodeBinOp computes ι, the Table 1 definedness constraint, and the
+// Table 2 poison-free constraint of a binary operator.
+func (c *context) encodeBinOp(in *ir.BinOp) InstrEnc {
+	x, y := c.encodeValue(in.X), c.encodeValue(in.Y)
+	a, bb := x.Val, y.Val
+	w := a.Width
+	b := c.b
+
+	var val *smt.Term
+	ownDef := b.True()
+	ownPoison := b.True()
+
+	zero := b.ConstUint(w, 0)
+	intMin := b.Const(minSigned(w))
+	widthK := b.ConstUint(w, uint64(w))
+
+	switch in.Op {
+	case ir.Add:
+		val = b.Add(a, bb)
+	case ir.Sub:
+		val = b.Sub(a, bb)
+	case ir.Mul:
+		val = b.Mul(a, bb)
+	case ir.UDiv:
+		val = b.Udiv(a, bb)
+		ownDef = b.Ne(bb, zero)
+	case ir.SDiv:
+		val = b.Sdiv(a, bb)
+		ownDef = b.And(b.Ne(bb, zero),
+			b.Or(b.Ne(a, intMin), b.Ne(bb, b.ConstInt(w, -1))))
+	case ir.URem:
+		val = b.Urem(a, bb)
+		ownDef = b.Ne(bb, zero)
+	case ir.SRem:
+		val = b.Srem(a, bb)
+		ownDef = b.And(b.Ne(bb, zero),
+			b.Or(b.Ne(a, intMin), b.Ne(bb, b.ConstInt(w, -1))))
+	case ir.Shl:
+		val = b.Shl(a, bb)
+		ownDef = b.Ult(bb, widthK)
+	case ir.LShr:
+		val = b.Lshr(a, bb)
+		ownDef = b.Ult(bb, widthK)
+	case ir.AShr:
+		val = b.Ashr(a, bb)
+		ownDef = b.Ult(bb, widthK)
+	case ir.And:
+		val = b.BVAnd(a, bb)
+	case ir.Or:
+		val = b.BVOr(a, bb)
+	case ir.Xor:
+		val = b.BVXor(a, bb)
+	default:
+		c.fail("vcgen: unknown binop %v", in.Op)
+		val = a
+	}
+
+	var poisonParts []*smt.Term
+	if in.Flags&ir.NSW != 0 {
+		poisonParts = append(poisonParts, c.noWrap(in.Op, a, bb, true))
+	}
+	if in.Flags&ir.NUW != 0 {
+		poisonParts = append(poisonParts, c.noWrap(in.Op, a, bb, false))
+	}
+	if in.Flags&ir.Exact != 0 {
+		poisonParts = append(poisonParts, c.exactCond(in.Op, a, bb))
+	}
+	if len(poisonParts) > 0 {
+		ownPoison = b.And(poisonParts...)
+	}
+
+	return InstrEnc{
+		Val:    val,
+		Def:    b.And(ownDef, x.Def, y.Def),
+		Poison: b.And(ownPoison, x.Poison, y.Poison),
+	}
+}
+
+// noWrap builds the Table 2 poison-free constraint for nsw (signed=true)
+// or nuw on add, sub, mul, shl.
+func (c *context) noWrap(op ir.BinOpKind, a, bb *smt.Term, signed bool) *smt.Term {
+	b := c.b
+	w := a.Width
+	ext := func(t *smt.Term, by int) *smt.Term {
+		if signed {
+			return b.SExt(t, t.Width+by)
+		}
+		return b.ZExt(t, t.Width+by)
+	}
+	switch op {
+	case ir.Add:
+		return b.Eq(b.Add(ext(a, 1), ext(bb, 1)), ext(b.Add(a, bb), 1))
+	case ir.Sub:
+		return b.Eq(b.Sub(ext(a, 1), ext(bb, 1)), ext(b.Sub(a, bb), 1))
+	case ir.Mul:
+		return b.Eq(b.Mul(ext(a, w), ext(bb, w)), ext(b.Mul(a, bb), w))
+	case ir.Shl:
+		// shl nsw: (a << b) >>s b = a; shl nuw: (a << b) >>u b = a.
+		sh := b.Shl(a, bb)
+		if signed {
+			return b.Eq(b.Ashr(sh, bb), a)
+		}
+		return b.Eq(b.Lshr(sh, bb), a)
+	}
+	c.fail("vcgen: nsw/nuw on unsupported operator %v", op)
+	return b.True()
+}
+
+// exactCond builds the Table 2 constraint for the exact attribute.
+func (c *context) exactCond(op ir.BinOpKind, a, bb *smt.Term) *smt.Term {
+	b := c.b
+	switch op {
+	case ir.SDiv:
+		return b.Eq(b.Mul(b.Sdiv(a, bb), bb), a)
+	case ir.UDiv:
+		return b.Eq(b.Mul(b.Udiv(a, bb), bb), a)
+	case ir.AShr:
+		return b.Eq(b.Shl(b.Ashr(a, bb), bb), a)
+	case ir.LShr:
+		return b.Eq(b.Shl(b.Lshr(a, bb), bb), a)
+	}
+	c.fail("vcgen: exact on unsupported operator %v", op)
+	return b.True()
+}
+
+func (c *context) encodeConv(in *ir.Conv) InstrEnc {
+	x := c.encodeValue(in.X)
+	w := c.width(in)
+	b := c.b
+	var val *smt.Term
+	switch in.Kind {
+	case ir.ZExt:
+		val = b.ZExt(x.Val, w)
+	case ir.SExt:
+		val = b.SExt(x.Val, w)
+	case ir.Trunc:
+		val = b.Trunc(x.Val, w)
+	case ir.BitCast:
+		val = x.Val // same bit width by typing
+	case ir.PtrToInt, ir.IntToPtr:
+		switch {
+		case x.Val.Width > w:
+			val = b.Trunc(x.Val, w)
+		case x.Val.Width < w:
+			val = b.ZExt(x.Val, w)
+		default:
+			val = x.Val
+		}
+	}
+	return InstrEnc{Val: val, Def: x.Def, Poison: x.Poison}
+}

@@ -1,0 +1,402 @@
+package vcgen
+
+import (
+	"testing"
+
+	"alive/internal/bv"
+	"alive/internal/ir"
+	"alive/internal/parser"
+	"alive/internal/smt"
+	"alive/internal/typing"
+)
+
+// encodeSrc parses a transformation and encodes it at width 8 (or the
+// declared types), returning the encoding.
+func encodeSrc(t *testing.T, src string) (*ir.Transform, *Encoding) {
+	t.Helper()
+	tr, err := parser.ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	asgs, err := typing.Infer(tr, typing.Options{Widths: []int{8}})
+	if err != nil {
+		t.Fatalf("typing: %v", err)
+	}
+	b := smt.NewBuilder()
+	enc, err := Encode(b, tr, asgs[0])
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return tr, enc
+}
+
+// evalWith evaluates a term under the given 8-bit variable bindings.
+func evalWith(term *smt.Term, binds map[string]uint64) smt.Value {
+	m := smt.NewModel()
+	for k, v := range binds {
+		m.BVs[k] = bv.New(8, v)
+	}
+	return smt.Eval(term, m)
+}
+
+// TestTable1 checks the definedness constraints of Table 1 by evaluating
+// δ of each instruction on concrete inputs.
+func TestTable1(t *testing.T) {
+	cases := []struct {
+		op      string
+		a, b    uint64
+		defined bool
+	}{
+		// sdiv: b != 0 && (a != INT_MIN || b != -1)
+		{"sdiv", 10, 2, true},
+		{"sdiv", 10, 0, false},
+		{"sdiv", 0x80, 0xFF, false}, // INT_MIN / -1
+		{"sdiv", 0x80, 2, true},
+		{"sdiv", 10, 0xFF, true},
+		// udiv: b != 0
+		{"udiv", 10, 0, false},
+		{"udiv", 0x80, 0xFF, true},
+		// srem like sdiv
+		{"srem", 0x80, 0xFF, false},
+		{"srem", 7, 3, true},
+		{"srem", 7, 0, false},
+		// urem: b != 0
+		{"urem", 7, 0, false},
+		{"urem", 0x80, 0xFF, true},
+		// shifts: b <u width
+		{"shl", 1, 7, true},
+		{"shl", 1, 8, false},
+		{"shl", 1, 200, false},
+		{"lshr", 1, 7, true},
+		{"lshr", 1, 8, false},
+		{"ashr", 1, 7, true},
+		{"ashr", 1, 9, false},
+		// always-defined ops
+		{"add", 0xFF, 0xFF, true},
+		{"mul", 0xFF, 0xFF, true},
+		{"xor", 0, 0, true},
+	}
+	for _, c := range cases {
+		_, enc := encodeSrc(t, "%r = "+c.op+" %a, %b\n=>\n%r = "+c.op+" %a, %b")
+		got := evalWith(enc.Src["%r"].Def, map[string]uint64{"%a": c.a, "%b": c.b})
+		if got.B != c.defined {
+			t.Errorf("%s %#x, %#x: defined = %v, want %v", c.op, c.a, c.b, got.B, c.defined)
+		}
+	}
+}
+
+// TestTable2 checks the poison-free constraints of Table 2.
+func TestTable2(t *testing.T) {
+	cases := []struct {
+		instr      string
+		a, b       uint64
+		poisonFree bool
+	}{
+		// add nsw: signed overflow poisons
+		{"add nsw", 100, 100, false}, // 200 > 127
+		{"add nsw", 100, 27, true},   // 127 exactly
+		{"add nsw", 0x80, 0xFF, false},
+		{"add nsw", 0xFF, 0xFF, true}, // -1 + -1 = -2 fine
+		// add nuw: unsigned overflow poisons
+		{"add nuw", 0xFF, 1, false},
+		{"add nuw", 0xFE, 1, true},
+		// sub nsw
+		{"sub nsw", 0x80, 1, false}, // INT_MIN - 1
+		{"sub nsw", 0, 1, true},
+		// sub nuw
+		{"sub nuw", 0, 1, false},
+		{"sub nuw", 5, 5, true},
+		// mul nsw
+		{"mul nsw", 16, 8, false}, // 128 overflows signed
+		{"mul nsw", 16, 7, true},  // 112 fits
+		// mul nuw
+		{"mul nuw", 16, 16, false}, // 256 overflows
+		{"mul nuw", 16, 15, true},  // 240 fits
+		// shl nsw: (a << b) >>s b == a
+		{"shl nsw", 1, 6, true},    // 64, sign ok
+		{"shl nsw", 1, 7, false},   // 128 = negative
+		{"shl nsw", 0xFF, 1, true}, // -1 << 1 = -2, recovers
+		// shl nuw: (a << b) >>u b == a
+		{"shl nuw", 1, 7, true},
+		{"shl nuw", 3, 7, false}, // loses a bit
+		// sdiv exact: (a / b) * b == a
+		{"sdiv exact", 8, 2, true},
+		{"sdiv exact", 9, 2, false},
+		{"sdiv exact", 0xF8, 2, true}, // -8 / 2
+		// udiv exact
+		{"udiv exact", 9, 3, true},
+		{"udiv exact", 10, 3, false},
+		// ashr exact: (a >>s b) << b == a
+		{"ashr exact", 8, 2, true},
+		{"ashr exact", 9, 2, false},
+		{"ashr exact", 0xF8, 3, true}, // -8 >> 3 recovers
+		// lshr exact
+		{"lshr exact", 8, 2, true},
+		{"lshr exact", 9, 2, false},
+	}
+	for _, c := range cases {
+		_, enc := encodeSrc(t, "%r = "+c.instr+" %a, %b\n=>\n%r = "+c.instr+" %a, %b")
+		got := evalWith(enc.Src["%r"].Poison, map[string]uint64{"%a": c.a, "%b": c.b})
+		if got.B != c.poisonFree {
+			t.Errorf("%s %#x, %#x: poison-free = %v, want %v", c.instr, c.a, c.b, got.B, c.poisonFree)
+		}
+	}
+}
+
+// TestDefUseAggregation checks that δ and ρ flow through def-use chains
+// (Section 3.1.1).
+func TestDefUseAggregation(t *testing.T) {
+	_, enc := encodeSrc(t, `
+%0 = shl nsw %a, %c1
+%1 = ashr %0, %c2
+=>
+%1 = shl %a, %c1
+`)
+	// δ%1 must require both shift amounts in range.
+	def := enc.Src["%1"].Def
+	if v := evalWith(def, map[string]uint64{"%a": 1, "%c1": 9, "%c2": 1}); v.B {
+		t.Error("definedness must aggregate the first shift's constraint")
+	}
+	if v := evalWith(def, map[string]uint64{"%a": 1, "%c1": 1, "%c2": 9}); v.B {
+		t.Error("definedness must include the second shift's constraint")
+	}
+	if v := evalWith(def, map[string]uint64{"%a": 1, "%c1": 1, "%c2": 1}); !v.B {
+		t.Error("both shifts in range should be defined")
+	}
+	// ρ%1 inherits the nsw condition of %0.
+	poison := enc.Src["%1"].Poison
+	if v := evalWith(poison, map[string]uint64{"%a": 1, "%c1": 7, "%c2": 0}); v.B {
+		t.Error("poison must flow from the nsw shl to its user")
+	}
+}
+
+func TestUndefPartition(t *testing.T) {
+	_, enc := encodeSrc(t, `
+%r = or %x, undef
+=>
+%r = or undef, %x
+`)
+	if len(enc.SrcUndefs) != 1 {
+		t.Fatalf("source undefs = %d, want 1", len(enc.SrcUndefs))
+	}
+	if len(enc.TgtUndefs) != 1 {
+		t.Fatalf("target undefs = %d, want 1", len(enc.TgtUndefs))
+	}
+	if enc.SrcUndefs[0] == enc.TgtUndefs[0] {
+		t.Fatal("source and target undefs must be distinct variables")
+	}
+}
+
+func TestSharedNames(t *testing.T) {
+	tr, enc := encodeSrc(t, `
+%s = shl %Power, %A
+%Y = lshr %s, %B
+%r = udiv %X, %Y
+=>
+%sub = sub %A, %B
+%Y = shl %Power, %sub
+%r = udiv %X, %Y
+`)
+	if tr.Root != "%r" {
+		t.Fatal("root should be %r")
+	}
+	// Both %Y and %r are defined on both sides.
+	want := map[string]bool{"%Y": true, "%r": true}
+	got := map[string]bool{}
+	for _, n := range enc.SharedNames {
+		got[n] = true
+	}
+	for n := range want {
+		if !got[n] {
+			t.Errorf("shared name %s missing (got %v)", n, enc.SharedNames)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("shared names = %v", enc.SharedNames)
+	}
+}
+
+func TestPreciseConstantPredicate(t *testing.T) {
+	// isPowerOf2 over a literal folds to a constant truth value.
+	tr, err := parser.ParseOne(`
+Pre: isPowerOf2(C1)
+%r = mul %x, C1
+=>
+%r = shl %x, log2(C1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asgs, err := typing.Infer(tr, typing.Options{Widths: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := smt.NewBuilder()
+	enc, err := Encode(b, tr, asgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precondition over the constant C1 is encoded precisely (no fresh
+	// Boolean): evaluating with C1 = 8 gives true, C1 = 6 false.
+	m := smt.NewModel()
+	m.BVs["C1"] = bv.New(8, 8)
+	if !smt.Eval(enc.Pre, m).B {
+		t.Error("isPowerOf2(8) should hold")
+	}
+	m.BVs["C1"] = bv.New(8, 6)
+	if smt.Eval(enc.Pre, m).B {
+		t.Error("isPowerOf2(6) should not hold")
+	}
+	m.BVs["C1"] = bv.New(8, 0)
+	if smt.Eval(enc.Pre, m).B {
+		t.Error("isPowerOf2(0) should not hold")
+	}
+}
+
+func TestMustAnalysisSideConstraint(t *testing.T) {
+	// isPowerOf2 over an input is a must-analysis: a fresh Boolean with a
+	// side constraint p => s. With p true and a non-power value the
+	// precondition must evaluate false (side constraint violated).
+	tr, err := parser.ParseOne(`
+Pre: isPowerOf2(%P)
+%r = udiv %x, %P
+=>
+%r = lshr %x, log2(%P)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asgs, err := typing.Infer(tr, typing.Options{Widths: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := smt.NewBuilder()
+	enc, err := Encode(b, tr, asgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := enc.Pre.Vars()
+	foundBool := false
+	for _, v := range vars {
+		if v.IsBool() {
+			foundBool = true
+			// p true with %P = 6 must falsify Pre (p => s broken).
+			m := smt.NewModel()
+			m.Bools[v.Name] = true
+			m.BVs["%P"] = bv.New(8, 6)
+			if smt.Eval(enc.Pre, m).B {
+				t.Error("side constraint should falsify p=true for non-power")
+			}
+			// p true with %P = 8 satisfies everything.
+			m.BVs["%P"] = bv.New(8, 8)
+			if !smt.Eval(enc.Pre, m).B {
+				t.Error("p=true with power-of-two should satisfy Pre")
+			}
+		}
+	}
+	if !foundBool {
+		t.Fatal("must-analysis should introduce a fresh Boolean")
+	}
+}
+
+func TestConstantFunctions(t *testing.T) {
+	cases := []struct {
+		expr string
+		c1   uint64
+		want uint64
+	}{
+		{"log2(C1)", 8, 3},
+		{"log2(C1)", 1, 0},
+		{"abs(C1)", 0xFB, 5}, // abs(-5)
+		{"abs(C1)", 5, 5},
+		{"umax(C1, 3)", 9, 9},
+		{"umax(C1, 3)", 2, 3},
+		{"umin(C1, 3)", 9, 3},
+		{"smax(C1, 3)", 0xFF, 3}, // max(-1, 3)
+		{"smin(C1, 3)", 0xFF, 0xFF},
+		{"width(%x)", 0, 8},
+		{"cttz(C1)", 8, 3},
+		{"ctlz(C1)", 8, 4},
+		{"ctlz(C1)", 0, 8},
+	}
+	for _, c := range cases {
+		_, enc := encodeSrc(t, "%r = add %x, "+c.expr+"\n=>\n%r = add %x, "+c.expr)
+		// The add's value minus %x recovers the function value.
+		val := enc.Src["%r"].Val
+		got := evalWith(val, map[string]uint64{"%x": 0, "C1": c.c1})
+		if got.V.Uint64() != c.want {
+			t.Errorf("%s with C1=%d: got %d, want %d", c.expr, c.c1, got.V.Uint64(), c.want)
+		}
+	}
+}
+
+func TestICmpEncodings(t *testing.T) {
+	conds := map[string]func(a, b int64) bool{
+		"eq":  func(a, b int64) bool { return uint8(a) == uint8(b) },
+		"ne":  func(a, b int64) bool { return uint8(a) != uint8(b) },
+		"ugt": func(a, b int64) bool { return uint8(a) > uint8(b) },
+		"uge": func(a, b int64) bool { return uint8(a) >= uint8(b) },
+		"ult": func(a, b int64) bool { return uint8(a) < uint8(b) },
+		"ule": func(a, b int64) bool { return uint8(a) <= uint8(b) },
+		"sgt": func(a, b int64) bool { return int8(a) > int8(b) },
+		"sge": func(a, b int64) bool { return int8(a) >= int8(b) },
+		"slt": func(a, b int64) bool { return int8(a) < int8(b) },
+		"sle": func(a, b int64) bool { return int8(a) <= int8(b) },
+	}
+	pairs := [][2]int64{{1, 2}, {2, 1}, {5, 5}, {-1, 1}, {1, -1}, {-3, -2}, {0, 0}}
+	for cond, ref := range conds {
+		tr, err := parser.ParseOne("%r = icmp " + cond + " i8 %a, %b\n=>\n%r = icmp " + cond + " i8 %a, %b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		asgs, err := typing.Infer(tr, typing.Options{Widths: []int{8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := smt.NewBuilder()
+		enc, err := Encode(b, tr, asgs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pairs {
+			m := smt.NewModel()
+			m.BVs["%a"] = bv.NewInt(8, p[0])
+			m.BVs["%b"] = bv.NewInt(8, p[1])
+			got := smt.Eval(enc.Src["%r"].Val, m).V.Uint64() == 1
+			if got != ref(p[0], p[1]) {
+				t.Errorf("icmp %s %d, %d: got %v, want %v", cond, p[0], p[1], got, ref(p[0], p[1]))
+			}
+		}
+	}
+}
+
+func TestConversionValues(t *testing.T) {
+	tr, err := parser.ParseOne(`
+%w = zext i8 %x to i16
+%s = sext i8 %y to i16
+%r = add %w, %s
+=>
+%r = add %w, %s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asgs, err := typing.Infer(tr, typing.Options{Widths: []int{8, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := smt.NewBuilder()
+	enc, err := Encode(b, tr, asgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := smt.NewModel()
+	m.BVs["%x"] = bv.New(8, 0xFF)
+	m.BVs["%y"] = bv.New(8, 0xFF)
+	if got := smt.Eval(enc.Src["%w"].Val, m).V.Uint64(); got != 0x00FF {
+		t.Errorf("zext = %#x, want 0x00FF", got)
+	}
+	if got := smt.Eval(enc.Src["%s"].Val, m).V.Uint64(); got != 0xFFFF {
+		t.Errorf("sext = %#x, want 0xFFFF", got)
+	}
+}

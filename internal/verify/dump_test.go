@@ -1,0 +1,59 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"alive/internal/parser"
+)
+
+func TestDumpQueries(t *testing.T) {
+	tr, err := parser.ParseOne(`
+Name: demo
+%1 = xor %x, -1
+%2 = add %1, C
+=>
+%2 = sub C-1, %x
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := DumpQueries(tr, Options{Widths: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		t.Fatal("expected at least one query")
+	}
+	for _, s := range scripts {
+		for _, needle := range []string{"(set-logic QF_BV)", "(check-sat)", "negated condition"} {
+			if !strings.Contains(s, needle) {
+				t.Errorf("script missing %q:\n%s", needle, s)
+			}
+		}
+	}
+}
+
+func TestDumpQueriesWithUndef(t *testing.T) {
+	tr, err := parser.ParseOne(`
+%r = select undef, i4 -1, 0
+=>
+%r = ashr undef, 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := DumpQueries(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range scripts {
+		if strings.Contains(s, "ALL values of source undefs") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("undef closure note missing")
+	}
+}

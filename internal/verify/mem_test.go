@@ -1,0 +1,165 @@
+package verify
+
+import (
+	"testing"
+)
+
+// Memory-transformation tests (Section 3.3). These use a single width to
+// keep the ite-chain formulas small.
+var memOpts = Options{Widths: []int{8}, MaxAssignments: 2}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	mustValid(t, `
+%p = alloca i8, 1
+store %v, %p
+%x = load %p
+=>
+%x = %v
+`, memOpts)
+}
+
+func TestLoadSeesLatestStore(t *testing.T) {
+	mustValid(t, `
+%p = alloca i8, 1
+store %v, %p
+store %w, %p
+%x = load %p
+=>
+%x = %w
+`, memOpts)
+}
+
+func TestLoadDoesNotSeeEarlierStore(t *testing.T) {
+	cex := mustInvalid(t, `
+%p = alloca i8, 1
+store %v, %p
+store %w, %p
+%x = load %p
+=>
+%x = %v
+`, memOpts)
+	if cex.Kind != CexValueMismatch {
+		t.Fatalf("kind = %v, want value mismatch", cex.Kind)
+	}
+}
+
+func TestDeadStoreElimination(t *testing.T) {
+	// Two stores to the same input pointer: the first is dead.
+	mustValid(t, `
+store %v, %p
+store %w, %p
+=>
+store %w, %p
+`, memOpts)
+}
+
+func TestRemovingLiveStoreInvalid(t *testing.T) {
+	cex := mustInvalid(t, `
+store %v, %p
+store %w, %q
+=>
+store %w, %q
+`, memOpts)
+	if cex.Kind != CexMemoryMismatch {
+		t.Fatalf("kind = %v, want memory mismatch", cex.Kind)
+	}
+}
+
+func TestStoreReorderDistinctPointersInvalid(t *testing.T) {
+	// Swapping stores to possibly-aliasing pointers changes the final
+	// memory when %p == %q.
+	cex := mustInvalid(t, `
+store %v, %p
+store %w, %q
+=>
+store %w, %q
+store %v, %p
+`, memOpts)
+	if cex.Kind != CexMemoryMismatch {
+		t.Fatalf("kind = %v, want memory mismatch", cex.Kind)
+	}
+}
+
+func TestRedundantLoadElimination(t *testing.T) {
+	// Two loads of the same address through the same pointer term give
+	// the same value.
+	mustValid(t, `
+%a = load %p
+%b = load %p
+%r = sub %a, %b
+=>
+%r = 0
+`, memOpts)
+}
+
+func TestStoreLoadRoundTripThroughInputPointer(t *testing.T) {
+	mustValid(t, `
+store %v, %p
+%x = load %p
+=>
+store %v, %p
+%x = %v
+`, memOpts)
+}
+
+func TestLoadStoreDifferentValueInvalid(t *testing.T) {
+	cex := mustInvalid(t, `
+store %v, %p
+%x = load %p
+=>
+store %v, %p
+%x = add %v, 1
+`, memOpts)
+	if cex.Kind != CexValueMismatch {
+		t.Fatalf("kind = %v", cex.Kind)
+	}
+}
+
+func TestIntroducedStoreIsUndefinedBehavior(t *testing.T) {
+	// The target stores through a pointer the source never touches: the
+	// target's sequence-point definedness is narrower, and memory
+	// changes.
+	r := run(t, `
+%x = load %p
+=>
+store %x, %q
+%x = load %p
+`, memOpts)
+	if r.Verdict != Invalid {
+		t.Fatalf("introducing a store must be invalid, got %v", r.Verdict)
+	}
+}
+
+func TestAllocaRemovalWithStore(t *testing.T) {
+	// A store into a fresh alloca is unobservable after the template;
+	// removing both is sound.
+	mustValid(t, `
+%p = alloca i8, 1
+store %v, %p
+%r = add %v, 0
+=>
+%r = %v
+`, memOpts)
+}
+
+func TestGEPArithmetic(t *testing.T) {
+	// load (gep p, 0) == load p.
+	mustValid(t, `
+%q = getelementptr %p, 0
+%x = load i8* %q
+=>
+%x = load i8* %p
+`, memOpts)
+}
+
+func TestGEPNonZeroOffsetInvalid(t *testing.T) {
+	r := run(t, `
+%q = getelementptr %p, 1
+%x = load i8* %q
+=>
+%x = load i8* %p
+`, memOpts)
+	if r.Verdict != Invalid {
+		t.Fatalf("gep p,1 load differs from load p; got %v", r.Verdict)
+	}
+}

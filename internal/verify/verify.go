@@ -1,0 +1,420 @@
+// Package verify implements Alive's refinement checker (Sections 3.1.2
+// and 3.3.2): for every feasible type assignment it discharges the
+// correctness conditions
+//
+//  1. the target is defined when the source is defined,
+//  2. the target is poison-free when the source is poison-free,
+//  3. source and target produce equal values when the source is defined
+//     and poison-free, and
+//  4. (with memory) the final memories agree at every address,
+//
+// each universally quantified over inputs, analysis Booleans, and target
+// undef variables, and existentially over source undef variables. The
+// negated conditions are ∃∀ queries dispatched to the solver's
+// counterexample-guided instantiation engine; failures are rendered as
+// Figure 5-style counterexamples.
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"alive/internal/bv"
+	"alive/internal/ir"
+	"alive/internal/smt"
+	"alive/internal/solver"
+	"alive/internal/typing"
+	"alive/internal/vcgen"
+)
+
+// Verdict classifies the outcome of verifying one transformation.
+type Verdict int
+
+// Verification outcomes.
+const (
+	Valid   Verdict = iota // proved correct for all checked type assignments
+	Invalid                // counterexample found
+	Unknown                // budget exhausted or encoding unsupported
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	}
+	return "unknown"
+}
+
+// CexKind says which correctness condition failed.
+type CexKind int
+
+// Counterexample kinds, one per correctness condition.
+const (
+	CexValueMismatch CexKind = iota
+	CexMoreUndefined
+	CexMorePoison
+	CexMemoryMismatch
+)
+
+// NamedValue is one line of a counterexample listing.
+type NamedValue struct {
+	Name  string
+	Width int
+	Val   bv.Vec
+}
+
+// Counterexample is a concrete witness that a transformation is wrong.
+type Counterexample struct {
+	Kind     CexKind
+	RootName string
+	Width    int // width of the root value
+	TypeStr  string
+
+	Inputs        []NamedValue
+	Intermediates []NamedValue
+	SrcValue      bv.Vec
+	TgtValue      bv.Vec
+	HasValues     bool
+}
+
+// String renders the counterexample in the style of Figure 5.
+func (c *Counterexample) String() string {
+	var sb strings.Builder
+	switch c.Kind {
+	case CexValueMismatch:
+		fmt.Fprintf(&sb, "ERROR: Mismatch in values of i%d %s\n", c.Width, c.RootName)
+	case CexMoreUndefined:
+		fmt.Fprintf(&sb, "ERROR: Domain of definedness of Target is smaller than Source's for i%d %s\n", c.Width, c.RootName)
+	case CexMorePoison:
+		fmt.Fprintf(&sb, "ERROR: Target creates poison where Source does not for i%d %s\n", c.Width, c.RootName)
+	case CexMemoryMismatch:
+		fmt.Fprintf(&sb, "ERROR: Mismatch in final memory states\n")
+	}
+	sb.WriteString("\nExample:\n")
+	for _, nv := range c.Inputs {
+		fmt.Fprintf(&sb, "%s i%d = %s\n", nv.Name, nv.Width, nv.Val.DecimalString())
+	}
+	for _, nv := range c.Intermediates {
+		fmt.Fprintf(&sb, "%s i%d = %s\n", nv.Name, nv.Width, nv.Val.DecimalString())
+	}
+	if c.HasValues {
+		fmt.Fprintf(&sb, "Source value: %s\n", c.SrcValue.DecimalString())
+		fmt.Fprintf(&sb, "Target value: %s\n", c.TgtValue.DecimalString())
+	}
+	return sb.String()
+}
+
+// Options configures verification.
+type Options struct {
+	// Widths is the candidate integer width set (default
+	// {1, 4, 8, 16, 32, 64}).
+	Widths []int
+	// DivMulMaxWidth caps widths for transformations containing
+	// multiplication, division, or remainder, whose decision problems are
+	// the hard cases (the paper works around slow verification the same
+	// way); default 8, 0 disables the cap.
+	DivMulMaxWidth int
+	// PtrWidth is the ABI pointer width (default 32).
+	PtrWidth int
+	// MaxAssignments caps enumerated type assignments (default 16).
+	MaxAssignments int
+	// MaxConflicts bounds each SAT search; <= 0 means unbounded.
+	MaxConflicts int64
+	// DisableSimplify turns off constructor-time term simplification
+	// (ablation).
+	DisableSimplify bool
+}
+
+// Result is the outcome of Verify.
+type Result struct {
+	Transform *ir.Transform
+	Verdict   Verdict
+	Cex       *Counterexample
+	// TypeAssignments is the number of feasible type assignments checked.
+	TypeAssignments int
+	// Queries counts solver queries issued.
+	Queries int
+	// Err carries encoding/typing failures (Verdict == Unknown).
+	Err      error
+	Duration time.Duration
+}
+
+const defaultDivMulMaxWidth = 8
+
+func (o Options) withDefaults() Options {
+	if len(o.Widths) == 0 {
+		o.Widths = []int{1, 4, 8, 16, 32, 64}
+	}
+	if o.DivMulMaxWidth == 0 {
+		o.DivMulMaxWidth = defaultDivMulMaxWidth
+	}
+	if o.PtrWidth == 0 {
+		o.PtrWidth = 32
+	}
+	if o.MaxAssignments == 0 {
+		o.MaxAssignments = 16
+	}
+	return o
+}
+
+// hasHardArith reports whether the transformation contains multiply,
+// divide, or remainder operations (in templates or constant
+// expressions).
+func hasHardArith(t *ir.Transform) bool {
+	hard := false
+	scan := func(v ir.Value) {
+		ir.WalkValues(v, func(u ir.Value) {
+			switch n := u.(type) {
+			case *ir.BinOp:
+				switch n.Op {
+				case ir.Mul, ir.UDiv, ir.SDiv, ir.URem, ir.SRem:
+					hard = true
+				}
+			case *ir.ConstBinExpr:
+				switch n.Op {
+				case ir.CMul, ir.CSDiv, ir.CUDiv, ir.CSRem, ir.CURem:
+					hard = true
+				}
+			}
+		})
+	}
+	for _, in := range t.Source {
+		scan(in)
+	}
+	for _, in := range t.Target {
+		scan(in)
+	}
+	return hard
+}
+
+// Verify checks a transformation for every feasible type assignment and
+// returns the verdict with a counterexample on failure.
+func Verify(t *ir.Transform, opts Options) (res Result) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	res = Result{Transform: t, Verdict: Valid}
+	defer func() { res.Duration = time.Since(start) }()
+
+	widths := opts.Widths
+	if opts.DivMulMaxWidth > 0 && hasHardArith(t) {
+		var capped []int
+		for _, w := range widths {
+			if w <= opts.DivMulMaxWidth {
+				capped = append(capped, w)
+			}
+		}
+		if len(capped) > 0 {
+			widths = capped
+		}
+	}
+
+	asgs, err := typing.Infer(t, typing.Options{
+		Widths:         widths,
+		PtrWidth:       opts.PtrWidth,
+		MaxAssignments: opts.MaxAssignments,
+	})
+	if err != nil {
+		res.Verdict = Unknown
+		res.Err = err
+		return res
+	}
+	if rootInstr := t.SourceValue(t.Root); rootInstr != nil {
+		typing.SortByPreference(asgs, rootInstr)
+	}
+	res.TypeAssignments = len(asgs)
+
+	for _, asg := range asgs {
+		v, cex, queries, err := verifyOne(t, asg, opts)
+		res.Queries += queries
+		if err != nil {
+			res.Verdict = Unknown
+			res.Err = err
+			return res
+		}
+		switch v {
+		case Invalid:
+			res.Verdict = Invalid
+			res.Cex = cex
+			return res
+		case Unknown:
+			res.Verdict = Unknown
+			return res
+		}
+	}
+	return res
+}
+
+// condition is one negated correctness obligation: Sat means violated.
+type condition struct {
+	kind CexKind
+	name string
+	body *smt.Term
+}
+
+// buildConditions encodes t under asg and returns the negated
+// correctness conditions plus the source undef variables they are
+// universally closed over after negation.
+func buildConditions(t *ir.Transform, asg *typing.Assignment, opts Options) (*smt.Builder, *vcgen.Encoding, []condition, error) {
+	b := smt.NewBuilder()
+	b.Simplify = !opts.DisableSimplify
+	enc, err := vcgen.Encode(b, t, asg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var conds []condition
+
+	alpha := b.True()
+	if enc.Mem != nil {
+		alpha = enc.Mem.Alpha
+	}
+
+	for _, name := range enc.SharedNames {
+		src, tgt := enc.Src[name], enc.Tgt[name]
+		psi := b.And(enc.Pre, src.Def, src.Poison, alpha)
+		// Condition 1: target defined when source is.
+		if src.Def != tgt.Def {
+			conds = append(conds, condition{CexMoreUndefined, name, b.And(psi, b.Not(tgt.Def))})
+		}
+		// Condition 2: target poison-free when source is.
+		if src.Poison != tgt.Poison {
+			conds = append(conds, condition{CexMorePoison, name, b.And(psi, b.Not(tgt.Poison))})
+		}
+		// Condition 3: equal values.
+		if src.Val != nil && tgt.Val != nil && src.Val != tgt.Val {
+			conds = append(conds, condition{CexValueMismatch, name, b.And(psi, b.Ne(src.Val, tgt.Val))})
+		}
+	}
+	if enc.Mem != nil {
+		// Target side effects must be defined wherever the source's are
+		// (sequence-point propagation, Section 3.3.1).
+		if enc.Mem.SrcSeqDef != enc.Mem.TgtSeqDef {
+			body := b.And(enc.Pre, alpha, enc.Mem.SrcSeqDef, b.Not(enc.Mem.TgtSeqDef))
+			conds = append(conds, condition{CexMoreUndefined, t.Root, body})
+		}
+		// Condition 4: final memories agree at every address outside
+		// template-local allocations.
+		body := b.And(enc.Pre, alpha, enc.Mem.SrcSeqDef, enc.Mem.OutsideLocal, b.Ne(enc.Mem.SrcFinal, enc.Mem.TgtFinal))
+		conds = append(conds, condition{CexMemoryMismatch, t.Root, body})
+	}
+	return b, enc, conds, nil
+}
+
+// verifyOne checks conditions 1-4 under a single type assignment.
+func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options) (Verdict, *Counterexample, int, error) {
+	b, enc, conds, err := buildConditions(t, asg, opts)
+	if err != nil {
+		return Unknown, nil, 0, err
+	}
+	sol := solver.Solver{MaxConflicts: opts.MaxConflicts}
+	queries := 0
+	for _, cond := range conds {
+		queries++
+		r := sol.CheckExistsForall(b, cond.body, enc.SrcUndefs)
+		switch r.Status {
+		case solver.Unsat:
+			continue
+		case solver.Unknown:
+			return Unknown, nil, queries, nil
+		}
+		cex := buildCex(t, asg, enc, cond.kind, cond.name, r.Model)
+		return Invalid, cex, queries, nil
+	}
+	return Valid, nil, queries, nil
+}
+
+// DumpQueries renders the negated correctness conditions of the first
+// (counterexample-preferred) type assignment as SMT-LIB 2 scripts —
+// useful for cross-checking this repository's solver against an external
+// SMT solver. Conditions with source undef variables carry a header
+// comment noting the ∀ closure that the quantifier-free script omits.
+func DumpQueries(t *ir.Transform, opts Options) ([]string, error) {
+	opts = opts.withDefaults()
+	asgs, err := typing.Infer(t, typing.Options{
+		Widths:         opts.Widths,
+		PtrWidth:       opts.PtrWidth,
+		MaxAssignments: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rootInstr := t.SourceValue(t.Root); rootInstr != nil {
+		typing.SortByPreference(asgs, rootInstr)
+	}
+	_, enc, conds, err := buildConditions(t, asgs[0], opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, cond := range conds {
+		script := smt.ToSMTLIB(cond.body)
+		if len(enc.SrcUndefs) > 0 {
+			names := make([]string, len(enc.SrcUndefs))
+			for i, u := range enc.SrcUndefs {
+				names[i] = u.Name
+			}
+			script = fmt.Sprintf("; NOTE: valid iff unsat for ALL values of source undefs %v\n%s", names, script)
+		}
+		out = append(out, fmt.Sprintf("; %s: negated condition on %s (unsat = condition holds)\n%s",
+			t.Name, cond.name, script))
+	}
+	return out, nil
+}
+
+// buildCex renders a solver model as a Figure 5-style counterexample,
+
+// evaluating the source's intermediate instructions under the model.
+func buildCex(t *ir.Transform, asg *typing.Assignment, enc *vcgen.Encoding, kind CexKind, name string, model *smt.Model) *Counterexample {
+	cex := &Counterexample{Kind: kind, RootName: name}
+	rootInstr := t.SourceValue(name)
+	if rootInstr != nil {
+		cex.Width = asg.WidthOf(rootInstr)
+	}
+	cex.TypeStr = asg.String()
+
+	// Inputs and constants, in first-use order.
+	for _, in := range t.Inputs() {
+		w := asg.WidthOf(in)
+		val, ok := model.BVs[in.VName]
+		if !ok {
+			val = bv.Zero(w)
+		}
+		cex.Inputs = append(cex.Inputs, NamedValue{Name: in.VName, Width: w, Val: val})
+	}
+	for _, c := range t.Constants() {
+		w := asg.WidthOf(c)
+		val, ok := model.BVs[c.CName]
+		if !ok {
+			val = bv.Zero(w)
+		}
+		cex.Inputs = append(cex.Inputs, NamedValue{Name: c.CName, Width: w, Val: val})
+	}
+
+	// Intermediate source values (every named source instruction except
+	// the failing one), evaluated under the model; absent variables (the
+	// universally quantified source undefs) evaluate as zero, which is a
+	// valid witness since the counterexample holds for all of them.
+	for _, in := range t.Source {
+		n := in.Name()
+		if n == "" || n == name {
+			continue
+		}
+		if e, ok := enc.Src[n]; ok && e.Val != nil {
+			v := smt.Eval(e.Val, model)
+			cex.Intermediates = append(cex.Intermediates, NamedValue{Name: n, Width: v.V.Width(), Val: v.V})
+		}
+	}
+
+	if kind == CexValueMismatch {
+		if se, ok := enc.Src[name]; ok && se.Val != nil {
+			cex.SrcValue = smt.Eval(se.Val, model).V
+			cex.HasValues = true
+		}
+		if te, ok := enc.Tgt[name]; ok && te.Val != nil {
+			cex.TgtValue = smt.Eval(te.Val, model).V
+		}
+	}
+	return cex
+}
