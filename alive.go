@@ -9,6 +9,9 @@
 //     (`source => target` templates with optional Name: and Pre: headers);
 //   - Verify proves a transformation correct for every feasible type
 //     assignment or returns a Figure 5-style counterexample;
+//   - Lint runs the solver-free static analyzer (unbound names,
+//     contradictory type constraints, vacuous preconditions, misplaced
+//     attributes, duplicate and shadowed patterns);
 //   - InferAttributes synthesizes the weakest nsw/nuw/exact precondition
 //     and the strongest postcondition (Section 3.4);
 //   - GenerateCpp emits InstCombine-style C++ (Section 4).
@@ -35,6 +38,7 @@ import (
 	"alive/internal/attrs"
 	"alive/internal/codegen"
 	"alive/internal/ir"
+	"alive/internal/lint"
 	"alive/internal/parser"
 	"alive/internal/verify"
 )
@@ -61,9 +65,24 @@ type Verdict = verify.Verdict
 
 // Verification outcomes.
 const (
-	Valid   = verify.Valid
-	Invalid = verify.Invalid
-	Unknown = verify.Unknown
+	Valid    = verify.Valid
+	Invalid  = verify.Invalid
+	Unknown  = verify.Unknown
+	Rejected = verify.Rejected // lint errors; no proof attempted
+)
+
+// Diagnostic is one finding of the static analyzer: a stable AL*** code,
+// a severity, a source position, and a message with an optional hint.
+type Diagnostic = lint.Diagnostic
+
+// Severity grades a Diagnostic.
+type Severity = lint.Severity
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = lint.Info
+	SeverityWarning = lint.Warning
+	SeverityError   = lint.Error
 )
 
 // AttrResult reports attribute inference: the best feasible placement of
@@ -83,6 +102,21 @@ func ParseFile(path string) ([]*Transform, error) { return parser.ParseFile(path
 // Verify checks a transformation against the refinement criteria of the
 // paper (Sections 3.1-3.3) for every feasible type assignment.
 func Verify(t *Transform, opts Options) Result { return verify.Verify(t, opts) }
+
+// Lint runs the per-transform checks and, across the whole slice, the
+// corpus-level duplicate and shadowing analyses. It never invokes the
+// SAT/SMT machinery; diagnostics come back in position order per
+// transformation. Slice order is the pattern-registration order the
+// shadowing analysis assumes.
+func Lint(ts []*Transform) []Diagnostic { return lint.Transforms(ts) }
+
+// LintCorpus runs only the cross-transform analyses (duplicate and
+// shadowed source patterns) without re-running the per-transform checks.
+func LintCorpus(ts []*Transform) []Diagnostic { return lint.Corpus(ts) }
+
+// RenderDiagnostics formats lint findings compiler-style, one per line
+// (with the optional fix hint indented below); file may be empty.
+func RenderDiagnostics(file string, ds []Diagnostic) string { return lint.Render(file, ds) }
 
 // InferAttributes runs the Figure 6 attribute inference. The
 // transformation must be correct as written.

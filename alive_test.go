@@ -88,3 +88,47 @@ Pre: isSignBit(C1)
 		t.Fatal("pass generation failed")
 	}
 }
+
+func TestPublicAPILint(t *testing.T) {
+	ts, err := alive.Parse(`
+Name: general
+%r = add %x, C
+=>
+%r = sub %x, 0-C
+
+Name: shadowed
+%r = add %x, 1
+=>
+%r = sub %x, -1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := alive.Lint(ts)
+	if len(ds) != 1 || ds[0].Code != "AL012" || ds[0].Severity != alive.SeverityWarning {
+		t.Fatalf("want one AL012 warning, got %v", ds)
+	}
+	if ds[0].Transform != "shadowed" {
+		t.Fatalf("finding attributed to %q, want the later transform", ds[0].Transform)
+	}
+	out := alive.RenderDiagnostics("pats.opt", ds)
+	if !strings.Contains(out, "pats.opt:") || !strings.Contains(out, "AL012") {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+	if corpus := alive.LintCorpus(ts); len(corpus) != 1 {
+		t.Fatalf("LintCorpus: want the same finding, got %v", corpus)
+	}
+
+	res := alive.Verify(ts[0], alive.Options{Widths: []int{4}, Lint: true})
+	if res.Verdict == alive.Rejected {
+		t.Fatalf("clean transform rejected: %v", res.Lint)
+	}
+	bad, err := alive.ParseOne("%r = add %x, %y\n=>\n%r = add %x, %z\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = alive.Verify(bad, alive.Options{Widths: []int{4}, Lint: true})
+	if res.Verdict != alive.Rejected {
+		t.Fatalf("want Rejected, got %v", res.Verdict)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	alive-bench -experiment table3|fig5|fig8|fig9|patches|attrs|compiletime|runtime|all
+//	alive-bench -experiment table3|fig5|fig8|fig9|patches|attrs|lint|compiletime|runtime|all
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, compiletime, runtime, all)")
+	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, lint, compiletime, runtime, all)")
 	widths := flag.String("widths", "4,8", "verification widths for corpus experiments")
 	flag.Parse()
 
@@ -27,10 +27,11 @@ func main() {
 		"fig9":        bench.Figure9,
 		"patches":     bench.Patches,
 		"attrs":       bench.AttrInference,
+		"lint":        bench.Lint,
 		"compiletime": bench.CompileTime,
 		"runtime":     bench.RunTime,
 	}
-	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "fig9", "compiletime", "runtime"}
+	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "lint", "fig9", "compiletime", "runtime"}
 
 	cfg, err := bench.NewConfig(*widths)
 	if err != nil {

@@ -1,0 +1,104 @@
+// Command alive-lint runs the solver-free static analyzer over Alive
+// .opt files: per-transformation checks (scoping, type-constraint
+// contradictions, vacuous preconditions, misplaced attributes, literal
+// width hazards) plus corpus-level duplicate and shadowing detection
+// across each file's transformations in their registration order.
+//
+// Usage:
+//
+//	alive-lint [flags] file.opt...
+//	alive-lint [flags] -        # read from stdin
+//
+// Flags:
+//
+//	-codes       print the diagnostic code registry and exit
+//	-no-corpus   skip the cross-transformation analyses
+//	-q           suppress fix hints
+//
+// The exit status is 1 when any error-severity diagnostic (or a parse
+// error) is reported, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"alive"
+	"alive/internal/lint"
+)
+
+func main() {
+	codes := flag.Bool("codes", false, "print the diagnostic code registry and exit")
+	noCorpus := flag.Bool("no-corpus", false, "skip duplicate/shadowing analyses across transformations")
+	quiet := flag.Bool("q", false, "suppress fix hints")
+	flag.Parse()
+
+	if *codes {
+		printCodes()
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: alive-lint [flags] file.opt... (or - for stdin)")
+		os.Exit(2)
+	}
+
+	exit := 0
+	files, errors, warnings := 0, 0, 0
+	for _, path := range args {
+		var (
+			ts  []*alive.Transform
+			err error
+		)
+		label := path
+		if path == "-" {
+			label = "<stdin>"
+			data, rerr := io.ReadAll(os.Stdin)
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "alive-lint: %v\n", rerr)
+				os.Exit(2)
+			}
+			ts, err = alive.Parse(string(data))
+		} else {
+			ts, err = alive.ParseFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", label, err)
+			exit = 1
+			continue
+		}
+		files++
+		var ds []alive.Diagnostic
+		if *noCorpus {
+			for _, t := range ts {
+				ds = append(ds, lint.Transform(t)...)
+			}
+		} else {
+			ds = alive.Lint(ts)
+		}
+		if *quiet {
+			for i := range ds {
+				ds[i].Hint = ""
+			}
+		}
+		fmt.Print(alive.RenderDiagnostics(label, ds))
+		e, w, _ := lint.Count(ds)
+		errors += e
+		warnings += w
+		if e > 0 {
+			exit = 1
+		}
+	}
+	if files > 1 || errors+warnings > 0 {
+		fmt.Printf("%d errors, %d warnings\n", errors, warnings)
+	}
+	os.Exit(exit)
+}
+
+func printCodes() {
+	for _, c := range lint.Codes {
+		fmt.Printf("%s  %-7s  %s\n", c.Code, c.Severity, c.Title)
+	}
+}

@@ -15,6 +15,8 @@
 //	-infer             also run nsw/nuw/exact attribute inference
 //	-dump-smt          print the verification conditions as SMT-LIB 2
 //	-gencpp            emit InstCombine-style C++ for valid transformations
+//	-lint              run the static analyzer first; lint errors reject a
+//	                   transformation without attempting a proof
 //	-quiet             print only the per-transformation verdict lines
 package main
 
@@ -35,10 +37,11 @@ func main() {
 	infer := flag.Bool("infer", false, "run attribute inference on valid transformations")
 	gencpp := flag.Bool("gencpp", false, "generate C++ for valid transformations")
 	dumpSMT := flag.Bool("dump-smt", false, "print the verification conditions as SMT-LIB 2 scripts")
+	lintFlag := flag.Bool("lint", false, "reject transformations with lint errors before proving")
 	quiet := flag.Bool("quiet", false, "suppress counterexample details")
 	flag.Parse()
 
-	opts := alive.Options{DivMulMaxWidth: *divMulMax}
+	opts := alive.Options{DivMulMaxWidth: *divMulMax, Lint: *lintFlag}
 	if *divMulMax == 0 {
 		opts.DivMulMaxWidth = -1
 	}
@@ -60,7 +63,7 @@ func main() {
 	}
 
 	exit := 0
-	total, valid, invalid, unknown := 0, 0, 0, 0
+	total, valid, invalid, unknown, rejected := 0, 0, 0, 0, 0
 	for _, path := range args {
 		var (
 			ts  []*alive.Transform
@@ -102,6 +105,9 @@ func main() {
 				valid++
 				fmt.Printf("%-40s done (%d type assignments, %d queries, %v)\n",
 					name, res.TypeAssignments, res.Queries, res.Duration.Round(1000000))
+				if !*quiet && len(res.Lint) > 0 {
+					fmt.Print(alive.RenderDiagnostics(lintFile(path), res.Lint))
+				}
 				if *infer {
 					runInference(t, opts)
 				}
@@ -120,6 +126,13 @@ func main() {
 				if !*quiet && res.Cex != nil {
 					fmt.Println(res.Cex.String())
 				}
+			case alive.Rejected:
+				rejected++
+				exit = 1
+				fmt.Printf("%-40s REJECTED (lint)\n", name)
+				if !*quiet {
+					fmt.Print(alive.RenderDiagnostics(lintFile(path), res.Lint))
+				}
 			default:
 				unknown++
 				exit = 1
@@ -131,9 +144,22 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("\n%d transformations: %d valid, %d incorrect, %d unknown\n",
-		total, valid, invalid, unknown)
+	if rejected > 0 {
+		fmt.Printf("\n%d transformations: %d valid, %d incorrect, %d rejected, %d unknown\n",
+			total, valid, invalid, rejected, unknown)
+	} else {
+		fmt.Printf("\n%d transformations: %d valid, %d incorrect, %d unknown\n",
+			total, valid, invalid, unknown)
+	}
 	os.Exit(exit)
+}
+
+// lintFile is the file label for rendered diagnostics; stdin has none.
+func lintFile(path string) string {
+	if path == "-" {
+		return ""
+	}
+	return path
 }
 
 func runInference(t *alive.Transform, opts alive.Options) {

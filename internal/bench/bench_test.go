@@ -92,3 +92,16 @@ func TestCompiledCorpusNonEmpty(t *testing.T) {
 		t.Fatalf("split: %d of %d", len(subset), len(full))
 	}
 }
+
+func TestLintReport(t *testing.T) {
+	out := Lint(small(t))
+	for _, needle := range []string{"no SAT/SMT queries issued", "findings by code:", "AL012", "Total"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Lint report missing %q:\n%s", needle, out)
+		}
+	}
+	if !strings.Contains(out, "       0 ") {
+		// every corpus file lints without errors
+		t.Errorf("expected zero-error rows:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"alive/internal/ir"
+	"alive/internal/lint"
+	"alive/internal/suite"
+)
+
+// Lint runs the solver-free static analyzer over the corpus and reports
+// diagnostic counts per InstCombine file in the Table 3 layout, plus a
+// per-code tally. The corpus-level duplicate/shadowing analyses run
+// within each file, mirroring how a pattern driver would register them.
+func Lint(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Lint: solver-free diagnostics over the corpus (Table 3 layout)\n\n")
+	fmt.Fprintf(&sb, "%-16s %8s %8s %8s %8s\n", "File", "corpus", "errors", "warnings", "infos")
+
+	start := time.Now()
+	byFile := suite.ByFile()
+	byCode := map[string]int{}
+	totN, totE, totW, totI := 0, 0, 0, 0
+	for _, file := range suite.Files {
+		entries := byFile[file]
+		ts := make([]*ir.Transform, len(entries))
+		for i, e := range entries {
+			ts[i] = e.Parse()
+		}
+		ds := lint.Transforms(ts)
+		e, w, i := lint.Count(ds)
+		for _, d := range ds {
+			byCode[d.Code]++
+		}
+		fmt.Fprintf(&sb, "%-16s %8d %8d %8d %8d\n", file, len(entries), e, w, i)
+		totN += len(entries)
+		totE += e
+		totW += w
+		totI += i
+	}
+	fmt.Fprintf(&sb, "%-16s %8d %8d %8d %8d\n", "Total", totN, totE, totW, totI)
+	fmt.Fprintf(&sb, "\nlinted in %v (no SAT/SMT queries issued)\n", time.Since(start).Round(time.Millisecond))
+
+	if len(byCode) > 0 {
+		var codes []string
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		sb.WriteString("\nfindings by code:\n")
+		for _, c := range codes {
+			title := ""
+			for _, ci := range lint.Codes {
+				if ci.Code == c {
+					title = ci.Title
+				}
+			}
+			fmt.Fprintf(&sb, "  %s %4d  %s\n", c, byCode[c], title)
+		}
+	}
+	return sb.String()
+}

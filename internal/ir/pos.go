@@ -1,0 +1,23 @@
+package ir
+
+import "fmt"
+
+// Pos is a position in an Alive source text: 1-based line and column.
+// The zero Pos means "position unknown" (e.g. programmatically built
+// transformations). The parser attaches a Pos to every instruction and
+// to the precondition; lint diagnostics and parse errors report it.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsZero reports whether the position is unknown.
+func (p Pos) IsZero() bool { return p.Line == 0 }
+
+// String renders "line:col" ("?" when unknown).
+func (p Pos) String() string {
+	if p.IsZero() {
+		return "?"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}

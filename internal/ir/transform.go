@@ -19,6 +19,26 @@ type Transform struct {
 	// Root is the name of the common root register: the last instruction
 	// of the source template, which the target must (re)define.
 	Root string
+
+	// DeclPos is the position of the transformation's first token and
+	// PrePos the position of the precondition expression; both are zero
+	// for programmatically built transforms.
+	DeclPos Pos
+	PrePos  Pos
+
+	// instrPos records the source position of each parsed instruction.
+	instrPos map[Instr]Pos
+}
+
+// PosOf returns the source position of an instruction (zero if unknown).
+func (t *Transform) PosOf(in Instr) Pos { return t.instrPos[in] }
+
+// SetPos records the source position of an instruction.
+func (t *Transform) SetPos(in Instr, p Pos) {
+	if t.instrPos == nil {
+		t.instrPos = map[Instr]Pos{}
+	}
+	t.instrPos[in] = p
 }
 
 // SourceValue returns the source instruction defining name, or nil.
@@ -124,6 +144,11 @@ func WalkValues(v Value, visit func(Value)) {
 	}
 	rec(v)
 }
+
+// WalkPred visits the top-level value arguments of a predicate (the
+// operands of comparisons and built-in predicate calls), without
+// descending into the values themselves.
+func WalkPred(p Pred, visit func(Value)) { walkPred(p, visit) }
 
 func walkPred(p Pred, walk func(Value)) {
 	switch q := p.(type) {

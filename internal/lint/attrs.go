@@ -1,0 +1,31 @@
+package lint
+
+import "alive/internal/ir"
+
+// checkAttrs flags poison-generating attributes on operators that do
+// not admit them (AL009): nsw/nuw belong to add/sub/mul/shl and exact
+// to the divisions and right shifts. The parser accepts such patterns
+// so the linter can point at them precisely; the verifier refuses to
+// encode them, so they can only ever verify as unknown.
+func checkAttrs(t *ir.Transform, r *Reporter) {
+	check := func(instrs []ir.Instr) {
+		for _, in := range instrs {
+			b, ok := in.(*ir.BinOp)
+			if !ok {
+				continue
+			}
+			bad := b.Flags &^ ir.ValidFlags(b.Op)
+			if bad == 0 {
+				continue
+			}
+			hint := "remove the attribute"
+			if valid := ir.ValidFlags(b.Op); valid != 0 {
+				hint = "valid attributes for " + b.Op.String() + ": " + valid.String()
+			}
+			r.report("AL009", Error, t.PosOf(in), hint,
+				"attribute %s is not valid for %s", bad, b.Op)
+		}
+	}
+	check(t.Source)
+	check(t.Target)
+}

@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"alive/internal/ir"
+)
+
+// checkDuplicates reports α-equivalent source patterns with
+// α-equivalent preconditions (AL011): the same peephole registered
+// twice under different names. The fingerprint renames inputs,
+// abstract constants, and registers to canonical names in
+// first-appearance order and renders the source template plus the
+// precondition.
+func checkDuplicates(ts []*ir.Transform, r *Reporter) {
+	seen := map[string]*ir.Transform{}
+	for _, t := range ts {
+		fp, ok := fingerprint(t)
+		if !ok {
+			continue
+		}
+		if first, dup := seen[fp]; dup {
+			r.transform = t.Name
+			r.report("AL011", Warning, t.DeclPos,
+				"two α-equivalent patterns with the same precondition are the same peephole; delete one",
+				"source pattern duplicates %s", first.Name)
+			r.transform = ""
+			continue
+		}
+		seen[fp] = t
+	}
+}
+
+// fingerprint canonically renders the source template and precondition.
+func fingerprint(t *ir.Transform) (string, bool) {
+	names := map[string]string{}
+	counts := map[byte]int{}
+	rename := func(prefix byte, name string) string {
+		if c, ok := names[name]; ok {
+			return c
+		}
+		c := fmt.Sprintf("%c%d", prefix, counts[prefix])
+		counts[prefix]++
+		names[name] = c
+		return c
+	}
+	ref := func(v ir.Value) string { return canonValue(v, rename) }
+
+	var sb strings.Builder
+	for _, in := range t.Source {
+		s, ok := canonInstr(in, rename, ref)
+		if !ok {
+			return "", false
+		}
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("Pre: ")
+	sb.WriteString(canonPred(t.Pre, ref))
+	return sb.String(), true
+}
+
+// canonValue renders a value with canonical leaf names.
+func canonValue(v ir.Value, rename func(byte, string) string) string {
+	switch v := v.(type) {
+	case *ir.Input:
+		return rename('v', v.VName)
+	case *ir.AbstractConst:
+		return rename('c', v.CName)
+	case ir.Instr:
+		if n := v.Name(); n != "" {
+			return rename('r', n)
+		}
+		return "<void>"
+	case *ir.ConstUnExpr:
+		return v.Op.String() + "(" + canonValue(v.X, rename) + ")"
+	case *ir.ConstBinExpr:
+		return "(" + canonValue(v.X, rename) + " " + v.Op.String() + " " + canonValue(v.Y, rename) + ")"
+	case *ir.ConstFunc:
+		parts := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			parts[i] = canonValue(a, rename)
+		}
+		return v.FName + "(" + strings.Join(parts, ", ") + ")"
+	}
+	if v == nil {
+		return ""
+	}
+	return v.String() // literals, undef, type tokens
+}
+
+// canonInstr renders one instruction with canonical names, mirroring
+// the ir String methods. Instructions whose matching semantics the
+// corpus analyses do not model report ok=false.
+func canonInstr(in ir.Instr, rename func(byte, string) string, ref func(ir.Value) string) (string, bool) {
+	def := func(name string) string { return rename('r', name) }
+	ty := func(t ir.Type) string {
+		if t == nil {
+			return ""
+		}
+		return " " + t.String()
+	}
+	switch i := in.(type) {
+	case *ir.BinOp:
+		s := def(i.VName) + " = " + i.Op.String()
+		if fl := i.Flags.String(); fl != "" {
+			s += " " + fl
+		}
+		return s + ty(i.DeclaredType) + " " + ref(i.X) + ", " + ref(i.Y), true
+	case *ir.ICmp:
+		return def(i.VName) + " = icmp " + i.Cond.String() + ty(i.DeclaredType) + " " + ref(i.X) + ", " + ref(i.Y), true
+	case *ir.Select:
+		return def(i.VName) + " = select " + ref(i.Cond) + "," + ty(i.DeclaredType) + " " + ref(i.TrueV) + ", " + ref(i.FalseV), true
+	case *ir.Conv:
+		return def(i.VName) + " = " + i.Kind.String() + ty(i.FromType) + " " + ref(i.X) + " to" + ty(i.ToType), true
+	case *ir.Copy:
+		return def(i.VName) + " = " + ref(i.X), true
+	}
+	// Memory operations and unreachable: alias-sensitive; fingerprinting
+	// them as text would conflate patterns with different semantics.
+	return "", false
+}
+
+// canonPred renders a predicate with canonical leaf names.
+func canonPred(p ir.Pred, ref func(ir.Value) string) string {
+	switch q := p.(type) {
+	case nil:
+		return "true"
+	case ir.TruePred:
+		return "true"
+	case *ir.NotPred:
+		return "!(" + canonPred(q.P, ref) + ")"
+	case *ir.AndPred:
+		parts := make([]string, len(q.Ps))
+		for i, s := range q.Ps {
+			parts[i] = canonPred(s, ref)
+		}
+		return strings.Join(parts, " && ")
+	case *ir.OrPred:
+		parts := make([]string, len(q.Ps))
+		for i, s := range q.Ps {
+			parts[i] = "(" + canonPred(s, ref) + ")"
+		}
+		return strings.Join(parts, " || ")
+	case *ir.CmpPred:
+		return ref(q.X) + " " + q.Op.String() + " " + ref(q.Y)
+	case *ir.FuncPred:
+		parts := make([]string, len(q.Args))
+		for i, a := range q.Args {
+			parts[i] = ref(a)
+		}
+		return q.FName + "(" + strings.Join(parts, ", ") + ")"
+	}
+	return p.String()
+}
+
+// checkShadowing reports pattern subsumption (AL012): an earlier,
+// unconditional, more-general source pattern matches everything a later
+// pattern matches. A registration-order driver (internal/miniir tries
+// transformations in order per root opcode, and pattern attributes must
+// be a subset of the concrete instruction's) then never fires the later
+// one.
+func checkShadowing(ts []*ir.Transform, r *Reporter) {
+	type entry struct {
+		t    *ir.Transform
+		root ir.Instr
+		key  string
+	}
+	var entries []entry
+	for _, t := range ts {
+		root, key, ok := shadowRoot(t)
+		if !ok {
+			continue
+		}
+		entries = append(entries, entry{t, root, key})
+	}
+	for j, b := range entries {
+		for _, a := range entries[:j] {
+			if a.key != b.key || !unconditional(a.t) {
+				continue
+			}
+			if matchValue(a.root, b.root, map[ir.Value]ir.Value{}) {
+				r.transform = b.t.Name
+				r.report("AL012", Warning, b.t.DeclPos,
+					"reorder the transformations or strengthen the earlier pattern",
+					"source pattern is shadowed by %s: every match of this pattern matches the earlier, unconditional one, which fires first", a.t.Name)
+				r.transform = ""
+				break
+			}
+		}
+	}
+}
+
+// shadowRoot returns the root instruction and its dispatch key for the
+// subsumption analysis. Transformations with memory operations, undef,
+// or source instructions not reachable from the root are skipped: the
+// structural matcher below does not model them.
+func shadowRoot(t *ir.Transform) (ir.Instr, string, bool) {
+	if len(t.Source) == 0 {
+		return nil, "", false
+	}
+	root := t.Source[len(t.Source)-1]
+	var key string
+	switch i := root.(type) {
+	case *ir.BinOp:
+		key = "binop:" + i.Op.String()
+	case *ir.ICmp:
+		key = "icmp"
+	case *ir.Select:
+		key = "select"
+	case *ir.Conv:
+		key = "conv:" + i.Kind.String()
+	default:
+		return nil, "", false
+	}
+	reach := map[ir.Instr]bool{}
+	supported := true
+	ir.WalkValues(root, func(v ir.Value) {
+		switch v.(type) {
+		case *ir.Load, *ir.Store, *ir.Alloca, *ir.GEP, *ir.Unreachable, *ir.UndefValue, *ir.TypeToken:
+			supported = false
+		}
+		if in, ok := v.(ir.Instr); ok {
+			reach[in] = true
+		}
+	})
+	if !supported || len(reach) != len(t.Source) {
+		return nil, "", false
+	}
+	return root, key, true
+}
+
+// unconditional reports whether a transformation has no precondition.
+func unconditional(t *ir.Transform) bool {
+	if t.Pre == nil {
+		return true
+	}
+	_, isTrue := t.Pre.(ir.TruePred)
+	return isTrue
+}
+
+// matchValue reports whether pattern value pa matches everything
+// pattern value pb matches, binding pa's holes consistently.
+func matchValue(pa, pb ir.Value, bind map[ir.Value]ir.Value) bool {
+	if prev, ok := bind[pa]; ok {
+		return prev == pb
+	}
+	switch a := pa.(type) {
+	case *ir.Input:
+		bind[pa] = pb
+		return true
+	case *ir.AbstractConst:
+		if !ir.IsConstValue(pb) {
+			return false
+		}
+		bind[pa] = pb
+		return true
+	case *ir.Literal:
+		b, ok := pb.(*ir.Literal)
+		return ok && a.V == b.V && a.Bool == b.Bool
+	case *ir.ConstUnExpr:
+		b, ok := pb.(*ir.ConstUnExpr)
+		return ok && a.Op == b.Op && matchValue(a.X, b.X, bind)
+	case *ir.ConstBinExpr:
+		b, ok := pb.(*ir.ConstBinExpr)
+		return ok && a.Op == b.Op && matchValue(a.X, b.X, bind) && matchValue(a.Y, b.Y, bind)
+	case *ir.ConstFunc:
+		b, ok := pb.(*ir.ConstFunc)
+		if !ok || a.FName != b.FName || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !matchValue(a.Args[i], b.Args[i], bind) {
+				return false
+			}
+		}
+		return true
+	case *ir.Copy:
+		bind[pa] = pb
+		if !matchValue(a.X, unwrapCopy(pb), bind) {
+			return false
+		}
+		return true
+	case ir.Instr:
+		return matchInstr(a, unwrapCopy(pb), bind)
+	}
+	return false
+}
+
+// unwrapCopy looks through explicit register copies on the b side.
+func unwrapCopy(v ir.Value) ir.Value {
+	for {
+		c, ok := v.(*ir.Copy)
+		if !ok {
+			return v
+		}
+		v = c.X
+	}
+}
+
+// typeSubsumes reports whether a pattern type annotation matches
+// everything the other annotation matches: no annotation matches
+// anything, otherwise the annotations must agree.
+func typeSubsumes(a, b ir.Type) bool {
+	if a == nil {
+		return true
+	}
+	return b != nil && a.String() == b.String()
+}
+
+// matchInstr matches a pattern instruction against another pattern's
+// instruction: same shape, attributes a subset (the driver requires
+// pattern flags ⊆ concrete flags), types no more specific.
+func matchInstr(pa ir.Instr, pb ir.Value, bind map[ir.Value]ir.Value) bool {
+	bind[pa] = pb
+	switch a := pa.(type) {
+	case *ir.BinOp:
+		b, ok := pb.(*ir.BinOp)
+		return ok && a.Op == b.Op && a.Flags&^b.Flags == 0 &&
+			typeSubsumes(a.DeclaredType, b.DeclaredType) &&
+			matchValue(a.X, b.X, bind) && matchValue(a.Y, b.Y, bind)
+	case *ir.ICmp:
+		b, ok := pb.(*ir.ICmp)
+		return ok && a.Cond == b.Cond &&
+			typeSubsumes(a.DeclaredType, b.DeclaredType) &&
+			matchValue(a.X, b.X, bind) && matchValue(a.Y, b.Y, bind)
+	case *ir.Select:
+		b, ok := pb.(*ir.Select)
+		return ok && typeSubsumes(a.DeclaredType, b.DeclaredType) &&
+			matchValue(a.Cond, b.Cond, bind) &&
+			matchValue(a.TrueV, b.TrueV, bind) && matchValue(a.FalseV, b.FalseV, bind)
+	case *ir.Conv:
+		b, ok := pb.(*ir.Conv)
+		return ok && a.Kind == b.Kind &&
+			typeSubsumes(a.FromType, b.FromType) && typeSubsumes(a.ToType, b.ToType) &&
+			matchValue(a.X, b.X, bind)
+	}
+	return false
+}

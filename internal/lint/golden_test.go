@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alive/internal/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGolden lints every testdata/*.opt file and compares the rendered
+// diagnostics byte-for-byte against the matching .golden file. Run with
+// -update to regenerate. Each file exercises the code its name carries,
+// including positions, so column or message drift fails loudly.
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.opt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden inputs: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(strings.TrimSuffix(filepath.Base(f), ".opt"), func(t *testing.T) {
+			ts, err := parser.ParseFile(f)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			got := Render(filepath.Base(f), Transforms(ts))
+			golden := strings.TrimSuffix(f, ".opt") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run TestGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenCoversCodes checks that the golden corpus exercises every
+// diagnostic code the parser can reach (AL001 is programmatic-only; see
+// TestStructuralViolation).
+func TestGoldenCoversCodes(t *testing.T) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.opt"))
+	seen := map[string]bool{}
+	for _, f := range files {
+		ts, err := parser.ParseFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, d := range Transforms(ts) {
+			seen[d.Code] = true
+		}
+	}
+	for _, ci := range Codes {
+		if ci.Code == "AL001" {
+			continue
+		}
+		if !seen[ci.Code] {
+			t.Errorf("no golden input triggers %s (%s)", ci.Code, ci.Title)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package lint is a solver-free static analyzer for Alive
+// transformations. It front-loads cheap structural and arithmetic checks
+// before the expensive refinement proof: every check here is O(pattern
+// size) (the type-constraint pass is a single union-find sweep), issues
+// stable AL*** diagnostic codes, and never calls the SAT/SMT machinery.
+//
+// Per-transform checks catch scoping violations the parser cannot reject
+// (unbound target registers and constants, precondition typos),
+// contradictory type constraints, trivially vacuous or tautological
+// preconditions, misplaced poison attributes, and literals that truncate
+// at their class's feasible widths. Corpus-level analyses over a slice of
+// transformations detect duplicate (α-equivalent) source patterns and
+// source-pattern shadowing, which silently changes firing order in a
+// pattern-matching driver such as internal/miniir.
+//
+// The diagnostic codes:
+//
+//	AL001 error    structural scoping violation (Section 2.1 rules)
+//	AL002 error    target uses a register the source never binds
+//	AL003 error    precondition references a register absent from the source
+//	AL004 error    target uses a constant the source never binds
+//	AL005 error    type constraints are contradictory (no feasible typing)
+//	AL006 error    precondition is unsatisfiable (can never fire)
+//	AL007 warning  precondition conjunct is always true (redundant)
+//	AL008 error    built-in predicate over literals folds to false
+//	      info     ... or folds to true (drop it)
+//	AL009 error    attribute not valid for the operator (nsw on and, ...)
+//	AL010 warning  literal exceeds every feasible width of its class
+//	AL011 warning  duplicate source pattern (α-equivalent, same precondition)
+//	AL012 warning  earlier transformation shadows a later one
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"alive/internal/ir"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, in increasing order of gravity.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	}
+	return "info"
+}
+
+// Diagnostic is one finding: a stable code, a severity, a source
+// position (zero when unknown), the transformation it concerns, the
+// message, and an optional fix hint.
+type Diagnostic struct {
+	Code      string
+	Severity  Severity
+	Pos       ir.Pos
+	Transform string
+	Message   string
+	Hint      string
+}
+
+// String renders "line:col: severity[CODE]: message".
+func (d Diagnostic) String() string {
+	pos := ""
+	if !d.Pos.IsZero() {
+		pos = d.Pos.String() + ": "
+	}
+	return fmt.Sprintf("%s%s[%s]: %s", pos, d.Severity, d.Code, d.Message)
+}
+
+// CodeInfo documents one diagnostic code for registries and reports.
+type CodeInfo struct {
+	Code     string
+	Severity Severity // default severity
+	Title    string
+}
+
+// Codes lists every diagnostic code the analyzer can emit, in order.
+var Codes = []CodeInfo{
+	{"AL001", Error, "structural scoping violation"},
+	{"AL002", Error, "unbound target register"},
+	{"AL003", Error, "precondition references unknown register"},
+	{"AL004", Error, "unbound target constant"},
+	{"AL005", Error, "contradictory type constraints"},
+	{"AL006", Error, "unsatisfiable precondition"},
+	{"AL007", Warning, "tautological precondition conjunct"},
+	{"AL008", Error, "constant-foldable built-in predicate"},
+	{"AL009", Error, "attribute not valid for operator"},
+	{"AL010", Warning, "literal exceeds feasible width"},
+	{"AL011", Warning, "duplicate source pattern"},
+	{"AL012", Warning, "shadowed source pattern"},
+}
+
+// Check is one per-transform analysis in the registry.
+type Check struct {
+	Name  string   // short identifier, e.g. "scope"
+	Codes []string // AL codes the check can emit
+	Desc  string
+	Run   func(*ir.Transform, *Reporter)
+}
+
+// CorpusCheck is a cross-transform analysis over a whole corpus.
+type CorpusCheck struct {
+	Name  string
+	Codes []string
+	Desc  string
+	Run   func([]*ir.Transform, *Reporter)
+}
+
+// Checks returns the per-transform check registry in execution order.
+func Checks() []Check {
+	return []Check{
+		{"structure", []string{"AL001"}, "Section 2.1 structural and scoping rules", checkStructure},
+		{"scope", []string{"AL002", "AL003", "AL004"}, "unbound registers and constants across templates", checkScope},
+		{"types", []string{"AL005", "AL010"}, "type-constraint contradictions and width hazards (union-find, no enumeration)", checkTypes},
+		{"precondition", []string{"AL006", "AL007", "AL008"}, "vacuous, tautological, and constant-foldable preconditions", checkPre},
+		{"attrs", []string{"AL009"}, "poison attributes on operators that do not admit them", checkAttrs},
+	}
+}
+
+// CorpusChecks returns the corpus-level check registry.
+func CorpusChecks() []CorpusCheck {
+	return []CorpusCheck{
+		{"duplicates", []string{"AL011"}, "α-equivalent source patterns with α-equivalent preconditions", checkDuplicates},
+		{"shadowing", []string{"AL012"}, "earlier patterns subsuming later ones in firing order", checkShadowing},
+	}
+}
+
+// Reporter collects diagnostics during a run.
+type Reporter struct {
+	transform string
+	ds        []Diagnostic
+}
+
+func (r *Reporter) report(code string, sev Severity, pos ir.Pos, hint, format string, args ...any) {
+	r.ds = append(r.ds, Diagnostic{
+		Code:      code,
+		Severity:  sev,
+		Pos:       pos,
+		Transform: r.transform,
+		Message:   fmt.Sprintf(format, args...),
+		Hint:      hint,
+	})
+}
+
+// Transform runs every per-transform check on t.
+func Transform(t *ir.Transform) []Diagnostic {
+	r := &Reporter{transform: t.Name}
+	for _, c := range Checks() {
+		c.Run(t, r)
+	}
+	sortDiagnostics(r.ds)
+	return r.ds
+}
+
+// Transforms runs the per-transform checks on every element of ts and
+// the corpus-level analyses across them, in order. The slice order is
+// the pattern-matching firing order for the shadowing analysis.
+func Transforms(ts []*ir.Transform) []Diagnostic {
+	var out []Diagnostic
+	for _, t := range ts {
+		out = append(out, Transform(t)...)
+	}
+	out = append(out, Corpus(ts)...)
+	return out
+}
+
+// Corpus runs only the cross-transform analyses.
+func Corpus(ts []*ir.Transform) []Diagnostic {
+	r := &Reporter{}
+	for _, c := range CorpusChecks() {
+		c.Run(ts, r)
+	}
+	sortDiagnostics(r.ds)
+	return r.ds
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Count tallies diagnostics by severity: errors, warnings, infos.
+func Count(ds []Diagnostic) (errors, warnings, infos int) {
+	for _, d := range ds {
+		switch d.Severity {
+		case Error:
+			errors++
+		case Warning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// Render formats diagnostics the way compilers do:
+//
+//	file:line:col: severity[CODE]: message (in transform)
+//	    hint: ...
+//
+// file may be empty. A trailing newline terminates every diagnostic.
+func Render(file string, ds []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range ds {
+		if file != "" {
+			sb.WriteString(file)
+			sb.WriteByte(':')
+		}
+		if !d.Pos.IsZero() {
+			sb.WriteString(d.Pos.String())
+			sb.WriteString(": ")
+		}
+		fmt.Fprintf(&sb, "%s[%s]: %s", d.Severity, d.Code, d.Message)
+		if d.Transform != "" {
+			fmt.Fprintf(&sb, " (in %s)", d.Transform)
+		}
+		sb.WriteByte('\n')
+		if d.Hint != "" {
+			fmt.Fprintf(&sb, "    hint: %s\n", d.Hint)
+		}
+	}
+	return sb.String()
+}
+
+// sortDiagnostics orders by position, then code, preserving insertion
+// order for equal keys (stable output for golden tests).
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Code < b.Code
+	})
+}
+
+// walkShallow visits a value expression without descending into
+// instructions (which have their own statements): the visit stops at
+// Instr operands so findings are attributed to the statement that
+// lexically contains them.
+func walkShallow(v ir.Value, visit func(ir.Value)) {
+	if v == nil {
+		return
+	}
+	if _, isInstr := v.(ir.Instr); isInstr {
+		return
+	}
+	visit(v)
+	switch n := v.(type) {
+	case *ir.ConstUnExpr:
+		walkShallow(n.X, visit)
+	case *ir.ConstBinExpr:
+		walkShallow(n.X, visit)
+		walkShallow(n.Y, visit)
+	case *ir.ConstFunc:
+		for _, a := range n.Args {
+			walkShallow(a, visit)
+		}
+	}
+}

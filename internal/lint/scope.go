@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"sort"
+
+	"alive/internal/ir"
+)
+
+// checkStructure bridges the Section 2.1 structural rules (root
+// redefinition, dead source temporaries, dangling target instructions,
+// redefinitions) into a diagnostic. The parser enforces these for
+// textual input; programmatically built transforms reach them here.
+func checkStructure(t *ir.Transform, r *Reporter) {
+	if err := t.Validate(); err != nil {
+		r.report("AL001", Error, t.DeclPos, "", "%v", err)
+	}
+}
+
+// templateRefs collects the inputs and abstract constants a template
+// references directly (not through instructions defined elsewhere).
+func templateRefs(instrs []ir.Instr) (map[*ir.Input]bool, map[*ir.AbstractConst]bool) {
+	ins := map[*ir.Input]bool{}
+	consts := map[*ir.AbstractConst]bool{}
+	for _, in := range instrs {
+		for _, op := range ir.Operands(in) {
+			walkShallow(op, func(v ir.Value) {
+				switch v := v.(type) {
+				case *ir.Input:
+					ins[v] = true
+				case *ir.AbstractConst:
+					consts[v] = true
+				}
+			})
+		}
+	}
+	return ins, consts
+}
+
+// predRefs collects the inputs and abstract constants a precondition
+// references directly.
+func predRefs(p ir.Pred) (map[*ir.Input]bool, map[*ir.AbstractConst]bool) {
+	ins := map[*ir.Input]bool{}
+	consts := map[*ir.AbstractConst]bool{}
+	ir.WalkPred(p, func(v ir.Value) {
+		walkShallow(v, func(u ir.Value) {
+			switch u := u.(type) {
+			case *ir.Input:
+				ins[u] = true
+			case *ir.AbstractConst:
+				consts[u] = true
+			}
+		})
+	})
+	return ins, consts
+}
+
+// checkScope flags target and precondition references that the source
+// template never binds: a fresh register in the target has no defined
+// runtime value (AL002), a register named only in the precondition is
+// almost always a typo (AL003), and a fresh abstract constant in the
+// target gives the matcher nothing to materialize (AL004).
+func checkScope(t *ir.Transform, r *Reporter) {
+	srcIns, srcConsts := templateRefs(t.Source)
+	preIns, preConsts := predRefs(t.Pre)
+
+	// Source instruction results are also bound names the target and
+	// precondition may reference; those are Instr values, which
+	// walkShallow never confuses with inputs, so no extra set is needed.
+
+	reportedIn := map[*ir.Input]bool{}
+	reportedConst := map[*ir.AbstractConst]bool{}
+	for _, in := range t.Target {
+		pos := t.PosOf(in)
+		for _, op := range ir.Operands(in) {
+			walkShallow(op, func(v ir.Value) {
+				switch v := v.(type) {
+				case *ir.Input:
+					if !srcIns[v] && !reportedIn[v] {
+						reportedIn[v] = true
+						r.report("AL002", Error, pos,
+							"every target operand must be computable from the source; did you mean one of the source registers?",
+							"target uses %s, which the source never binds", v.VName)
+					}
+				case *ir.AbstractConst:
+					if srcConsts[v] || reportedConst[v] {
+						return
+					}
+					reportedConst[v] = true
+					if preConsts[v] {
+						r.report("AL004", Warning, pos,
+							"a code generator cannot materialize a constant that is only constrained, not computed",
+							"target constant %s is bound only by the precondition, not by the source", v.CName)
+					} else {
+						r.report("AL004", Error, pos,
+							"target constants must appear in the source or be computed from source constants",
+							"target uses constant %s, which the source never binds", v.CName)
+					}
+				}
+			})
+		}
+	}
+
+	var loose []string
+	for in := range preIns {
+		if !srcIns[in] {
+			loose = append(loose, in.VName)
+		}
+	}
+	sort.Strings(loose)
+	for _, name := range loose {
+		r.report("AL003", Error, t.PrePos,
+			"precondition registers must name source values",
+			"precondition references %s, which does not appear in the source", name)
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"fmt"
+	"testing"
+
+	"alive/internal/suite"
+)
+
+// corpusAllowlist records the warnings the linter is expected to raise
+// on the bundled InstCombine corpus, keyed "CODE name". They are real
+// registration-order hazards in the original pattern set (a duplicate
+// select pattern and flag-specialized patterns registered after their
+// general versions), kept as-is to stay faithful to the source corpus;
+// PR20189 is one of the Figure 8 bugs and keeps its buggy text by
+// design. Anything outside this list — and any error — fails the test.
+var corpusAllowlist = map[string]bool{
+	"AL011 Select:nested-same-cond-false-arm": true,
+	"AL012 AddSub:neg-via-not":                true,
+	"AL012 AddSub:neg-distribute":             true,
+	"AL012 AddSub:nuw-add-reassoc":            true,
+	"AL012 AddSub:nsw-add-reassoc":            true,
+	"AL012 PR20189":                           true,
+	"AL012 AddSub:add-then-neg-cancel":        true,
+	"AL012 AddSub:add-nsw-neg-to-sub":         true,
+	"AL012 AddSub:add-nuw-neg-cancel":         true,
+	"AL012 AddSub:sub-nsw-allones-not":        true,
+	"AL012 AndOrXor:and-sext-bool-with-one":   true,
+	"AL012 MulDivRem:mul-nuw-nuw-const":       true,
+	"AL012 MulDivRem:mul-nsw-minus-one":       true,
+	"AL012 Select:nested-same-cond-false-arm": true,
+	"AL012 Shifts:shl-mul-combine":            true,
+	"AL012 Shifts:ashr-exact-of-shl-nsw":      true,
+}
+
+// TestSuiteCorpus lints the whole bundled corpus: no transformation may
+// carry an error-severity finding (the 8 Figure 8 bugs are semantic,
+// invisible to the solver-free checks), warnings must match the
+// allowlist exactly, and the shadowing analysis must find at least one
+// real pair — the acceptance bar for the corpus-level checks.
+func TestSuiteCorpus(t *testing.T) {
+	ds := Transforms(suite.ParseAll())
+	var shadowPairs int
+	seen := map[string]bool{}
+	for _, d := range ds {
+		key := fmt.Sprintf("%s %s", d.Code, d.Transform)
+		switch d.Severity {
+		case Error:
+			t.Errorf("corpus has lint error: %s (in %s)", d, d.Transform)
+		default:
+			if !corpusAllowlist[key] {
+				t.Errorf("unexpected corpus finding %q: %s", key, d)
+			}
+			seen[key] = true
+		}
+		if d.Code == "AL012" {
+			shadowPairs++
+		}
+	}
+	for key := range corpusAllowlist {
+		if !seen[key] {
+			t.Errorf("allowlisted finding %q no longer reported; prune the list", key)
+		}
+	}
+	if shadowPairs < 1 {
+		t.Error("shadowing analysis found no pairs in the corpus")
+	}
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"alive/internal/ir"
+	"alive/internal/typing"
+)
+
+// widthBounds is the result of the single union-find pass over the
+// Figure 3 constraints: per-class feasible width intervals derived from
+// fixed annotations and the strict orderings of zext/sext/trunc, with
+// bitcast equal-width edges contracted. No enumeration happens.
+type widthBounds struct {
+	cs *typing.ConstraintSet
+
+	// eq maps each constraint-class representative to its supernode
+	// after contracting bitcast (equal-width) edges.
+	eq map[ir.Value]ir.Value
+
+	// lo and hi bound the feasible width of each supernode (1..64).
+	lo map[ir.Value]int
+	hi map[ir.Value]int
+
+	// conflict holds a human-readable contradiction, "" if consistent.
+	conflict string
+}
+
+const maxWidth = 64
+
+// buildWidthBounds contracts equal-width edges, detects strict-order
+// cycles, and propagates lower/upper width bounds along the strict
+// edges. Everything is linear in the number of constraints.
+func buildWidthBounds(cs *typing.ConstraintSet) *widthBounds {
+	wb := &widthBounds{cs: cs, eq: map[ir.Value]ir.Value{}, lo: map[ir.Value]int{}, hi: map[ir.Value]int{}}
+
+	find := func(v ir.Value) ir.Value {
+		root := v
+		for {
+			p, ok := wb.eq[root]
+			if !ok || p == root {
+				break
+			}
+			root = p
+		}
+		for v != root {
+			next := wb.eq[v]
+			wb.eq[v] = root
+			v = next
+		}
+		return root
+	}
+	union := func(a, b ir.Value) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			wb.eq[ra] = rb
+		}
+	}
+
+	// Contract bitcast edges between integer classes. Pointer widths are
+	// all the ABI width, so int<->ptr bitcasts constrain the int side to
+	// a single (configurable) width; the linter leaves those alone.
+	for _, p := range cs.SameBitsPairs() {
+		if cs.IsInt(p[0]) && cs.IsInt(p[1]) {
+			union(p[0], p[1])
+		}
+	}
+
+	// Strict edges a < b between integer supernodes.
+	type edge struct{ a, b ir.Value }
+	var edges []edge
+	for _, p := range cs.SmallerPairs() {
+		if !cs.IsInt(p[0]) || !cs.IsInt(p[1]) {
+			continue
+		}
+		a, b := find(p[0]), find(p[1])
+		if a == b {
+			wb.conflict = "a bitcast forces two widths to be equal that a zext/sext/trunc elsewhere forces to differ"
+			return wb
+		}
+		edges = append(edges, edge{a, b})
+	}
+
+	// Seed bounds from fixed widths; merged classes with different fixed
+	// widths are contradictory. (Fixed-width conflicts within one class
+	// are caught during constraint generation.)
+	nodes := map[ir.Value]bool{}
+	for _, e := range edges {
+		nodes[e.a] = true
+		nodes[e.b] = true
+	}
+	seed := func(v ir.Value) bool {
+		r := find(v)
+		nodes[r] = true
+		if w, ok := cs.FixedWidth(v); ok {
+			if lo, have := wb.lo[r]; have && wb.hi[r] == lo && lo != w {
+				wb.conflict = "a bitcast forces two differently-annotated widths to be equal"
+				return false
+			}
+			wb.lo[r], wb.hi[r] = w, w
+		}
+		return true
+	}
+	for _, p := range cs.SameBitsPairs() {
+		if !seed(p[0]) || !seed(p[1]) {
+			return wb
+		}
+	}
+	for _, p := range cs.SmallerPairs() {
+		if !seed(p[0]) || !seed(p[1]) {
+			return wb
+		}
+	}
+
+	// Cycle detection + topological order over the strict edges.
+	succ := map[ir.Value][]ir.Value{}
+	indeg := map[ir.Value]int{}
+	for _, e := range edges {
+		succ[e.a] = append(succ[e.a], e.b)
+		indeg[e.b]++
+	}
+	var order []ir.Value
+	var queue []ir.Value
+	for n := range nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, n)
+		for _, m := range succ[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(order) < len(nodes) {
+		wb.conflict = "the zext/sext/trunc constraints order some width strictly below itself (cyclic widening/narrowing)"
+		return wb
+	}
+
+	// Propagate: forward pass raises lower bounds (lo(b) > lo(a)),
+	// backward pass lowers upper bounds (hi(a) < hi(b)).
+	loOf := func(v ir.Value) int {
+		if w, ok := wb.lo[v]; ok {
+			return w
+		}
+		return 1
+	}
+	hiOf := func(v ir.Value) int {
+		if w, ok := wb.hi[v]; ok {
+			return w
+		}
+		return maxWidth
+	}
+	for _, n := range order {
+		for _, m := range succ[n] {
+			if l := loOf(n) + 1; l > loOf(m) {
+				wb.lo[m] = l
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		for _, m := range succ[n] {
+			if h := hiOf(m) - 1; h < hiOf(n) {
+				wb.hi[n] = h
+			}
+		}
+	}
+	for n := range nodes {
+		if loOf(n) > hiOf(n) {
+			wb.conflict = "the width annotations violate a zext/sext/trunc strict ordering (no feasible width remains)"
+			return wb
+		}
+		if loOf(n) > maxWidth {
+			wb.conflict = "a chain of widenings requires an integer wider than 64 bits"
+			return wb
+		}
+	}
+	return wb
+}
+
+// maxFeasibleWidth returns the largest width v's class can take given
+// the contracted constraints.
+func (wb *widthBounds) maxFeasibleWidth(v ir.Value) int {
+	r := wb.cs.ClassOf(v)
+	for {
+		p, ok := wb.eq[r]
+		if !ok || p == r {
+			break
+		}
+		r = p
+	}
+	if w, ok := wb.hi[r]; ok {
+		return w
+	}
+	if w, ok := wb.cs.FixedWidth(v); ok {
+		return w
+	}
+	return maxWidth
+}
+
+// checkTypes detects type-constraint contradictions (AL005) with a
+// union-find pass — no assignment enumeration — and literal width
+// hazards (AL010): literals that cannot be represented at any feasible
+// width of their class and therefore silently truncate.
+func checkTypes(t *ir.Transform, r *Reporter) {
+	cs, err := typing.Constraints(t)
+	if err != nil {
+		r.report("AL005", Error, t.DeclPos,
+			"no type assignment can satisfy the Figure 3 constraints; the transformation can never be instantiated",
+			"contradictory type constraints: %v", err)
+		return
+	}
+	wb := buildWidthBounds(cs)
+	if wb.conflict != "" {
+		r.report("AL005", Error, t.DeclPos,
+			"no type assignment can satisfy the Figure 3 constraints; the transformation can never be instantiated",
+			"contradictory type constraints: %s", wb.conflict)
+		return
+	}
+
+	// AL010: walk every literal in its lexical statement and compare its
+	// minimal representation width against the class's maximum feasible
+	// width.
+	checkLiteral := func(l *ir.Literal, pos ir.Pos) {
+		if l.Bool {
+			return
+		}
+		need := literalBits(l)
+		if max := wb.maxFeasibleWidth(l); need > max {
+			r.report("AL010", Warning, pos,
+				"the literal will be truncated at every feasible width; spell the truncated value or widen the types",
+				"literal %d needs i%d but its type class admits at most i%d", l.V, need, max)
+		}
+	}
+	for _, in := range append(append([]ir.Instr{}, t.Source...), t.Target...) {
+		pos := t.PosOf(in)
+		for _, op := range ir.Operands(in) {
+			walkShallow(op, func(v ir.Value) {
+				if l, ok := v.(*ir.Literal); ok {
+					checkLiteral(l, pos)
+				}
+			})
+		}
+	}
+	ir.WalkPred(t.Pre, func(v ir.Value) {
+		walkShallow(v, func(u ir.Value) {
+			if l, ok := u.(*ir.Literal); ok {
+				checkLiteral(l, t.PrePos)
+			}
+		})
+	})
+}

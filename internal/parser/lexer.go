@@ -60,7 +60,7 @@ func newLexer(src string) *lexer {
 }
 
 func (lx *lexer) errorf(format string, args ...any) error {
-	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
+	return fmt.Errorf("line %d:%d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
 }
 
 func (lx *lexer) peekByte() byte {
@@ -104,10 +104,15 @@ func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 // at end of line continues the line.
 func (lx *lexer) tokens() ([]token, error) {
 	var out []token
+	// Tokens carry the position of their FIRST byte, captured before the
+	// scanner advances past them, so parse errors and lint diagnostics
+	// point at the start of the offending token.
+	startLine, startCol := lx.line, lx.col
 	emit := func(k tokKind, text string) {
-		out = append(out, token{kind: k, text: text, line: lx.line, col: lx.col})
+		out = append(out, token{kind: k, text: text, line: startLine, col: startCol})
 	}
 	for lx.pos < len(lx.src) {
+		startLine, startCol = lx.line, lx.col
 		c := lx.peekByte()
 		switch {
 		case c == ' ' || c == '\t' || c == '\r':
@@ -173,15 +178,15 @@ func (lx *lexer) tokens() ([]token, error) {
 			}
 			emit(tNum, lx.src[start:lx.pos])
 		default:
-			if err := lx.operator(&out); err != nil {
+			if err := lx.operator(&out, startLine, startCol); err != nil {
 				return nil, err
 			}
 		}
 	}
 	if len(out) > 0 && out[len(out)-1].kind != tNewline {
-		out = append(out, token{kind: tNewline, text: "\n", line: lx.line})
+		out = append(out, token{kind: tNewline, text: "\n", line: lx.line, col: lx.col})
 	}
-	out = append(out, token{kind: tEOF, line: lx.line})
+	out = append(out, token{kind: tEOF, line: lx.line, col: lx.col})
 	return out, nil
 }
 
@@ -189,9 +194,9 @@ func isHexDigit(c byte) bool {
 	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
 }
 
-func (lx *lexer) operator(out *[]token) error {
+func (lx *lexer) operator(out *[]token, startLine, startCol int) error {
 	emit := func(k tokKind, text string) {
-		*out = append(*out, token{kind: k, text: text, line: lx.line, col: lx.col})
+		*out = append(*out, token{kind: k, text: text, line: startLine, col: startCol})
 	}
 	c := lx.advance()
 	two := func(next byte, ifTwo, ifOne string) {
@@ -283,7 +288,7 @@ func (lx *lexer) operator(out *[]token) error {
 	case '|':
 		two('|', "||", "|")
 	default:
-		return lx.errorf("unexpected character %q", string(c))
+		return fmt.Errorf("line %d:%d: unexpected character %q", startLine, startCol, string(c))
 	}
 	return nil
 }

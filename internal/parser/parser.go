@@ -68,8 +68,11 @@ func (p *parser) skipNewlines() {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+	return fmt.Errorf("line %d:%d: %s", p.cur().line, p.cur().col, fmt.Sprintf(format, args...))
 }
+
+// pos returns the position of the current token.
+func (p *parser) curPos() ir.Pos { return ir.Pos{Line: p.cur().line, Col: p.cur().col} }
 
 func (p *parser) expect(k tokKind, what string) (token, error) {
 	if p.cur().kind != k {
@@ -106,6 +109,8 @@ func (p *parser) parseTransform() (*ir.Transform, error) {
 	p.inTarget = false
 
 	// Headers.
+	p.skipNewlines()
+	t.DeclPos = p.curPos()
 	for {
 		p.skipNewlines()
 		if p.atIdent("Name") && p.toks[p.pos+1].kind == tColon {
@@ -115,6 +120,7 @@ func (p *parser) parseTransform() (*ir.Transform, error) {
 		}
 		if p.atIdent("Pre") && p.toks[p.pos+1].kind == tColon {
 			p.pos += 2
+			t.PrePos = p.curPos()
 			pre, err := p.parsePred()
 			if err != nil {
 				return nil, err
@@ -138,11 +144,13 @@ func (p *parser) parseTransform() (*ir.Transform, error) {
 		if p.cur().kind == tEOF {
 			return nil, p.errorf("missing => separator in %q", t.Name)
 		}
+		at := p.curPos()
 		in, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
 		t.Source = append(t.Source, in)
+		t.SetPos(in, at)
 		if n := in.Name(); n != "" {
 			p.srcDefs[n] = in
 		}
@@ -176,11 +184,13 @@ func (p *parser) parseTransform() (*ir.Transform, error) {
 		if p.atIdent("Pre") && p.toks[p.pos+1].kind == tColon {
 			break
 		}
+		at := p.curPos()
 		in, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
 		t.Target = append(t.Target, in)
+		t.SetPos(in, at)
 		if n := in.Name(); n != "" {
 			p.tgtDefs[n] = in
 		}
@@ -382,9 +392,9 @@ func (p *parser) parseBinOp(name string, op ir.BinOpKind) (ir.Instr, error) {
 		p.next()
 	}
 flagsDone:
-	if flags & ^ir.ValidFlags(op) != 0 {
-		return nil, p.errorf("attribute not valid for %s", op)
-	}
+	// Attributes invalid for the operator (e.g. nsw on a bitwise op) are
+	// accepted here and reported by the linter (AL009); the verifier
+	// refuses to encode them, so they can never be proved correct.
 	typ := p.tryParseType()
 	x, err := p.parseOperand()
 	if err != nil {

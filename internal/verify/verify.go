@@ -22,6 +22,7 @@ import (
 
 	"alive/internal/bv"
 	"alive/internal/ir"
+	"alive/internal/lint"
 	"alive/internal/smt"
 	"alive/internal/solver"
 	"alive/internal/typing"
@@ -33,9 +34,10 @@ type Verdict int
 
 // Verification outcomes.
 const (
-	Valid   Verdict = iota // proved correct for all checked type assignments
-	Invalid                // counterexample found
-	Unknown                // budget exhausted or encoding unsupported
+	Valid    Verdict = iota // proved correct for all checked type assignments
+	Invalid                 // counterexample found
+	Unknown                 // budget exhausted or encoding unsupported
+	Rejected                // lint found errors; no proof was attempted
 )
 
 func (v Verdict) String() string {
@@ -44,6 +46,8 @@ func (v Verdict) String() string {
 		return "valid"
 	case Invalid:
 		return "invalid"
+	case Rejected:
+		return "rejected"
 	}
 	return "unknown"
 }
@@ -126,6 +130,10 @@ type Options struct {
 	// DisableSimplify turns off constructor-time term simplification
 	// (ablation).
 	DisableSimplify bool
+	// Lint runs the solver-free static analyzer first and rejects the
+	// transformation without attempting a proof when it reports
+	// error-severity findings; all findings land in Result.Lint.
+	Lint bool
 }
 
 // Result is the outcome of Verify.
@@ -140,6 +148,9 @@ type Result struct {
 	// Err carries encoding/typing failures (Verdict == Unknown).
 	Err      error
 	Duration time.Duration
+	// Lint holds the static analyzer's findings when Options.Lint is set;
+	// error severity implies Verdict == Rejected.
+	Lint []lint.Diagnostic
 }
 
 const defaultDivMulMaxWidth = 8
@@ -197,6 +208,14 @@ func Verify(t *ir.Transform, opts Options) (res Result) {
 	opts = opts.withDefaults()
 	res = Result{Transform: t, Verdict: Valid}
 	defer func() { res.Duration = time.Since(start) }()
+
+	if opts.Lint {
+		res.Lint = lint.Transform(t)
+		if lint.HasErrors(res.Lint) {
+			res.Verdict = Rejected
+			return res
+		}
+	}
 
 	widths := opts.Widths
 	if opts.DivMulMaxWidth > 0 && hasHardArith(t) {
