@@ -35,6 +35,8 @@
 package alive
 
 import (
+	"context"
+
 	"alive/internal/attrs"
 	"alive/internal/codegen"
 	"alive/internal/ir"
@@ -71,6 +73,30 @@ const (
 	Rejected = verify.Rejected // lint errors; no proof attempted
 )
 
+// UnknownReason classifies why a verification returned Unknown:
+// conflict budget, deadline, cancellation, CEGIS round cap, unsupported
+// encoding, or a recovered internal panic.
+type UnknownReason = verify.UnknownReason
+
+// Unknown reasons (Result.Reason when Verdict == Unknown).
+const (
+	ReasonNone           = verify.ReasonNone
+	ReasonConflictBudget = verify.ReasonConflictBudget
+	ReasonDeadline       = verify.ReasonDeadline
+	ReasonCancelled      = verify.ReasonCancelled
+	ReasonCEGISRounds    = verify.ReasonCEGISRounds
+	ReasonEncoding       = verify.ReasonEncoding
+	ReasonPanic          = verify.ReasonPanic
+)
+
+// CorpusOptions configures RunCorpus: per-transform verification
+// options, worker-pool size, per-transform timeout, and an in-order
+// result callback.
+type CorpusOptions = verify.CorpusOptions
+
+// CorpusStats aggregates a RunCorpus run.
+type CorpusStats = verify.CorpusStats
+
 // Diagnostic is one finding of the static analyzer: a stable AL*** code,
 // a severity, a source position, and a message with an optional hint.
 type Diagnostic = lint.Diagnostic
@@ -102,6 +128,23 @@ func ParseFile(path string) ([]*Transform, error) { return parser.ParseFile(path
 // Verify checks a transformation against the refinement criteria of the
 // paper (Sections 3.1-3.3) for every feasible type assignment.
 func Verify(t *Transform, opts Options) Result { return verify.Verify(t, opts) }
+
+// VerifyContext is Verify governed by a context: cancellation and the
+// sooner of Options.Timeout and the context's deadline abort the proof
+// search promptly, yielding Unknown with a structured reason. Internal
+// panics are likewise isolated into Unknown (ReasonPanic) instead of
+// crashing the caller.
+func VerifyContext(ctx context.Context, t *Transform, opts Options) Result {
+	return verify.VerifyContext(ctx, t, opts)
+}
+
+// RunCorpus verifies a corpus of transformations on a bounded worker
+// pool with per-transform timeouts and panic isolation. results[i] is
+// always ts[i]'s outcome; on interrupt it returns promptly with partial
+// results.
+func RunCorpus(ctx context.Context, ts []*Transform, opts CorpusOptions) ([]Result, CorpusStats) {
+	return verify.RunCorpus(ctx, ts, opts)
+}
 
 // Lint runs the per-transform checks and, across the whole slice, the
 // corpus-level duplicate and shadowing analyses. It never invokes the

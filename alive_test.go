@@ -1,8 +1,10 @@
 package alive_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"alive"
 )
@@ -86,6 +88,62 @@ Pre: isSignBit(C1)
 	pass, skipped := alive.GenerateCppPass("P", []*alive.Transform{opt})
 	if len(skipped) != 0 || !strings.Contains(pass, "runOnInstruction") {
 		t.Fatal("pass generation failed")
+	}
+}
+
+func TestPublicAPIVerifyContext(t *testing.T) {
+	opt, err := alive.ParseOne(`
+Name: hard
+Pre: C2 % (1<<C1) == 0 && C1 u< width(%X)-1
+%s = shl nsw %X, C1
+%r = sdiv %s, C2
+=>
+%r = sdiv %X, C2/(1<<C1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := alive.Options{Widths: []int{32}, DivMulMaxWidth: -1, MaxAssignments: 1, Timeout: 50 * time.Millisecond}
+	res := alive.VerifyContext(context.Background(), opt, opts)
+	if res.Verdict != alive.Unknown || res.Reason != alive.ReasonDeadline {
+		t.Fatalf("got %v/%v, want Unknown/deadline", res.Verdict, res.Reason)
+	}
+	if res.Reason.String() != "deadline" {
+		t.Fatalf("Reason.String() = %q", res.Reason)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res = alive.VerifyContext(ctx, opt, alive.Options{Widths: []int{32}, DivMulMaxWidth: -1})
+	if res.Verdict != alive.Unknown || res.Reason != alive.ReasonCancelled {
+		t.Fatalf("got %v/%v, want Unknown/cancelled", res.Verdict, res.Reason)
+	}
+}
+
+func TestPublicAPIRunCorpus(t *testing.T) {
+	ts, err := alive.Parse(`
+Name: ok
+%r = and %x, %x
+=>
+%r = %x
+
+Name: bad
+%r = lshr %x, 1
+=>
+%r = ashr %x, 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats := alive.RunCorpus(context.Background(), ts, alive.CorpusOptions{
+		Verify:  alive.Options{Widths: []int{4}},
+		Workers: 2,
+	})
+	if len(results) != 2 || results[0].Verdict != alive.Valid || results[1].Verdict != alive.Invalid {
+		t.Fatalf("results = %+v", results)
+	}
+	if stats.Valid != 1 || stats.Invalid != 1 || stats.Interrupted {
+		t.Fatalf("stats = %+v", stats)
 	}
 }
 

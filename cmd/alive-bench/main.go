@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	alive-bench -experiment table3|fig5|fig8|fig9|patches|attrs|lint|compiletime|runtime|all
+//	alive-bench [-j N] -experiment table3|fig5|fig8|fig9|patches|attrs|lint|compiletime|runtime|driver|all
 package main
 
 import (
@@ -16,8 +16,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, lint, compiletime, runtime, all)")
+	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, lint, compiletime, runtime, driver, all)")
 	widths := flag.String("widths", "4,8", "verification widths for corpus experiments")
+	jobs := flag.Int("j", 0, "corpus-driver workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	runners := map[string]func(*bench.Config) string{
@@ -30,14 +31,16 @@ func main() {
 		"lint":        bench.Lint,
 		"compiletime": bench.CompileTime,
 		"runtime":     bench.RunTime,
+		"driver":      bench.Driver,
 	}
-	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "lint", "fig9", "compiletime", "runtime"}
+	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "lint", "fig9", "compiletime", "runtime", "driver"}
 
 	cfg, err := bench.NewConfig(*widths)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alive-bench: %v\n", err)
 		os.Exit(2)
 	}
+	cfg.Jobs = *jobs
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -12,21 +12,38 @@
 //
 //	-widths 4,8,16     candidate integer bit widths (default 1,4,8,16,32,64)
 //	-divmul-max 8      width cap for mul/div transformations (0 = none)
+//	-j N               verify N transformations in parallel (0 = GOMAXPROCS)
+//	-timeout 30s       wall-clock budget per transformation (0 = none)
+//	-total-timeout 5m  wall-clock budget for the whole run (0 = none)
 //	-infer             also run nsw/nuw/exact attribute inference
 //	-dump-smt          print the verification conditions as SMT-LIB 2
 //	-gencpp            emit InstCombine-style C++ for valid transformations
 //	-lint              run the static analyzer first; lint errors reject a
 //	                   transformation without attempting a proof
 //	-quiet             print only the per-transformation verdict lines
+//
+// A SIGINT or SIGTERM stops the run gracefully: in-flight proofs are
+// cancelled, verdicts already reached are kept, and transformations that
+// never ran are reported unknown (cancelled).
+//
+// Exit status: 0 all valid; 1 a transformation is incorrect, rejected, or
+// failed to parse; 2 usage error; 3 a verdict is unknown (budget,
+// deadline, unsupported); 4 the verifier panicked on a transformation
+// (isolated, never a crash); 130 the run was interrupted. When several
+// apply the most severe wins: 1 > 4 > 3 > 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"alive"
 )
@@ -34,6 +51,9 @@ import (
 func main() {
 	widthsFlag := flag.String("widths", "", "comma-separated candidate bit widths (default 1,4,8,16,32,64)")
 	divMulMax := flag.Int("divmul-max", 8, "width cap for transformations containing mul/div/rem (0 disables)")
+	jobs := flag.Int("j", 1, "parallel verification workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per transformation (0 = none)")
+	totalTimeout := flag.Duration("total-timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	infer := flag.Bool("infer", false, "run attribute inference on valid transformations")
 	gencpp := flag.Bool("gencpp", false, "generate C++ for valid transformations")
 	dumpSMT := flag.Bool("dump-smt", false, "print the verification conditions as SMT-LIB 2 scripts")
@@ -55,6 +75,10 @@ func main() {
 			opts.Widths = append(opts.Widths, w)
 		}
 	}
+	if *jobs < 0 || *timeout < 0 || *totalTimeout < 0 {
+		fmt.Fprintln(os.Stderr, "alive: -j, -timeout, and -total-timeout must be non-negative")
+		os.Exit(2)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -62,8 +86,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	exit := 0
-	total, valid, invalid, unknown, rejected := 0, 0, 0, 0, 0
+	// Parse everything up front so the corpus driver sees one flat list.
+	parseFailed := false
+	var corpus []*alive.Transform
+	var names []string
+	var files []string
+	total := 0
 	for _, path := range args {
 		var (
 			ts  []*alive.Transform
@@ -81,7 +109,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "alive: %v\n", err)
-			exit = 1
+			parseFailed = true
 			continue
 		}
 		for _, t := range ts {
@@ -90,68 +118,127 @@ func main() {
 			if name == "" {
 				name = fmt.Sprintf("%s#%d", path, total)
 			}
-			if *dumpSMT {
-				scripts, derr := alive.DumpSMTQueries(t, opts)
-				if derr != nil {
-					fmt.Fprintf(os.Stderr, "alive: %s: %v\n", name, derr)
-				}
-				for _, s := range scripts {
-					fmt.Println(s)
-				}
+			corpus = append(corpus, t)
+			names = append(names, name)
+			files = append(files, path)
+		}
+	}
+
+	if *dumpSMT {
+		for i, t := range corpus {
+			scripts, derr := alive.DumpSMTQueries(t, opts)
+			if derr != nil {
+				fmt.Fprintf(os.Stderr, "alive: %s: %v\n", names[i], derr)
 			}
-			res := alive.Verify(t, opts)
-			switch res.Verdict {
-			case alive.Valid:
-				valid++
-				fmt.Printf("%-40s done (%d type assignments, %d queries, %v)\n",
-					name, res.TypeAssignments, res.Queries, res.Duration.Round(1000000))
-				if !*quiet && len(res.Lint) > 0 {
-					fmt.Print(alive.RenderDiagnostics(lintFile(path), res.Lint))
-				}
-				if *infer {
-					runInference(t, opts)
-				}
-				if *gencpp {
-					cpp, gerr := alive.GenerateCpp(t)
-					if gerr != nil {
-						fmt.Printf("  codegen: %v\n", gerr)
-					} else {
-						fmt.Println(cpp)
-					}
-				}
-			case alive.Invalid:
-				invalid++
-				exit = 1
-				fmt.Printf("%-40s INCORRECT\n", name)
-				if !*quiet && res.Cex != nil {
-					fmt.Println(res.Cex.String())
-				}
-			case alive.Rejected:
-				rejected++
-				exit = 1
-				fmt.Printf("%-40s REJECTED (lint)\n", name)
-				if !*quiet {
-					fmt.Print(alive.RenderDiagnostics(lintFile(path), res.Lint))
-				}
-			default:
-				unknown++
-				exit = 1
-				fmt.Printf("%-40s unknown", name)
-				if res.Err != nil {
-					fmt.Printf(" (%v)", res.Err)
-				}
-				fmt.Println()
+			for _, s := range scripts {
+				fmt.Println(s)
 			}
 		}
 	}
-	if rejected > 0 {
-		fmt.Printf("\n%d transformations: %d valid, %d incorrect, %d rejected, %d unknown\n",
-			total, valid, invalid, rejected, unknown)
-	} else {
-		fmt.Printf("\n%d transformations: %d valid, %d incorrect, %d unknown\n",
-			total, valid, invalid, unknown)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *totalTimeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *totalTimeout)
+		defer tcancel()
 	}
-	os.Exit(exit)
+
+	results, stats := alive.RunCorpus(ctx, corpus, alive.CorpusOptions{
+		Verify:           opts,
+		Workers:          *jobs,
+		TransformTimeout: *timeout,
+		OnResult: func(i int, res alive.Result) {
+			printResult(names[i], files[i], res, *quiet)
+		},
+	})
+
+	// Heavy post-processing of valid transformations runs after the
+	// parallel phase, sequentially.
+	if *infer || *gencpp {
+		for i, res := range results {
+			if res.Verdict != alive.Valid {
+				continue
+			}
+			fmt.Printf("%s:\n", names[i])
+			if *infer {
+				runInference(corpus[i], opts)
+			}
+			if *gencpp {
+				cpp, gerr := alive.GenerateCpp(corpus[i])
+				if gerr != nil {
+					fmt.Printf("  codegen: %v\n", gerr)
+				} else {
+					fmt.Println(cpp)
+				}
+			}
+		}
+	}
+
+	if stats.Rejected > 0 {
+		fmt.Printf("\n%d transformations: %d valid, %d incorrect, %d rejected, %d unknown (%v)\n",
+			stats.Total, stats.Valid, stats.Invalid, stats.Rejected, stats.Unknown, stats.Duration.Round(time.Millisecond))
+	} else {
+		fmt.Printf("\n%d transformations: %d valid, %d incorrect, %d unknown (%v)\n",
+			stats.Total, stats.Valid, stats.Invalid, stats.Unknown, stats.Duration.Round(time.Millisecond))
+	}
+	if stats.Interrupted {
+		fmt.Fprintln(os.Stderr, "alive: run interrupted; partial results above")
+	}
+
+	os.Exit(exitCode(parseFailed, stats))
+}
+
+// exitCode folds the run's outcomes into one status, most severe first:
+// incorrect/rejected/parse failure (1), an isolated verifier panic (4),
+// an unknown verdict (3), a clean interrupt (130).
+func exitCode(parseFailed bool, stats alive.CorpusStats) int {
+	switch {
+	case parseFailed || stats.Invalid > 0 || stats.Rejected > 0:
+		return 1
+	case stats.Panics > 0:
+		return 4
+	case stats.Unknown > 0:
+		return 3
+	case stats.Interrupted:
+		return 130
+	}
+	return 0
+}
+
+func printResult(name, file string, res alive.Result, quiet bool) {
+	switch res.Verdict {
+	case alive.Valid:
+		fmt.Printf("%-40s done (%d type assignments, %d queries, %v)\n",
+			name, res.TypeAssignments, res.Queries, res.Duration.Round(time.Millisecond))
+		if !quiet && len(res.Lint) > 0 {
+			fmt.Print(alive.RenderDiagnostics(lintFile(file), res.Lint))
+		}
+	case alive.Invalid:
+		fmt.Printf("%-40s INCORRECT\n", name)
+		if !quiet && res.Cex != nil {
+			fmt.Println(res.Cex.String())
+		}
+	case alive.Rejected:
+		fmt.Printf("%-40s REJECTED (lint)\n", name)
+		if !quiet {
+			fmt.Print(alive.RenderDiagnostics(lintFile(file), res.Lint))
+		}
+	default:
+		fmt.Printf("%-40s unknown (%s", name, res.Reason)
+		if res.Reason == alive.ReasonDeadline || res.Reason == alive.ReasonConflictBudget {
+			if res.GaveUpAssignment >= 0 {
+				fmt.Printf(" at type assignment %d, %s condition", res.GaveUpAssignment, res.GaveUpCondition)
+			}
+		}
+		if res.Err != nil {
+			fmt.Printf(": %v", res.Err)
+		}
+		fmt.Println(")")
+		if !quiet && res.PanicStack != "" {
+			fmt.Fprintf(os.Stderr, "alive: %s: internal panic:\n%s\n", name, res.PanicStack)
+		}
+	}
 }
 
 // lintFile is the file label for rendered diagnostics; stdin has none.

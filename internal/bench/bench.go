@@ -6,13 +6,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"alive/internal/attrs"
+	"alive/internal/ir"
 	"alive/internal/miniir"
 	"alive/internal/suite"
 	"alive/internal/verify"
@@ -23,6 +26,8 @@ type Config struct {
 	// Widths used for corpus verification (default 4, 8; the paper's full
 	// range is available at a large time cost).
 	Widths []int
+	// Jobs is the corpus-driver worker count (0 = GOMAXPROCS).
+	Jobs int
 	// Workload size for the Figure 9 / Section 6.4 experiments.
 	WorkloadFuncs int
 	InstrsPerFunc int
@@ -55,21 +60,37 @@ func Table3(cfg *Config) string {
 	fmt.Fprintf(&sb, "%-16s %8s %8s %8s | %8s %8s %8s\n",
 		"File", "#opts", "#transl", "#bugs", "corpus", "#invalid", "verified")
 
+	// The whole corpus goes through the fault-tolerant parallel driver in
+	// one run; counts are folded back per file afterwards.
 	start := time.Now()
 	byFile := suite.ByFile()
+	var ts []*ir.Transform
+	var fileOf []string
+	for _, file := range suite.Files {
+		for _, e := range byFile[file] {
+			ts = append(ts, e.Parse())
+			fileOf = append(fileOf, file)
+		}
+	}
+	results, _ := verify.RunCorpus(context.Background(), ts, verify.CorpusOptions{
+		Verify:  cfg.verifyOpts(),
+		Workers: cfg.Jobs,
+	})
+	invalidBy := map[string]int{}
+	validBy := map[string]int{}
+	for i, r := range results {
+		switch r.Verdict {
+		case verify.Invalid:
+			invalidBy[fileOf[i]]++
+		case verify.Valid:
+			validBy[fileOf[i]]++
+		}
+	}
+
 	totCorpus, totInvalid, totPaperT, totPaperB := 0, 0, 0, 0
 	for _, file := range suite.Files {
 		entries := byFile[file]
-		invalid, validCnt := 0, 0
-		for _, e := range entries {
-			r := verify.Verify(e.Parse(), cfg.verifyOpts())
-			switch r.Verdict {
-			case verify.Invalid:
-				invalid++
-			case verify.Valid:
-				validCnt++
-			}
-		}
+		invalid, validCnt := invalidBy[file], validBy[file]
 		p := suite.PaperTable3[file]
 		fmt.Fprintf(&sb, "%-16s %8d %8d %8d | %8d %8d %8d\n",
 			file, p[0], p[1], p[2], len(entries), invalid, validCnt)
@@ -341,6 +362,57 @@ func CompileTime(cfg *Config) string {
 		speedup := 100 * (1 - float64(subT)/float64(fullT))
 		fmt.Fprintf(&sb, "\nsubset pass is %.0f%% faster (paper: ~7%% faster end-to-end compilation)\n", speedup)
 	}
+	return sb.String()
+}
+
+// Driver measures the resource-governed corpus driver: the bundled
+// corpus verified sequentially versus on the RunCorpus worker pool, plus
+// a fault-tolerance probe (a transformation under a tiny deadline inside
+// an otherwise healthy run).
+func Driver(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Corpus driver: parallel speedup and fault tolerance\n\n")
+	ts := suite.ParseAll()
+	opts := cfg.verifyOpts()
+
+	seqStart := time.Now()
+	for _, t := range ts {
+		verify.Verify(t, opts)
+	}
+	seq := time.Since(seqStart)
+
+	workers := cfg.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	_, stats := verify.RunCorpus(context.Background(), ts, verify.CorpusOptions{
+		Verify:  opts,
+		Workers: workers,
+	})
+
+	fmt.Fprintf(&sb, "corpus: %d transformations at widths %v\n", len(ts), cfg.Widths)
+	fmt.Fprintf(&sb, "sequential:           %v\n", seq.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "parallel (%2d workers): %v\n", workers, stats.Duration.Round(time.Millisecond))
+	if stats.Duration > 0 {
+		fmt.Fprintf(&sb, "\nspeedup: %.2fx\n", float64(seq)/float64(stats.Duration))
+	}
+
+	// Fault tolerance: a 64-bit sdiv proof under a 1ms deadline cannot
+	// finish, but the rest of the run must.
+	probe := append([]*ir.Transform{}, ts[:8]...)
+	res, pstats := verify.RunCorpus(context.Background(), probe, verify.CorpusOptions{
+		Verify:           verify.Options{Widths: []int{64}, DivMulMaxWidth: -1, MaxAssignments: 1},
+		Workers:          workers,
+		TransformTimeout: time.Millisecond,
+	})
+	deadline := 0
+	for _, r := range res {
+		if r.Verdict == verify.Unknown && r.Reason == verify.ReasonDeadline {
+			deadline++
+		}
+	}
+	fmt.Fprintf(&sb, "\nfault probe: %d/%d hit the 1ms per-transform deadline, %d completed, 0 crashes (%v)\n",
+		deadline, len(probe), pstats.Completed, pstats.Duration.Round(time.Millisecond))
 	return sb.String()
 }
 

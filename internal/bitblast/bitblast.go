@@ -6,6 +6,7 @@
 package bitblast
 
 import (
+	"errors"
 	"fmt"
 
 	"alive/internal/bv"
@@ -13,10 +14,21 @@ import (
 	"alive/internal/smt"
 )
 
+// ErrStopped is the panic value thrown when the Stop flag trips during
+// encoding. Blasting a large term graph can itself take long enough to
+// matter under a deadline, so the lowering recursion polls the flag and
+// unwinds with this sentinel; callers that set Stop must recover it (the
+// solver package converts it into an Unknown result).
+var ErrStopped = errors.New("bitblast: encoding stopped")
+
 // Blaster converts terms to clauses over a backing SAT solver. All terms
 // passed to one Blaster must come from the same smt.Builder.
 type Blaster struct {
 	S *sat.Solver
+
+	// Stop, when non-nil, is polled during lowering; once it trips, the
+	// encoding panics with ErrStopped.
+	Stop *sat.StopFlag
 
 	boolCache map[*smt.Term]sat.Lit
 	bvCache   map[*smt.Term][]sat.Lit
@@ -26,9 +38,28 @@ type Blaster struct {
 	lTrue  sat.Lit
 	lFalse sat.Lit
 
+	stopOps int // cache-miss lowerings since the last Stop poll
+
 	// Gates counts the Tseitin gate variables introduced (for the
 	// simplification ablation).
 	Gates int
+}
+
+// checkStop polls the stop flag once per stopCheckInterval cache-miss
+// lowerings; tripping unwinds the recursion with ErrStopped.
+const stopCheckInterval = 1024
+
+func (bl *Blaster) checkStop() {
+	if bl.Stop == nil {
+		return
+	}
+	bl.stopOps++
+	if bl.stopOps >= stopCheckInterval {
+		bl.stopOps = 0
+		if bl.Stop.Stopped() {
+			panic(ErrStopped)
+		}
+	}
 }
 
 // New returns a Blaster over solver s.
@@ -313,6 +344,7 @@ func (bl *Blaster) Bits(t *smt.Term) []sat.Lit {
 	if out, ok := bl.bvCache[t]; ok {
 		return out
 	}
+	bl.checkStop()
 	var out []sat.Lit
 	switch t.Kind {
 	case smt.KBVConst:
@@ -441,6 +473,7 @@ func (bl *Blaster) Lit(t *smt.Term) sat.Lit {
 	if l, ok := bl.boolCache[t]; ok {
 		return l
 	}
+	bl.checkStop()
 	var out sat.Lit
 	switch t.Kind {
 	case smt.KBoolConst:

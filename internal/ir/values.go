@@ -187,7 +187,7 @@ func (v *ConstFunc) Name() string { return "" }
 func (v *ConstFunc) String() string {
 	args := make([]string, len(v.Args))
 	for i, a := range v.Args {
-		args[i] = a.String()
+		args[i] = refName(a)
 	}
 	return v.FName + "(" + strings.Join(args, ", ") + ")"
 }
@@ -197,7 +197,7 @@ func maybeParen(v Value) string {
 	case *ConstBinExpr:
 		return "(" + v.String() + ")"
 	}
-	return v.String()
+	return refName(v)
 }
 
 // refName renders an operand as it appears in an instruction: registers

@@ -1,0 +1,40 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"alive/internal/parser"
+	"alive/internal/suite"
+)
+
+// FuzzParse throws arbitrary bytes at the parser. The contract under
+// test: Parse either succeeds or returns an error — it never panics
+// (a recovered internal panic must come back as an error), and a
+// successful parse round-trips through String back to parseable text.
+func FuzzParse(f *testing.F) {
+	for _, e := range suite.All() {
+		f.Add(e.Text)
+	}
+	f.Add("")
+	f.Add("%r = add %x, %y\n=>\n%r = add %y, %x\n")
+	f.Add("Name: x\nPre: C1 u< 8\n%r = shl %a, C1\n=>\n%r = %a\n")
+	f.Add("=>\n")
+	f.Add("%r = add %x, 0x")
+	f.Add("Pre: (((((")
+	f.Fuzz(func(t *testing.T, src string) {
+		ts, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		for _, tr := range ts {
+			out := tr.String()
+			if strings.TrimSpace(out) == "" {
+				t.Fatalf("parsed transform prints empty:\n%q", src)
+			}
+			if _, err := parser.Parse(out); err != nil {
+				t.Fatalf("round-trip failed: %v\noriginal:\n%s\nprinted:\n%s", err, src, out)
+			}
+		}
+	})
+}

@@ -10,7 +10,14 @@ import (
 )
 
 // Parse parses a string containing one or more Alive transformations.
-func Parse(src string) ([]*ir.Transform, error) {
+// Malformed input never panics: an internal lexer/parser panic is
+// recovered and reported as an ordinary parse error.
+func Parse(src string) (ts []*ir.Transform, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ts, err = nil, fmt.Errorf("parser: internal error: %v", r)
+		}
+	}()
 	lx := newLexer(stripBOM(src))
 	toks, err := lx.tokens()
 	if err != nil {

@@ -123,6 +123,14 @@ type Solver struct {
 	// is hit Solve returns Unknown.
 	MaxConflicts int64
 
+	// Stop, when non-nil, is polled every stopPollInterval propagations;
+	// once it reports stopped, Solve abandons the search and returns
+	// Unknown. Interrupted distinguishes that outcome from a conflict
+	// budget exhaustion.
+	Stop *StopFlag
+
+	nextStopPoll int64 // propagation count of the next Stop poll
+
 	ok bool // false once the clause set is trivially unsat
 
 	assumptions []Lit
@@ -156,6 +164,11 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // Conflicts returns the number of conflicts encountered so far.
 func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+// Interrupted reports whether the Stop flag has tripped — after an
+// Unknown result it distinguishes cancellation from conflict-budget
+// exhaustion.
+func (s *Solver) Interrupted() bool { return s.Stop.Stopped() }
 
 func (s *Solver) value(l Lit) Value {
 	v := s.vars[l.Var()].value
@@ -499,6 +512,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	if s.Stop.Stopped() {
+		return Unknown
+	}
 	s.assumptions = assumptions
 	s.conflictSet = nil
 	defer s.backtrackTo(0)
@@ -525,6 +541,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if st != Unknown {
 			return st
 		}
+		if s.Stop.Stopped() {
+			return Unknown
+		}
 		if s.MaxConflicts > 0 && s.conflicts-startConflicts >= s.MaxConflicts {
 			return Unknown
 		}
@@ -537,6 +556,13 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 func (s *Solver) search(conflictBudget int64, maxLearnts int) Status {
 	conflictsHere := int64(0)
 	for {
+		if s.Stop != nil && s.propagations >= s.nextStopPoll {
+			s.nextStopPoll = s.propagations + stopPollInterval
+			if s.Stop.Stopped() {
+				s.backtrackTo(0)
+				return Unknown
+			}
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++

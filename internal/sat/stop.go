@@ -1,0 +1,32 @@
+package sat
+
+import "sync/atomic"
+
+// StopFlag is a cooperative cancellation signal shared between a
+// controlling goroutine and the solving stack. A controller calls Stop
+// (from a deadline timer, a context watcher, or a signal handler); the
+// solver polls Stopped at propagation-count intervals and abandons the
+// search with an Unknown result. The zero value is ready to use, a nil
+// *StopFlag never reports stopped, and all methods are safe for
+// concurrent use.
+type StopFlag struct {
+	stopped atomic.Bool
+}
+
+// Stop requests that any solver sharing the flag abandon its search.
+func (f *StopFlag) Stop() {
+	if f != nil {
+		f.stopped.Store(true)
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (f *StopFlag) Stopped() bool {
+	return f != nil && f.stopped.Load()
+}
+
+// stopPollInterval is the number of propagations between polls of the
+// stop flag: frequent enough that even pathological instances notice a
+// deadline within microseconds, rare enough that the atomic load never
+// shows up in a profile.
+const stopPollInterval = 2048

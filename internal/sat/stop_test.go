@@ -1,0 +1,77 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopFlagNilSafe(t *testing.T) {
+	var f *StopFlag
+	if f.Stopped() {
+		t.Fatal("nil flag must not report stopped")
+	}
+	f.Stop() // must not panic
+	g := &StopFlag{}
+	if g.Stopped() {
+		t.Fatal("fresh flag must not report stopped")
+	}
+	g.Stop()
+	if !g.Stopped() {
+		t.Fatal("Stop did not trip the flag")
+	}
+}
+
+func TestStopBeforeSolve(t *testing.T) {
+	s := New()
+	pigeonhole(s, 12)
+	s.Stop = &StopFlag{}
+	s.Stop.Stop()
+	start := time.Now()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("pre-stopped solve = %v, want unknown", st)
+	}
+	if !s.Interrupted() {
+		t.Fatal("Interrupted should report true after a stop")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("pre-stopped solve took %v, want immediate return", d)
+	}
+}
+
+func TestStopMidSearch(t *testing.T) {
+	// PHP(13,12) needs far more than 100ms of CDCL search; the stop flag
+	// must yank the solver out of the middle of it promptly.
+	s := New()
+	pigeonhole(s, 12)
+	s.Stop = &StopFlag{}
+
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+
+	time.Sleep(100 * time.Millisecond)
+	s.Stop.Stop()
+	select {
+	case st := <-done:
+		if st != Unknown {
+			t.Fatalf("stopped solve = %v, want unknown", st)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("solver did not notice the stop flag within 10s")
+	}
+	if !s.Interrupted() {
+		t.Fatal("Interrupted should report true after a stop")
+	}
+}
+
+func TestStopDoesNotAffectBudgetReporting(t *testing.T) {
+	// With a flag present but never tripped, a conflict-budget Unknown
+	// must not read as an interruption.
+	s := New()
+	pigeonhole(s, 9)
+	s.Stop = &StopFlag{}
+	s.MaxConflicts = 1
+	st := s.Solve()
+	if st == Unknown && s.Interrupted() {
+		t.Fatal("budget exhaustion misreported as interruption")
+	}
+}

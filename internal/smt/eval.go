@@ -18,6 +18,21 @@ func NewModel() *Model {
 	return &Model{Bools: map[string]bool{}, BVs: map[string]bv.Vec{}}
 }
 
+// BV reads a BitVec variable, defaulting to zero when the variable is
+// absent (e.g. eliminated by construction-time simplification before it
+// reached the SAT core).
+func (m *Model) BV(name string, width int) bv.Vec {
+	if v, ok := m.BVs[name]; ok {
+		return v
+	}
+	return bv.Zero(width)
+}
+
+// Bool reads a Bool variable, defaulting to false when absent.
+func (m *Model) Bool(name string) bool {
+	return m.Bools[name]
+}
+
 // Value is the result of evaluating a term: a Bool or a BitVec.
 type Value struct {
 	IsBool bool

@@ -22,11 +22,46 @@ const (
 	Unsat   = sat.Unsat
 )
 
+// UnknownCause says why a query came back Unknown.
+type UnknownCause int
+
+// Unknown causes, ordered from benign to structural.
+const (
+	// CauseNone: the query did not return Unknown.
+	CauseNone UnknownCause = iota
+	// CauseConflictBudget: a SAT search exhausted MaxConflicts.
+	CauseConflictBudget
+	// CauseStopped: the Stop flag tripped (deadline or cancellation).
+	CauseStopped
+	// CauseRounds: CEGIS refinement hit MaxRounds without converging.
+	CauseRounds
+)
+
+func (c UnknownCause) String() string {
+	switch c {
+	case CauseConflictBudget:
+		return "conflict-budget"
+	case CauseStopped:
+		return "stopped"
+	case CauseRounds:
+		return "cegis-rounds"
+	}
+	return "none"
+}
+
 // Result is the outcome of a satisfiability query. Model is non-nil only
-// for Sat and assigns every variable appearing in the checked formula.
+// for Sat. It assigns every variable appearing in the assertion terms as
+// passed to Check; variables a caller built but that construction-time
+// simplification erased before the assertion terms were formed never
+// reach the solver and are absent — read models through smt.Model.BV /
+// smt.Model.Bool, which default absent variables to zero/false (a valid
+// completion, since a formula that simplified them away is satisfied for
+// every value they could take).
 type Result struct {
 	Status Status
 	Model  *smt.Model
+	// Cause classifies Unknown results (CauseNone otherwise).
+	Cause UnknownCause
 	// Stats
 	Conflicts int64
 	Clauses   int
@@ -39,6 +74,10 @@ type Solver struct {
 	MaxConflicts int64
 	// MaxRounds bounds CEGIS refinement; <= 0 defaults to 10000.
 	MaxRounds int
+	// Stop, when non-nil, is shared with the bit-blaster and the SAT core:
+	// tripping it makes every in-flight query return Unknown with
+	// CauseStopped promptly.
+	Stop *sat.StopFlag
 }
 
 // collectVars gathers variable terms of a formula keyed by name.
@@ -56,21 +95,61 @@ func collectVars(ts ...*smt.Term) map[string]*smt.Term {
 func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 	formula := b.And(assertions...)
 	if formula.IsTrue() {
-		return Result{Status: Sat, Model: smt.NewModel(), Rounds: 1}
+		// The conjunction simplified to a tautology, so any assignment
+		// satisfies it; honor the Model contract by assigning defaults to
+		// every variable of the original assertions.
+		m := smt.NewModel()
+		for name, v := range collectVars(assertions...) {
+			if v.IsBool() {
+				m.Bools[name] = false
+			} else {
+				m.BVs[name] = bv.Zero(v.Width)
+			}
+		}
+		return Result{Status: Sat, Model: m, Rounds: 1}
 	}
 	if formula.IsFalse() {
 		return Result{Status: Unsat, Rounds: 1}
 	}
+	if s.Stop.Stopped() {
+		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
+	}
 	core := sat.New()
 	core.MaxConflicts = s.MaxConflicts
+	core.Stop = s.Stop
 	bl := bitblast.New(core)
-	bl.Assert(formula)
+	bl.Stop = s.Stop
+	if stopped := assertStopped(bl, formula); stopped {
+		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
+	}
 	st := core.Solve()
 	res := Result{Status: st, Conflicts: core.Conflicts(), Clauses: core.NumClauses(), Rounds: 1}
 	if st == Sat {
 		res.Model = s.extractModel(bl, collectVars(formula))
+	} else if st == Unknown {
+		if core.Interrupted() {
+			res.Cause = CauseStopped
+		} else {
+			res.Cause = CauseConflictBudget
+		}
 	}
 	return res
+}
+
+// assertStopped lowers formula into bl, converting the bit-blaster's
+// ErrStopped panic into a true return; any other panic propagates.
+func assertStopped(bl *bitblast.Blaster, formula *smt.Term) (stopped bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == bitblast.ErrStopped {
+				stopped = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	bl.Assert(formula)
+	return false
 }
 
 func (s *Solver) extractModel(bl *bitblast.Blaster, vars map[string]*smt.Term) *smt.Model {
@@ -129,6 +208,9 @@ func (s *Solver) CheckExistsForall(b *smt.Builder, body *smt.Term, forallVars []
 
 	totalConflicts := int64(0)
 	for round := 1; round <= maxRounds; round++ {
+		if s.Stop.Stopped() {
+			return Result{Status: Unknown, Cause: CauseStopped, Conflicts: totalConflicts, Rounds: round}
+		}
 		// Synthesis: find x satisfying body under every candidate y.
 		parts := make([]*smt.Term, len(candidates))
 		for i, c := range candidates {
@@ -137,21 +219,18 @@ func (s *Solver) CheckExistsForall(b *smt.Builder, body *smt.Term, forallVars []
 		synth := s.Check(b, parts...)
 		totalConflicts += synth.Conflicts
 		if synth.Status != Sat {
-			return Result{Status: synth.Status, Conflicts: totalConflicts, Rounds: round}
+			return Result{Status: synth.Status, Cause: synth.Cause, Conflicts: totalConflicts, Rounds: round}
 		}
 		// Candidate x: complete the model over all existential vars.
 		xSub := map[string]*smt.Term{}
 		xModel := smt.NewModel()
 		for name, v := range existVars {
 			if v.IsBool() {
-				val := synth.Model.Bools[name]
+				val := synth.Model.Bool(name)
 				xSub[name] = b.Bool(val)
 				xModel.Bools[name] = val
 			} else {
-				val, ok := synth.Model.BVs[name]
-				if !ok {
-					val = bv.Zero(v.Width)
-				}
+				val := synth.Model.BV(name, v.Width)
 				xSub[name] = b.Const(val)
 				xModel.BVs[name] = val
 			}
@@ -163,24 +242,20 @@ func (s *Solver) CheckExistsForall(b *smt.Builder, body *smt.Term, forallVars []
 		case Unsat:
 			return Result{Status: Sat, Model: xModel, Conflicts: totalConflicts, Rounds: round}
 		case Unknown:
-			return Result{Status: Unknown, Conflicts: totalConflicts, Rounds: round}
+			return Result{Status: Unknown, Cause: verify.Cause, Conflicts: totalConflicts, Rounds: round}
 		}
 		// Counterexample y*: add as a new instantiation.
 		cand := map[string]*smt.Term{}
 		for _, y := range forallVars {
 			if y.IsBool() {
-				cand[y.Name] = b.Bool(verify.Model.Bools[y.Name])
+				cand[y.Name] = b.Bool(verify.Model.Bool(y.Name))
 			} else {
-				val, ok := verify.Model.BVs[y.Name]
-				if !ok {
-					val = bv.Zero(y.Width)
-				}
-				cand[y.Name] = b.Const(val)
+				cand[y.Name] = b.Const(verify.Model.BV(y.Name, y.Width))
 			}
 		}
 		candidates = append(candidates, cand)
 	}
-	return Result{Status: Unknown, Conflicts: totalConflicts, Rounds: maxRounds}
+	return Result{Status: Unknown, Cause: CauseRounds, Conflicts: totalConflicts, Rounds: maxRounds}
 }
 
 func instantiation(b *smt.Builder, vars []*smt.Term, f func(v *smt.Term) *smt.Term) map[string]*smt.Term {

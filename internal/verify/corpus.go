@@ -1,0 +1,160 @@
+package verify
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"alive/internal/ir"
+)
+
+// CorpusOptions configures RunCorpus.
+type CorpusOptions struct {
+	// Verify is the per-transformation configuration.
+	Verify Options
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// TransformTimeout bounds each transformation's wall-clock time; it
+	// tightens (never loosens) Verify.Timeout. 0 means no per-transform
+	// deadline beyond Verify.Timeout and the context's.
+	TransformTimeout time.Duration
+	// OnResult, when non-nil, is called once per transformation in input
+	// order as verdicts become available (an out-of-order completion is
+	// buffered until its predecessors finish). It runs on worker
+	// goroutines under a lock: keep it cheap or copy out.
+	OnResult func(index int, res Result)
+}
+
+// CorpusStats aggregates a corpus run.
+type CorpusStats struct {
+	Total     int // transformations submitted
+	Completed int // transformations actually verified (not skipped)
+	Valid     int
+	Invalid   int
+	Unknown   int // Unknown verdicts, including panics and skips
+	Rejected  int
+	Panics    int // Unknown verdicts with ReasonPanic
+	// Interrupted is set when the context was cancelled or its deadline
+	// expired before every transformation completed; the result slice
+	// still has an entry per input (skipped ones carry ReasonCancelled).
+	Interrupted bool
+	Duration    time.Duration
+}
+
+// RunCorpus verifies a corpus on a bounded worker pool. It is the
+// fault-tolerant batch driver the paper's workflow needs: one
+// pathological transformation can time out (TransformTimeout), crash
+// (panic isolation in VerifyContext), or be cancelled (ctx) without
+// taking down the run; every other verdict is still produced.
+//
+// Results are deterministic: results[i] is always transform ts[i]'s
+// outcome, regardless of completion order, and OnResult streams them in
+// input order. On interrupt the call returns promptly with partial
+// results — transformations that never started carry verdict Unknown
+// with ReasonCancelled (or ReasonDeadline when the context's deadline
+// expired).
+func RunCorpus(ctx context.Context, ts []*ir.Transform, opts CorpusOptions) ([]Result, CorpusStats) {
+	start := time.Now()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ts) && len(ts) > 0 {
+		workers = len(ts)
+	}
+
+	results := make([]Result, len(ts))
+	done := make([]bool, len(ts))
+
+	// Ordered streaming: flush advances through the done flags and emits
+	// contiguous completed results.
+	var mu sync.Mutex
+	next := 0
+	flush := func() {
+		for next < len(ts) && done[next] {
+			if opts.OnResult != nil {
+				opts.OnResult(next, results[next])
+			}
+			next++
+		}
+	}
+	complete := func(i int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = r
+		done[i] = true
+		flush()
+	}
+
+	vopts := opts.Verify
+	if opts.TransformTimeout > 0 && (vopts.Timeout <= 0 || opts.TransformTimeout < vopts.Timeout) {
+		vopts.Timeout = opts.TransformTimeout
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				complete(i, VerifyContext(ctx, ts[i], vopts))
+			}
+		}()
+	}
+feed:
+	for i := range ts {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Fill skips (never dispatched, or dispatched results lost to a
+	// cancelled feed — the latter cannot happen since workers drain the
+	// channel, but the guard keeps the invariant local).
+	skipReason := ReasonCancelled
+	if ctx.Err() == context.DeadlineExceeded {
+		skipReason = ReasonDeadline
+	}
+	stats := CorpusStats{Total: len(ts)}
+	mu.Lock()
+	for i := range results {
+		if !done[i] {
+			results[i] = Result{
+				Transform:        ts[i],
+				Verdict:          Unknown,
+				Reason:           skipReason,
+				GaveUpAssignment: -1,
+			}
+			done[i] = true
+		} else {
+			stats.Completed++
+		}
+	}
+	flush()
+	mu.Unlock()
+
+	for _, r := range results {
+		switch r.Verdict {
+		case Valid:
+			stats.Valid++
+		case Invalid:
+			stats.Invalid++
+		case Rejected:
+			stats.Rejected++
+		default:
+			stats.Unknown++
+			if r.Reason == ReasonPanic {
+				stats.Panics++
+			}
+		}
+	}
+	stats.Interrupted = ctx.Err() != nil
+	stats.Duration = time.Since(start)
+	return results, stats
+}

@@ -1,0 +1,46 @@
+package verify_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"alive/internal/parser"
+	"alive/internal/suite"
+	"alive/internal/verify"
+)
+
+// FuzzVerify runs the full pipeline — parse, type, encode, solve — on
+// arbitrary text at small widths under a tight resource budget. The
+// contract: whatever the input, VerifyContext returns a Result; any
+// internal panic must surface as Unknown with ReasonPanic (the recover
+// seam), and every Unknown verdict must carry a structured reason.
+func FuzzVerify(f *testing.F) {
+	for i, e := range suite.All() {
+		if i%7 == 0 { // a spread of seeds, not the whole corpus
+			f.Add(e.Text)
+		}
+	}
+	f.Add("%r = add %x, %y\n=>\n%r = add %y, %x\n")
+	f.Add("Pre: isPowerOf2(C1)\n%r = udiv %x, C1\n=>\n%r = lshr %x, log2(C1)\n")
+	f.Add("%r = lshr %x, 1\n=>\n%r = ashr %x, 1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := parser.ParseOne(src)
+		if err != nil {
+			return
+		}
+		opts := verify.Options{
+			Widths:         []int{1, 4},
+			MaxAssignments: 2,
+			MaxConflicts:   2000,
+			Timeout:        2 * time.Second,
+		}
+		res := verify.VerifyContext(context.Background(), tr, opts)
+		if res.Verdict == verify.Unknown && res.Reason == verify.ReasonNone {
+			t.Fatalf("Unknown verdict without a reason for:\n%s", src)
+		}
+		if res.Reason == verify.ReasonPanic && res.PanicStack == "" {
+			t.Fatalf("panic verdict lost its stack for:\n%s", src)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package verify
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"alive/internal/sat"
+	"alive/internal/solver"
+)
+
+// UnknownReason classifies why a verification gave up with Unknown — the
+// structured survivability record that lets a corpus driver distinguish
+// "this query needs a bigger budget" from "this transformation crashed
+// the verifier".
+type UnknownReason int
+
+// Unknown reasons.
+const (
+	// ReasonNone: the verdict is not Unknown.
+	ReasonNone UnknownReason = iota
+	// ReasonConflictBudget: a SAT search exhausted Options.MaxConflicts
+	// (and the escalation ladder, if a deadline enabled it, ran dry).
+	ReasonConflictBudget
+	// ReasonDeadline: the wall-clock deadline (Options.Timeout or the
+	// context's deadline) expired mid-verification.
+	ReasonDeadline
+	// ReasonCancelled: the context was cancelled (Ctrl-C, corpus
+	// shutdown) before the verdict was reached.
+	ReasonCancelled
+	// ReasonCEGISRounds: the exists-forall engine hit its refinement
+	// round cap without converging.
+	ReasonCEGISRounds
+	// ReasonEncoding: typing or verification-condition encoding does not
+	// support the transformation; Result.Err has the detail.
+	ReasonEncoding
+	// ReasonPanic: a panic inside typing/vcgen/smt/sat was recovered;
+	// Result.PanicStack carries the stack trace.
+	ReasonPanic
+)
+
+func (r UnknownReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonConflictBudget:
+		return "conflict-budget"
+	case ReasonDeadline:
+		return "deadline"
+	case ReasonCancelled:
+		return "cancelled"
+	case ReasonCEGISRounds:
+		return "cegis-rounds"
+	case ReasonEncoding:
+		return "encoding-unsupported"
+	case ReasonPanic:
+		return "internal-panic"
+	}
+	return "unknown-reason"
+}
+
+// governor owns the per-verification resource budget: it watches the
+// context and the wall-clock deadline from a single goroutine and trips
+// the shared stop flag, recording why, so every layer of the solving
+// stack (verify loop, CEGIS engine, bit-blaster, CDCL core) winds down
+// from one signal.
+type governor struct {
+	flag     sat.StopFlag
+	why      atomic.Int32 // UnknownReason; written before flag trips
+	deadline time.Time    // zero when no deadline applies
+	quit     chan struct{}
+}
+
+// newGovernor builds a governor for ctx plus an optional relative
+// timeout. The returned release function must be called (deferred) to
+// reclaim the watcher goroutine; no goroutine is spawned when neither a
+// deadline nor a cancellable context is involved, keeping plain Verify
+// calls allocation-light.
+func newGovernor(ctx context.Context, timeout time.Duration) (*governor, func()) {
+	g := &governor{}
+	hasDeadline := false
+	if timeout > 0 {
+		g.deadline = time.Now().Add(timeout)
+		hasDeadline = true
+	}
+	if d, ok := ctx.Deadline(); ok && (!hasDeadline || d.Before(g.deadline)) {
+		g.deadline = d
+		hasDeadline = true
+	}
+	if ctx.Done() == nil && !hasDeadline {
+		return g, func() {}
+	}
+
+	g.quit = make(chan struct{})
+	var timerC <-chan time.Time
+	var timer *time.Timer
+	if hasDeadline {
+		timer = time.NewTimer(time.Until(g.deadline))
+		timerC = timer.C
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			if ctx.Err() == context.DeadlineExceeded {
+				g.trip(ReasonDeadline)
+			} else {
+				g.trip(ReasonCancelled)
+			}
+		case <-timerC:
+			g.trip(ReasonDeadline)
+		case <-g.quit:
+		}
+	}()
+	release := func() {
+		close(g.quit)
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+	return g, release
+}
+
+// trip records why and raises the stop flag (in that order, so a reader
+// that observes the flag always sees the reason).
+func (g *governor) trip(why UnknownReason) {
+	g.why.Store(int32(why))
+	g.flag.Stop()
+}
+
+// stopped reports whether the governor tripped.
+func (g *governor) stopped() bool { return g.flag.Stopped() }
+
+// reason returns what tripped the governor (ReasonCancelled as a safe
+// default for a tripped flag with no recorded reason).
+func (g *governor) reason() UnknownReason {
+	if r := UnknownReason(g.why.Load()); r != ReasonNone {
+		return r
+	}
+	return ReasonCancelled
+}
+
+// timeLeft reports whether wall-clock budget remains (always true
+// without a deadline).
+func (g *governor) timeLeft() bool {
+	if g.stopped() {
+		return false
+	}
+	return g.deadline.IsZero() || time.Now().Before(g.deadline)
+}
+
+// hasDeadline reports whether a wall-clock deadline governs this run —
+// the condition under which the conflict-budget escalation ladder is
+// enabled.
+func (g *governor) hasDeadline() bool { return !g.deadline.IsZero() }
+
+// mapCause translates a solver-level Unknown cause into the verifier's
+// reason taxonomy, consulting the governor for what tripped the stop.
+func (g *governor) mapCause(c solver.UnknownCause) UnknownReason {
+	switch c {
+	case solver.CauseStopped:
+		return g.reason()
+	case solver.CauseRounds:
+		return ReasonCEGISRounds
+	default:
+		return ReasonConflictBudget
+	}
+}

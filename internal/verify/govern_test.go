@@ -1,0 +1,204 @@
+package verify
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"alive/internal/ir"
+	"alive/internal/parser"
+)
+
+// hardTransform is valid but needs a 32-bit sdiv equivalence proof —
+// far beyond any millisecond-scale deadline.
+const hardTransform = `
+Name: hard
+Pre: C2 % (1<<C1) == 0 && C1 u< width(%X)-1
+%s = shl nsw %X, C1
+%r = sdiv %s, C2
+=>
+%r = sdiv %X, C2/(1<<C1)
+`
+
+// hardOpts disables the mul/div width cap so the proof really runs at 32
+// bits.
+var hardOpts = Options{Widths: []int{32}, DivMulMaxWidth: -1, MaxAssignments: 1}
+
+func parseOne(t *testing.T, src string) *ir.Transform {
+	t.Helper()
+	tr, err := parser.ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return tr
+}
+
+func TestVerifyContextDeadline(t *testing.T) {
+	tr := parseOne(t, hardTransform)
+	opts := hardOpts
+	opts.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	res := VerifyContext(context.Background(), tr, opts)
+	elapsed := time.Since(start)
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict = %v, want unknown", res.Verdict)
+	}
+	if res.Reason != ReasonDeadline {
+		t.Fatalf("reason = %v, want deadline", res.Reason)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline verification took %v, want prompt return", elapsed)
+	}
+	if res.GaveUpAssignment < 0 {
+		t.Fatalf("give-up assignment not recorded: %d", res.GaveUpAssignment)
+	}
+	if res.GaveUpCondition == "" {
+		t.Fatal("give-up condition not recorded")
+	}
+}
+
+func TestVerifyContextCtxDeadline(t *testing.T) {
+	tr := parseOne(t, hardTransform)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res := VerifyContext(ctx, tr, hardOpts)
+	if res.Verdict != Unknown || res.Reason != ReasonDeadline {
+		t.Fatalf("got %v/%v, want unknown/deadline", res.Verdict, res.Reason)
+	}
+}
+
+func TestVerifyContextCancelled(t *testing.T) {
+	tr := parseOne(t, hardTransform)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res := VerifyContext(ctx, tr, hardOpts)
+	if res.Verdict != Unknown || res.Reason != ReasonCancelled {
+		t.Fatalf("got %v/%v, want unknown/cancelled", res.Verdict, res.Reason)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled verification took %v", d)
+	}
+}
+
+func TestVerifyContextCancelledBetweenAssignments(t *testing.T) {
+	// The hook fires after typing, before the per-assignment loop: the
+	// loop's entry check must observe the cancellation and record which
+	// assignment it gave up on.
+	tr := parseOne(t, "%r = add %x, 0\n=>\n%r = %x\n")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testHookAfterTyping = func(*ir.Transform) { cancel(); time.Sleep(20 * time.Millisecond) }
+	defer func() { testHookAfterTyping = nil }()
+	res := VerifyContext(ctx, tr, Options{Widths: []int{4, 8}})
+	if res.Verdict != Unknown || res.Reason != ReasonCancelled {
+		t.Fatalf("got %v/%v, want unknown/cancelled", res.Verdict, res.Reason)
+	}
+	if res.GaveUpAssignment != 0 {
+		t.Fatalf("gave up at assignment %d, want 0", res.GaveUpAssignment)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	tr := parseOne(t, "%r = add %x, 0\n=>\n%r = %x\n")
+	testHookAfterTyping = func(*ir.Transform) { panic("injected fault") }
+	defer func() { testHookAfterTyping = nil }()
+	res := VerifyContext(context.Background(), tr, Options{Widths: []int{4}})
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict = %v, want unknown", res.Verdict)
+	}
+	if res.Reason != ReasonPanic {
+		t.Fatalf("reason = %v, want internal-panic", res.Reason)
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "injected fault") {
+		t.Fatalf("err = %v, want the panic value", res.Err)
+	}
+	if !strings.Contains(res.PanicStack, "goroutine") {
+		t.Fatal("panic stack not captured")
+	}
+	if res.Duration <= 0 {
+		t.Fatal("duration not recorded on the panic path")
+	}
+}
+
+func TestEscalationLadder(t *testing.T) {
+	// A 1-conflict starting budget cannot prove this 32-bit identity; the
+	// ladder must climb until it does.
+	tr := parseOne(t, "%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x\n")
+	res := VerifyContext(context.Background(), tr, Options{
+		Widths:       []int{32},
+		MaxConflicts: 1,
+		Timeout:      time.Minute,
+	})
+	if res.Verdict != Valid {
+		t.Fatalf("verdict = %v (reason %v), want valid via escalation", res.Verdict, res.Reason)
+	}
+	if res.Escalations == 0 {
+		t.Fatal("proof needed more than 1 conflict, so at least one escalation was expected")
+	}
+}
+
+func TestNoEscalationWithoutDeadline(t *testing.T) {
+	tr := parseOne(t, "%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x\n")
+	res := VerifyContext(context.Background(), tr, Options{Widths: []int{32}, MaxConflicts: 1})
+	if res.Verdict != Unknown || res.Reason != ReasonConflictBudget {
+		t.Fatalf("got %v/%v, want unknown/conflict-budget", res.Verdict, res.Reason)
+	}
+	if res.Escalations != 0 {
+		t.Fatalf("escalated %d times without a deadline", res.Escalations)
+	}
+}
+
+func TestUnknownReasonStrings(t *testing.T) {
+	want := map[UnknownReason]string{
+		ReasonNone:           "none",
+		ReasonConflictBudget: "conflict-budget",
+		ReasonDeadline:       "deadline",
+		ReasonCancelled:      "cancelled",
+		ReasonCEGISRounds:    "cegis-rounds",
+		ReasonEncoding:       "encoding-unsupported",
+		ReasonPanic:          "internal-panic",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
+
+func TestEncodingReason(t *testing.T) {
+	tr := parseOne(t, "Pre: totallyMadeUp(%x)\n%r = add %x, 0\n=>\n%r = %x\n")
+	res := Verify(tr, Options{Widths: []int{4}})
+	if res.Verdict != Unknown || res.Reason != ReasonEncoding {
+		t.Fatalf("got %v/%v, want unknown/encoding-unsupported", res.Verdict, res.Reason)
+	}
+}
+
+// TestVerifyContextNoGoroutineLeak drives many governed verifications
+// and checks the goroutine count settles back to the baseline.
+func TestVerifyContextNoGoroutineLeak(t *testing.T) {
+	tr := parseOne(t, "%r = and %x, %x\n=>\n%r = %x\n")
+	hard := parseOne(t, hardTransform)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 40; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		VerifyContext(ctx, tr, Options{Widths: []int{4}, Timeout: time.Second})
+		cancel()
+	}
+	for i := 0; i < 4; i++ {
+		o := hardOpts
+		o.Timeout = 10 * time.Millisecond
+		VerifyContext(context.Background(), hard, o)
+	}
+	var after int
+	for i := 0; i < 100; i++ { // allow watchers a moment to drain
+		after = runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after — watcher leak", before, after)
+}

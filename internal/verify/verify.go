@@ -16,7 +16,9 @@
 package verify
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -125,8 +127,15 @@ type Options struct {
 	PtrWidth int
 	// MaxAssignments caps enumerated type assignments (default 16).
 	MaxAssignments int
-	// MaxConflicts bounds each SAT search; <= 0 means unbounded.
+	// MaxConflicts bounds each SAT search; <= 0 means unbounded. Under a
+	// deadline (Timeout or a context deadline) it is instead the starting
+	// rung of the escalation ladder: Unknown verdicts are retried with
+	// geometrically growing budgets while wall-clock time remains.
 	MaxConflicts int64
+	// Timeout bounds wall-clock time for the whole verification; 0 means
+	// no deadline. VerifyContext combines it with the context's deadline,
+	// whichever is sooner.
+	Timeout time.Duration
 	// DisableSimplify turns off constructor-time term simplification
 	// (ablation).
 	DisableSimplify bool
@@ -151,6 +160,22 @@ type Result struct {
 	// Lint holds the static analyzer's findings when Options.Lint is set;
 	// error severity implies Verdict == Rejected.
 	Lint []lint.Diagnostic
+
+	// Reason classifies an Unknown verdict (ReasonNone otherwise).
+	Reason UnknownReason
+	// GaveUpAssignment is the index of the type assignment under check
+	// when the verifier gave up; -1 when it never got that far (typing
+	// failure, pre-typing cancellation) or did not give up.
+	GaveUpAssignment int
+	// GaveUpCondition names the correctness condition ("defined",
+	// "poison", "value", "memory") being discharged when the verifier
+	// gave up; empty when it gave up between conditions or not at all.
+	GaveUpCondition string
+	// PanicStack is the recovered stack trace when Reason == ReasonPanic.
+	PanicStack string
+	// Escalations counts conflict-budget ladder retries across all type
+	// assignments.
+	Escalations int
 }
 
 const defaultDivMulMaxWidth = 8
@@ -202,12 +227,45 @@ func hasHardArith(t *ir.Transform) bool {
 }
 
 // Verify checks a transformation for every feasible type assignment and
-// returns the verdict with a counterexample on failure.
-func Verify(t *ir.Transform, opts Options) (res Result) {
+// returns the verdict with a counterexample on failure. It is
+// VerifyContext with a background context; Options.Timeout still
+// applies.
+func Verify(t *ir.Transform, opts Options) Result {
+	return VerifyContext(context.Background(), t, opts)
+}
+
+// testHookAfterTyping, when non-nil, runs after type inference succeeds
+// — a fault-injection seam for exercising panic isolation in tests.
+var testHookAfterTyping func(*ir.Transform)
+
+// escalationStart is the first rung of the conflict-budget ladder when a
+// deadline is present but MaxConflicts is unbounded.
+const escalationStart = 1 << 14
+
+// VerifyContext checks a transformation under a context: cancellation
+// and the sooner of the context's deadline and Options.Timeout
+// propagate to every SAT search through a shared stop flag, so the call
+// returns promptly (verdict Unknown, with Reason saying why) instead of
+// running an unbounded search. Any panic in the solving stack is
+// contained to this transformation and reported as
+// Unknown{internal-panic} with the stack attached.
+func VerifyContext(ctx context.Context, t *ir.Transform, opts Options) (res Result) {
 	start := time.Now()
 	opts = opts.withDefaults()
-	res = Result{Transform: t, Verdict: Valid}
+	res = Result{Transform: t, Verdict: Valid, GaveUpAssignment: -1}
 	defer func() { res.Duration = time.Since(start) }()
+	defer func() {
+		if r := recover(); r != nil {
+			res.Verdict = Unknown
+			res.Reason = ReasonPanic
+			res.Err = fmt.Errorf("internal panic: %v", r)
+			res.PanicStack = string(debug.Stack())
+			res.Cex = nil
+		}
+	}()
+
+	g, release := newGovernor(ctx, opts.Timeout)
+	defer release()
 
 	if opts.Lint {
 		res.Lint = lint.Transform(t)
@@ -237,22 +295,28 @@ func Verify(t *ir.Transform, opts Options) (res Result) {
 	})
 	if err != nil {
 		res.Verdict = Unknown
+		res.Reason = ReasonEncoding
 		res.Err = err
 		return res
+	}
+	if testHookAfterTyping != nil {
+		testHookAfterTyping(t)
 	}
 	if rootInstr := t.SourceValue(t.Root); rootInstr != nil {
 		typing.SortByPreference(asgs, rootInstr)
 	}
 	res.TypeAssignments = len(asgs)
 
-	for _, asg := range asgs {
-		v, cex, queries, err := verifyOne(t, asg, opts)
-		res.Queries += queries
-		if err != nil {
+	for i, asg := range asgs {
+		if g.stopped() {
 			res.Verdict = Unknown
-			res.Err = err
+			res.Reason = g.reason()
+			res.GaveUpAssignment = i
 			return res
 		}
+		v, cex, queries, escalations, detail := verifyAssignment(t, asg, opts, g)
+		res.Queries += queries
+		res.Escalations += escalations
 		switch v {
 		case Invalid:
 			res.Verdict = Invalid
@@ -260,10 +324,47 @@ func Verify(t *ir.Transform, opts Options) (res Result) {
 			return res
 		case Unknown:
 			res.Verdict = Unknown
+			res.Reason = detail.reason
+			res.GaveUpAssignment = i
+			res.GaveUpCondition = detail.condition
+			res.Err = detail.err
 			return res
 		}
 	}
 	return res
+}
+
+// unknownDetail records where and why a single-assignment check gave up.
+type unknownDetail struct {
+	reason    UnknownReason
+	condition string
+	err       error
+}
+
+// verifyAssignment checks one type assignment, climbing the
+// conflict-budget escalation ladder on budget-bound Unknowns while the
+// deadline leaves time: each retry multiplies the budget by 4, so the
+// total work stays within ~4/3 of the final (successful) rung.
+func verifyAssignment(t *ir.Transform, asg *typing.Assignment, opts Options, g *governor) (Verdict, *Counterexample, int, int, unknownDetail) {
+	budget := opts.MaxConflicts
+	if g.hasDeadline() && budget <= 0 {
+		budget = escalationStart
+	}
+	queries, escalations := 0, 0
+	for {
+		v, cex, q, detail := verifyOne(t, asg, opts, budget, g)
+		queries += q
+		if v != Unknown {
+			return v, cex, queries, escalations, unknownDetail{}
+		}
+		canEscalate := g.hasDeadline() && budget > 0 && g.timeLeft() &&
+			detail.reason == ReasonConflictBudget
+		if !canEscalate {
+			return Unknown, nil, queries, escalations, detail
+		}
+		budget *= 4
+		escalations++
+	}
 }
 
 // condition is one negated correctness obligation: Sat means violated.
@@ -321,13 +422,30 @@ func buildConditions(t *ir.Transform, asg *typing.Assignment, opts Options) (*sm
 	return b, enc, conds, nil
 }
 
-// verifyOne checks conditions 1-4 under a single type assignment.
-func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options) (Verdict, *Counterexample, int, error) {
+// condName names a correctness condition for give-up diagnostics.
+func condName(k CexKind) string {
+	switch k {
+	case CexMoreUndefined:
+		return "defined"
+	case CexMorePoison:
+		return "poison"
+	case CexValueMismatch:
+		return "value"
+	case CexMemoryMismatch:
+		return "memory"
+	}
+	return "condition"
+}
+
+// verifyOne checks conditions 1-4 under a single type assignment with
+// the given conflict budget, reporting which condition and why on an
+// Unknown outcome.
+func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflicts int64, g *governor) (Verdict, *Counterexample, int, unknownDetail) {
 	b, enc, conds, err := buildConditions(t, asg, opts)
 	if err != nil {
-		return Unknown, nil, 0, err
+		return Unknown, nil, 0, unknownDetail{reason: ReasonEncoding, err: err}
 	}
-	sol := solver.Solver{MaxConflicts: opts.MaxConflicts}
+	sol := solver.Solver{MaxConflicts: maxConflicts, Stop: &g.flag}
 	queries := 0
 	for _, cond := range conds {
 		queries++
@@ -336,12 +454,12 @@ func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options) (Verdict, 
 		case solver.Unsat:
 			continue
 		case solver.Unknown:
-			return Unknown, nil, queries, nil
+			return Unknown, nil, queries, unknownDetail{reason: g.mapCause(r.Cause), condition: condName(cond.kind)}
 		}
 		cex := buildCex(t, asg, enc, cond.kind, cond.name, r.Model)
-		return Invalid, cex, queries, nil
+		return Invalid, cex, queries, unknownDetail{}
 	}
-	return Valid, nil, queries, nil
+	return Valid, nil, queries, unknownDetail{}
 }
 
 // DumpQueries renders the negated correctness conditions of the first
@@ -358,6 +476,9 @@ func DumpQueries(t *ir.Transform, opts Options) ([]string, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if len(asgs) == 0 {
+		return nil, fmt.Errorf("no feasible type assignment for %q at widths %v", t.Name, opts.Widths)
 	}
 	if rootInstr := t.SourceValue(t.Root); rootInstr != nil {
 		typing.SortByPreference(asgs, rootInstr)
