@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	alive-bench [-j N] -experiment table3|fig5|fig8|fig9|patches|attrs|lint|compiletime|runtime|driver|all
+//	alive-bench [-j N] [-artifacts DIR] -experiment table3|fig5|fig8|fig9|patches|attrs|lint|presolve|compiletime|runtime|driver|all
 package main
 
 import (
@@ -16,9 +16,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, lint, compiletime, runtime, driver, all)")
+	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, lint, presolve, compiletime, runtime, driver, all)")
 	widths := flag.String("widths", "4,8", "verification widths for corpus experiments")
 	jobs := flag.Int("j", 0, "corpus-driver workers (0 = GOMAXPROCS)")
+	artifacts := flag.String("artifacts", "", "directory for machine-readable JSON reports (empty = none)")
 	flag.Parse()
 
 	runners := map[string]func(*bench.Config) string{
@@ -29,11 +30,12 @@ func main() {
 		"patches":     bench.Patches,
 		"attrs":       bench.AttrInference,
 		"lint":        bench.Lint,
+		"presolve":    bench.Presolve,
 		"compiletime": bench.CompileTime,
 		"runtime":     bench.RunTime,
 		"driver":      bench.Driver,
 	}
-	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "lint", "fig9", "compiletime", "runtime", "driver"}
+	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "lint", "presolve", "fig9", "compiletime", "runtime", "driver"}
 
 	cfg, err := bench.NewConfig(*widths)
 	if err != nil {
@@ -41,6 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Jobs = *jobs
+	cfg.ArtifactDir = *artifacts
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -1,8 +1,9 @@
 // Command alive-lint runs the solver-free static analyzer over Alive
 // .opt files: per-transformation checks (scoping, type-constraint
 // contradictions, vacuous preconditions, misplaced attributes, literal
-// width hazards) plus corpus-level duplicate and shadowing detection
-// across each file's transformations in their registration order.
+// width hazards, the abstract-interpretation semantic tier) plus
+// corpus-level duplicate and shadowing detection across each file's
+// transformations in their registration order.
 //
 // Usage:
 //
@@ -12,14 +13,19 @@
 // Flags:
 //
 //	-codes       print the diagnostic code registry and exit
+//	-json        emit newline-delimited JSON records instead of text
 //	-no-corpus   skip the cross-transformation analyses
 //	-q           suppress fix hints
 //
-// The exit status is 1 when any error-severity diagnostic (or a parse
-// error) is reported, 0 otherwise.
+// In -json mode every diagnostic is one JSON object per line; files
+// that fail to parse produce a record with code "PARSE" and severity
+// "error" so downstream tooling sees exactly one stream. The exit
+// status is 1 when any error-severity diagnostic (or a parse error) is
+// reported, 0 otherwise.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,25 +35,49 @@ import (
 	"alive/internal/lint"
 )
 
+// record is the NDJSON shape of one diagnostic (or parse failure).
+type record struct {
+	File      string `json:"file"`
+	Line      int    `json:"line,omitempty"`
+	Col       int    `json:"col,omitempty"`
+	Code      string `json:"code"`
+	Severity  string `json:"severity"`
+	Transform string `json:"transform,omitempty"`
+	Message   string `json:"message"`
+	Hint      string `json:"hint,omitempty"`
+}
+
 func main() {
-	codes := flag.Bool("codes", false, "print the diagnostic code registry and exit")
-	noCorpus := flag.Bool("no-corpus", false, "skip duplicate/shadowing analyses across transformations")
-	quiet := flag.Bool("q", false, "suppress fix hints")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("alive-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	codes := fs.Bool("codes", false, "print the diagnostic code registry and exit")
+	jsonOut := fs.Bool("json", false, "emit newline-delimited JSON diagnostic records")
+	noCorpus := fs.Bool("no-corpus", false, "skip duplicate/shadowing analyses across transformations")
+	quiet := fs.Bool("q", false, "suppress fix hints")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *codes {
-		printCodes()
-		return
+		for _, c := range lint.Codes {
+			fmt.Fprintf(stdout, "%s  %-7s  %s\n", c.Code, c.Severity, c.Title)
+		}
+		return 0
 	}
-	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: alive-lint [flags] file.opt... (or - for stdin)")
-		os.Exit(2)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "usage: alive-lint [flags] file.opt... (or - for stdin)")
+		return 2
 	}
 
+	enc := json.NewEncoder(stdout)
 	exit := 0
 	files, errors, warnings := 0, 0, 0
-	for _, path := range args {
+	for _, path := range paths {
 		var (
 			ts  []*alive.Transform
 			err error
@@ -55,17 +85,21 @@ func main() {
 		label := path
 		if path == "-" {
 			label = "<stdin>"
-			data, rerr := io.ReadAll(os.Stdin)
+			data, rerr := io.ReadAll(stdin)
 			if rerr != nil {
-				fmt.Fprintf(os.Stderr, "alive-lint: %v\n", rerr)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "alive-lint: %v\n", rerr)
+				return 2
 			}
 			ts, err = alive.Parse(string(data))
 		} else {
 			ts, err = alive.ParseFile(path)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", label, err)
+			if *jsonOut {
+				enc.Encode(record{File: label, Code: "PARSE", Severity: "error", Message: err.Error()})
+			} else {
+				fmt.Fprintf(stderr, "%s: %v\n", label, err)
+			}
 			exit = 1
 			continue
 		}
@@ -83,7 +117,22 @@ func main() {
 				ds[i].Hint = ""
 			}
 		}
-		fmt.Print(alive.RenderDiagnostics(label, ds))
+		if *jsonOut {
+			for _, d := range ds {
+				enc.Encode(record{
+					File:      label,
+					Line:      d.Pos.Line,
+					Col:       d.Pos.Col,
+					Code:      d.Code,
+					Severity:  d.Severity.String(),
+					Transform: d.Transform,
+					Message:   d.Message,
+					Hint:      d.Hint,
+				})
+			}
+		} else {
+			fmt.Fprint(stdout, alive.RenderDiagnostics(label, ds))
+		}
 		e, w, _ := lint.Count(ds)
 		errors += e
 		warnings += w
@@ -91,14 +140,8 @@ func main() {
 			exit = 1
 		}
 	}
-	if files > 1 || errors+warnings > 0 {
-		fmt.Printf("%d errors, %d warnings\n", errors, warnings)
+	if !*jsonOut && (files > 1 || errors+warnings > 0) {
+		fmt.Fprintf(stdout, "%d errors, %d warnings\n", errors, warnings)
 	}
-	os.Exit(exit)
-}
-
-func printCodes() {
-	for _, c := range lint.Codes {
-		fmt.Printf("%s  %-7s  %s\n", c.Code, c.Severity, c.Title)
-	}
+	return exit
 }

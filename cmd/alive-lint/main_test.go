@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestRunJSON drives the CLI in -json mode over the testdata inputs and
+// compares the NDJSON stream byte-for-byte against golden files. The
+// parse-error input must yield exactly one record with code PARSE,
+// severity error, and a nonzero exit.
+func TestRunJSON(t *testing.T) {
+	cases := []struct {
+		name     string
+		file     string
+		wantExit int
+	}{
+		{"parse-error", "parse_error.opt", 1},
+		{"findings", "findings.opt", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			exit := run([]string{"-json", filepath.Join("testdata", tc.file)}, strings.NewReader(""), &out, &errb)
+			if exit != tc.wantExit {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", exit, tc.wantExit, errb.String())
+			}
+			golden := filepath.Join("testdata", strings.TrimSuffix(tc.file, ".opt")+".json.golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -update): %v", err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestRunJSONRecordShape decodes every emitted line to keep the stream
+// machine-readable: each line must be a valid JSON object with the
+// required fields, and parse failures must carry the PARSE code.
+func TestRunJSONRecordShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	exit := run([]string{"-json",
+		filepath.Join("testdata", "parse_error.opt"),
+		filepath.Join("testdata", "findings.opt"),
+	}, strings.NewReader(""), &out, &errb)
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1", exit)
+	}
+	if errb.Len() != 0 {
+		t.Errorf("json mode wrote to stderr: %s", errb.String())
+	}
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("expected records for both files, got %d lines", len(lines))
+	}
+	sawParse := false
+	for _, line := range lines {
+		var r record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		if r.File == "" || r.Code == "" || r.Severity == "" || r.Message == "" {
+			t.Errorf("record missing required fields: %q", line)
+		}
+		if r.Code == "PARSE" {
+			sawParse = true
+			if r.Severity != "error" {
+				t.Errorf("PARSE record severity = %q, want error", r.Severity)
+			}
+		}
+	}
+	if !sawParse {
+		t.Error("no PARSE record for the unparsable file")
+	}
+}
+
+// TestRunTextParseError keeps the pre-JSON behavior: parse errors go to
+// stderr and the exit status is still 1.
+func TestRunTextParseError(t *testing.T) {
+	var out, errb bytes.Buffer
+	exit := run([]string{filepath.Join("testdata", "parse_error.opt")}, strings.NewReader(""), &out, &errb)
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1", exit)
+	}
+	if !strings.Contains(errb.String(), "parse_error.opt") {
+		t.Errorf("stderr does not name the failing file: %q", errb.String())
+	}
+}

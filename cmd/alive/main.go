@@ -58,12 +58,21 @@ func main() {
 	gencpp := flag.Bool("gencpp", false, "generate C++ for valid transformations")
 	dumpSMT := flag.Bool("dump-smt", false, "print the verification conditions as SMT-LIB 2 scripts")
 	lintFlag := flag.Bool("lint", false, "reject transformations with lint errors before proving")
+	presolve := flag.String("presolve", "on", "abstract-interpretation presolver before the SAT core (on|off)")
 	quiet := flag.Bool("quiet", false, "suppress counterexample details")
 	flag.Parse()
 
 	opts := alive.Options{DivMulMaxWidth: *divMulMax, Lint: *lintFlag}
 	if *divMulMax == 0 {
 		opts.DivMulMaxWidth = -1
+	}
+	switch *presolve {
+	case "on":
+	case "off":
+		opts.DisablePresolve = true
+	default:
+		fmt.Fprintf(os.Stderr, "alive: -presolve must be on or off, got %q\n", *presolve)
+		os.Exit(2)
 	}
 	if *widthsFlag != "" {
 		for _, s := range strings.Split(*widthsFlag, ",") {

@@ -1,0 +1,61 @@
+package absint
+
+import "fmt"
+
+// IntRange is a closed interval over machine integers. The linter uses
+// it for feasible bit-width bounds (the AL005 union-find pass) and the
+// width-probing checks; anything needing small scalar intervals without
+// bitvector semantics can share it.
+type IntRange struct{ Lo, Hi int }
+
+// NewIntRange returns the interval [lo, hi].
+func NewIntRange(lo, hi int) IntRange { return IntRange{lo, hi} }
+
+// Empty reports whether no integer lies in r.
+func (r IntRange) Empty() bool { return r.Lo > r.Hi }
+
+// Contains reports whether v lies in r.
+func (r IntRange) Contains(v int) bool { return r.Lo <= v && v <= r.Hi }
+
+// Single returns the unique member when r is a singleton.
+func (r IntRange) Single() (int, bool) {
+	if r.Lo == r.Hi {
+		return r.Lo, true
+	}
+	return 0, false
+}
+
+// Intersect returns the interval of integers in both r and o.
+func (r IntRange) Intersect(o IntRange) IntRange {
+	if o.Lo > r.Lo {
+		r.Lo = o.Lo
+	}
+	if o.Hi < r.Hi {
+		r.Hi = o.Hi
+	}
+	return r
+}
+
+// RaiseLo raises the lower bound to at least lo.
+func (r IntRange) RaiseLo(lo int) IntRange {
+	if lo > r.Lo {
+		r.Lo = lo
+	}
+	return r
+}
+
+// LowerHi lowers the upper bound to at most hi.
+func (r IntRange) LowerHi(hi int) IntRange {
+	if hi < r.Hi {
+		r.Hi = hi
+	}
+	return r
+}
+
+// String renders the interval.
+func (r IntRange) String() string {
+	if r.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%d,%d]", r.Lo, r.Hi)
+}

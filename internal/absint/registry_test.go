@@ -1,0 +1,21 @@
+package absint
+
+import (
+	"testing"
+
+	"alive/internal/smt"
+)
+
+// TestTransferRegistryComplete asserts every smt term kind has a
+// registered transfer function, so a newly added kind fails here
+// instead of silently crashing (nil entry) or losing soundness.
+func TestTransferRegistryComplete(t *testing.T) {
+	for k := 0; k < smt.NumKinds; k++ {
+		if transfers[k] == nil {
+			t.Errorf("smt.Kind %v (%d) has no absint transfer function", smt.Kind(k), k)
+		}
+	}
+	if len(transfers) != smt.NumKinds {
+		t.Errorf("transfer registry has %d entries, smt declares %d kinds", len(transfers), smt.NumKinds)
+	}
+}

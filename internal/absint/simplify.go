@@ -1,0 +1,54 @@
+package absint
+
+import "alive/internal/smt"
+
+// Simplify rewrites t bottom-up, replacing every subterm whose
+// UNCONDITIONAL abstract value is a single concrete value with that
+// constant, and re-canonicalizing parents through the Builder's
+// simplifying constructors (which fold further once arguments became
+// constants).
+//
+// Soundness: the analysis assumes nothing, so a singleton abstraction
+// is a pointwise equivalence — the rewritten term evaluates identically
+// under every model. Facts from a Refined analysis must never be used
+// here; they only hold on models of the assumptions.
+func Simplify(b *smt.Builder, t *smt.Term) *smt.Term {
+	an := New()
+	cache := map[*smt.Term]*smt.Term{}
+	var walk func(u *smt.Term) *smt.Term
+	walk = func(u *smt.Term) *smt.Term {
+		if r, ok := cache[u]; ok {
+			return r
+		}
+		r := u
+		if len(u.Args) > 0 {
+			// The abstract value of the ORIGINAL node decides the
+			// rewrite; the rebuilt node is only structural cleanup.
+			v := an.Of(u)
+			if u.Width == 0 {
+				switch v.B {
+				case BTrue:
+					r = b.True()
+				case BFalse:
+					r = b.False()
+				}
+			} else if s, ok := v.Singleton(); ok {
+				r = b.Const(s)
+			}
+			if r == u {
+				args := make([]*smt.Term, len(u.Args))
+				changed := false
+				for i, a := range u.Args {
+					args[i] = walk(a)
+					changed = changed || args[i] != a
+				}
+				if changed {
+					r = b.Rebuild(u, args)
+				}
+			}
+		}
+		cache[u] = r
+		return r
+	}
+	return walk(t)
+}

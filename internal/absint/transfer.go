@@ -1,0 +1,562 @@
+package absint
+
+import (
+	"alive/internal/bv"
+	"alive/internal/smt"
+)
+
+// A transferFunc abstracts one term kind: given the term and the
+// abstract values of its arguments (in order), it returns a sound
+// abstraction of the result. Returning Top is always sound.
+type transferFunc func(t *smt.Term, args []Value) Value
+
+// transfers registers one transfer per smt.Kind, indexed by the kind
+// itself. A registry test asserts every kind in [0, smt.NumKinds) has
+// an entry, so adding a term kind without an abstraction fails loudly
+// instead of silently returning ⊤.
+var transfers = [smt.NumKinds]transferFunc{
+	smt.KBoolConst: func(t *smt.Term, _ []Value) Value { return FromBool(t.BVal) },
+	smt.KBVConst:   func(t *smt.Term, _ []Value) Value { return FromConst(t.Val) },
+	smt.KVar: func(t *smt.Term, _ []Value) Value {
+		if t.Width == 0 {
+			return TopBool()
+		}
+		return TopBV(t.Width)
+	},
+
+	smt.KNot: func(_ *smt.Term, a []Value) Value { return Value{B: a[0].B.not()} },
+	smt.KAnd: func(_ *smt.Term, a []Value) Value {
+		all := BTrue
+		for _, x := range a {
+			switch x.B {
+			case BFalse:
+				return FromBool(false)
+			case BTop:
+				all = BTop
+			}
+		}
+		return Value{B: all}
+	},
+	smt.KOr: func(_ *smt.Term, a []Value) Value {
+		all := BFalse
+		for _, x := range a {
+			switch x.B {
+			case BTrue:
+				return FromBool(true)
+			case BTop:
+				all = BTop
+			}
+		}
+		return Value{B: all}
+	},
+	smt.KXor: func(_ *smt.Term, a []Value) Value {
+		if a[0].B != BTop && a[1].B != BTop {
+			return FromBool(a[0].B != a[1].B)
+		}
+		return TopBool()
+	},
+	smt.KImplies: func(_ *smt.Term, a []Value) Value {
+		switch {
+		case a[0].B == BFalse || a[1].B == BTrue:
+			return FromBool(true)
+		case a[0].B == BTrue:
+			return Value{B: a[1].B}
+		case a[1].B == BFalse:
+			return Value{B: a[0].B.not()}
+		}
+		return TopBool()
+	},
+	smt.KEq:  transferEq,
+	smt.KIte: transferIte,
+
+	smt.KBVNeg: func(t *smt.Term, a []Value) Value {
+		return subVal(FromConst(bv.Zero(t.Width)), a[0])
+	},
+	smt.KBVNot: func(t *smt.Term, a []Value) Value {
+		x := a[0]
+		// ~ is the order-reversing bijection 2^w-1-x in both orders,
+		// so all three component domains transfer exactly.
+		return Value{
+			Width: t.Width,
+			KZ:    x.KO, KO: x.KZ,
+			ULo: x.UHi.Not(), UHi: x.ULo.Not(),
+			SLo: x.SHi.Not(), SHi: x.SLo.Not(),
+		}.reduce()
+	},
+	smt.KBVAnd: func(t *smt.Term, a []Value) Value {
+		v := TopBV(t.Width)
+		v.KZ = a[0].KZ.Or(a[1].KZ)
+		v.KO = a[0].KO.And(a[1].KO)
+		v.UHi = umin(a[0].UHi, a[1].UHi) // x&y <=u both operands
+		return v.reduce()
+	},
+	smt.KBVOr: func(t *smt.Term, a []Value) Value {
+		v := TopBV(t.Width)
+		v.KZ = a[0].KZ.And(a[1].KZ)
+		v.KO = a[0].KO.Or(a[1].KO)
+		v.ULo = umax(a[0].ULo, a[1].ULo) // x|y >=u both operands
+		return v.reduce()
+	},
+	smt.KBVXor: func(t *smt.Term, a []Value) Value {
+		v := TopBV(t.Width)
+		v.KZ = a[0].KZ.And(a[1].KZ).Or(a[0].KO.And(a[1].KO))
+		v.KO = a[0].KO.And(a[1].KZ).Or(a[0].KZ.And(a[1].KO))
+		return v.reduce()
+	},
+	smt.KBVAdd: func(t *smt.Term, a []Value) Value { return addVal(a[0], a[1]) },
+	smt.KBVSub: func(t *smt.Term, a []Value) Value { return subVal(a[0], a[1]) },
+	smt.KBVMul: transferMul,
+
+	smt.KBVUdiv: func(t *smt.Term, a []Value) Value {
+		v := TopBV(t.Width)
+		if !a[1].ULo.IsZero() {
+			// Divisor provably nonzero: quotient endpoints are
+			// monotone in numerator and antitone in divisor.
+			v.ULo = a[0].ULo.Udiv(a[1].UHi)
+			v.UHi = a[0].UHi.Udiv(a[1].ULo)
+		}
+		return v.reduce()
+	},
+	smt.KBVUrem: func(t *smt.Term, a []Value) Value {
+		w := t.Width
+		v := TopBV(w)
+		one := bv.One(w)
+		switch {
+		case a[1].UHi.IsZero():
+			// Divisor is always zero: SMT-LIB says x urem 0 = x.
+			return a[0]
+		case a[1].ULo.IsZero():
+			// Divisor may be zero (result x) or not (result < divisor).
+			v.UHi = umax(a[0].UHi, a[1].UHi.Sub(one))
+		default:
+			v.UHi = umin(a[0].UHi, a[1].UHi.Sub(one))
+		}
+		return v.reduce()
+	},
+	smt.KBVSdiv: func(t *smt.Term, a []Value) Value {
+		// Precise only on the nonnegative quadrant with a provably
+		// positive divisor, where sdiv coincides with udiv. Positivity
+		// is SLo >= 1 as a nonnegative pattern — comparing against
+		// bv.One would be wrong at width 1, where 1 is signed -1.
+		if a[0].SLo.SignBit() == 0 && a[1].SLo.SignBit() == 0 && !a[1].SLo.IsZero() {
+			v := TopBV(t.Width)
+			v.ULo = a[0].SLo.Udiv(a[1].SHi)
+			v.UHi = a[0].SHi.Udiv(a[1].SLo)
+			return v.reduce()
+		}
+		return TopBV(t.Width)
+	},
+	smt.KBVSrem: func(t *smt.Term, a []Value) Value {
+		if a[0].SLo.SignBit() == 0 && a[1].SLo.SignBit() == 0 && !a[1].SLo.IsZero() {
+			v := TopBV(t.Width)
+			v.UHi = umin(a[0].SHi, a[1].SHi.Sub(bv.One(t.Width)))
+			return v.reduce()
+		}
+		return TopBV(t.Width)
+	},
+
+	smt.KBVShl:  transferShl,
+	smt.KBVLshr: transferLshr,
+	smt.KBVAshr: transferAshr,
+
+	smt.KBVUlt: func(_ *smt.Term, a []Value) Value {
+		switch {
+		case a[0].UHi.Ult(a[1].ULo):
+			return FromBool(true)
+		case !a[0].ULo.Ult(a[1].UHi):
+			return FromBool(false)
+		}
+		return TopBool()
+	},
+	smt.KBVUle: func(_ *smt.Term, a []Value) Value {
+		switch {
+		case a[0].UHi.Ule(a[1].ULo):
+			return FromBool(true)
+		case !a[0].ULo.Ule(a[1].UHi):
+			return FromBool(false)
+		}
+		return TopBool()
+	},
+	smt.KBVSlt: func(_ *smt.Term, a []Value) Value {
+		switch {
+		case a[0].SHi.Slt(a[1].SLo):
+			return FromBool(true)
+		case !a[0].SLo.Slt(a[1].SHi):
+			return FromBool(false)
+		}
+		return TopBool()
+	},
+	smt.KBVSle: func(_ *smt.Term, a []Value) Value {
+		switch {
+		case a[0].SHi.Sle(a[1].SLo):
+			return FromBool(true)
+		case !a[0].SLo.Sle(a[1].SHi):
+			return FromBool(false)
+		}
+		return TopBool()
+	},
+
+	smt.KZExt: func(t *smt.Term, a []Value) Value {
+		w, x := t.Width, a[0]
+		hiZero := bv.Ones(w).Shl(bv.New(w, uint64(x.Width)))
+		v := TopBV(w)
+		v.KZ = x.KZ.ZExt(w).Or(hiZero)
+		v.KO = x.KO.ZExt(w)
+		v.ULo, v.UHi = x.ULo.ZExt(w), x.UHi.ZExt(w)
+		return v.reduce()
+	},
+	smt.KSExt: func(t *smt.Term, a []Value) Value {
+		w, x := t.Width, a[0]
+		v := TopBV(w)
+		// SExt of a mask replicates its top bit, which is exactly
+		// "the extended bits are known iff the sign bit is known".
+		v.KZ, v.KO = x.KZ.SExt(w), x.KO.SExt(w)
+		v.SLo, v.SHi = x.SLo.SExt(w), x.SHi.SExt(w)
+		return v.reduce()
+	},
+	smt.KExtract: func(t *smt.Term, a []Value) Value {
+		x := a[0]
+		v := TopBV(t.Width)
+		v.KZ = x.KZ.Extract(t.Hi, t.Lo)
+		v.KO = x.KO.Extract(t.Hi, t.Lo)
+		if t.Lo == 0 && x.UHi.LeadingZeros() >= x.Width-(t.Hi+1) {
+			// Low-bit extract of values that already fit: truncation
+			// is the identity on the interval.
+			v.ULo, v.UHi = x.ULo.Trunc(t.Width), x.UHi.Trunc(t.Width)
+		}
+		return v.reduce()
+	},
+	smt.KConcat: func(t *smt.Term, a []Value) Value {
+		v := TopBV(t.Width)
+		v.KZ = a[0].KZ.Concat(a[1].KZ)
+		v.KO = a[0].KO.Concat(a[1].KO)
+		// concat(x, y) = x*2^w2 + y with independent x, y, so the
+		// endpoints concatenate exactly.
+		v.ULo = a[0].ULo.Concat(a[1].ULo)
+		v.UHi = a[0].UHi.Concat(a[1].UHi)
+		return v.reduce()
+	},
+}
+
+func transferEq(t *smt.Term, a []Value) Value {
+	x, y := t.Args[0], t.Args[1]
+	if x == y {
+		return FromBool(true)
+	}
+	if a[0].IsBool() {
+		if a[0].B != BTop && a[1].B != BTop {
+			return FromBool(a[0].B == a[1].B)
+		}
+		return TopBool()
+	}
+	// Interval equality does NOT imply value equality; only equal
+	// singletons (or pointer-equal terms, above) decide True.
+	if sx, ok := a[0].Singleton(); ok {
+		if sy, ok := a[1].Singleton(); ok {
+			return FromBool(sx.Eq(sy))
+		}
+	}
+	// Disjointness in any component domain decides False.
+	if a[0].UHi.Ult(a[1].ULo) || a[1].UHi.Ult(a[0].ULo) {
+		return FromBool(false)
+	}
+	if a[0].SHi.Slt(a[1].SLo) || a[1].SHi.Slt(a[0].SLo) {
+		return FromBool(false)
+	}
+	if !a[0].KO.And(a[1].KZ).IsZero() || !a[0].KZ.And(a[1].KO).IsZero() {
+		return FromBool(false)
+	}
+	return TopBool()
+}
+
+func transferIte(t *smt.Term, a []Value) Value {
+	switch a[0].B {
+	case BTrue:
+		return a[1]
+	case BFalse:
+		return a[2]
+	}
+	return Join(a[1], a[2])
+}
+
+// addVal adds two abstractions: ripple-carry known bits plus interval
+// endpoint sums when the wrap behavior is uniform.
+func addVal(x, y Value) Value {
+	if x.bot {
+		return x
+	}
+	if y.bot {
+		return y
+	}
+	w := x.Width
+	v := TopBV(w)
+	v.KZ, v.KO = addKnownBits(w, x.KZ, x.KO, y.KZ, y.KO, 0)
+
+	// Unsigned: compute endpoint sums in w+1 bits. If both carry out
+	// equally (neither wraps, or both wrap exactly once), the
+	// truncated endpoints bound every sum.
+	ulo := x.ULo.ZExt(w + 1).Add(y.ULo.ZExt(w + 1))
+	uhi := x.UHi.ZExt(w + 1).Add(y.UHi.ZExt(w + 1))
+	if ulo.Bit(w) == uhi.Bit(w) {
+		v.ULo, v.UHi = ulo.Trunc(w), uhi.Trunc(w)
+	}
+	// Signed: same criterion with sign-extended endpoint sums, where
+	// "wraps" means leaving the w-bit signed range.
+	slo := x.SLo.SExt(w + 1).Add(y.SLo.SExt(w + 1))
+	shi := x.SHi.SExt(w + 1).Add(y.SHi.SExt(w + 1))
+	if signedOverflowDir(w, slo) == signedOverflowDir(w, shi) {
+		v.SLo, v.SHi = slo.Trunc(w), shi.Trunc(w)
+	}
+	return v.reduce()
+}
+
+// subVal subtracts via interval endpoint differences and borrow-aware
+// known bits (x - y = x + ~y + 1).
+func subVal(x, y Value) Value {
+	if x.bot {
+		return x
+	}
+	if y.bot {
+		return y
+	}
+	w := x.Width
+	v := TopBV(w)
+	v.KZ, v.KO = addKnownBits(w, x.KZ, x.KO, y.KO, y.KZ, 1)
+
+	ulo := x.ULo.ZExt(w + 1).Sub(y.UHi.ZExt(w + 1))
+	uhi := x.UHi.ZExt(w + 1).Sub(y.ULo.ZExt(w + 1))
+	if ulo.Bit(w) == uhi.Bit(w) {
+		v.ULo, v.UHi = ulo.Trunc(w), uhi.Trunc(w)
+	}
+	slo := x.SLo.SExt(w + 1).Sub(y.SHi.SExt(w + 1))
+	shi := x.SHi.SExt(w + 1).Sub(y.SLo.SExt(w + 1))
+	if signedOverflowDir(w, slo) == signedOverflowDir(w, shi) {
+		v.SLo, v.SHi = slo.Trunc(w), shi.Trunc(w)
+	}
+	return v.reduce()
+}
+
+// signedOverflowDir classifies a (w+1)-bit signed value against the
+// w-bit signed range: -1 below, 0 inside, +1 above.
+func signedOverflowDir(w int, v bv.Vec) int {
+	if v.Slt(bv.MinSigned(w).SExt(w + 1)) {
+		return -1
+	}
+	if bv.MaxSigned(w).SExt(w + 1).Slt(v) {
+		return 1
+	}
+	return 0
+}
+
+// addKnownBits ripples a carry through two known-bits masks. carry0 is
+// the incoming carry (1 for subtraction via x + ~y + 1). A result bit
+// is known only while both operand bits and the carry are known.
+func addKnownBits(w int, xz, xo, yz, yo bv.Vec, carry0 uint) (kz, ko bv.Vec) {
+	kz, ko = bv.Zero(w), bv.Zero(w)
+	carry, carryKnown := carry0, true
+	one := bv.One(w)
+	for i := 0; i < w; i++ {
+		xKnown := xz.Bit(i) == 1 || xo.Bit(i) == 1
+		yKnown := yz.Bit(i) == 1 || yo.Bit(i) == 1
+		if !xKnown || !yKnown {
+			carryKnown = false
+			continue
+		}
+		ones := xo.Bit(i) + yo.Bit(i)
+		if !carryKnown {
+			// The carry chain can resheal: two known-zero bits force a
+			// zero carry out, two known-one bits force a one, whatever
+			// the unknown carry in was.
+			switch ones {
+			case 0:
+				carry, carryKnown = 0, true
+			case 2:
+				carry, carryKnown = 1, true
+			}
+			continue
+		}
+		sum := ones + carry
+		if sum%2 == 1 {
+			ko = ko.Or(one.Shl(bv.New(w, uint64(i))))
+		} else {
+			kz = kz.Or(one.Shl(bv.New(w, uint64(i))))
+		}
+		carry = sum / 2
+	}
+	return kz, ko
+}
+
+func transferMul(t *smt.Term, a []Value) Value {
+	w := t.Width
+	v := TopBV(w)
+	// Trailing zeros add: low tz(x)+tz(y) bits of the product are zero.
+	tz := trailingKnownZeros(a[0].KZ) + trailingKnownZeros(a[1].KZ)
+	if tz >= w {
+		return FromConst(bv.Zero(w))
+	}
+	if tz > 0 {
+		v.KZ = bv.Ones(w).Lshr(bv.New(w, uint64(w-tz)))
+	}
+	// Unsigned interval: exact when the max product fits in w bits.
+	hi := a[0].UHi.ZExt(2 * w).Mul(a[1].UHi.ZExt(2 * w))
+	if hi.LeadingZeros() >= w {
+		v.ULo = a[0].ULo.Mul(a[1].ULo)
+		v.UHi = hi.Trunc(w)
+	}
+	return v.reduce()
+}
+
+// trailingKnownZeros counts consecutive known-zero bits from bit 0.
+func trailingKnownZeros(kz bv.Vec) int {
+	n := 0
+	for n < kz.Width() && kz.Bit(n) == 1 {
+		n++
+	}
+	return n
+}
+
+// shiftBounds clamps a shift-amount abstraction to [kmin, kmax] with
+// kmax capped at w-1 (larger amounts saturate to the fill value) and
+// reports whether the amount can meet or exceed the width.
+func shiftBounds(w int, y Value) (kmin, kmax int, mayOver bool) {
+	wv := bv.New(y.Width, uint64(w))
+	if y.ULo.Ult(wv) {
+		kmin = int(y.ULo.Uint64())
+	} else {
+		kmin = w // always over-shifts
+	}
+	if y.UHi.Ult(wv) {
+		kmax = int(y.UHi.Uint64())
+	} else {
+		kmax = w - 1
+		mayOver = true
+	}
+	return kmin, kmax, mayOver
+}
+
+func transferShl(t *smt.Term, a []Value) Value {
+	w := t.Width
+	kmin, _, mayOver := shiftBounds(w, a[1])
+	if kmin >= w {
+		return FromConst(bv.Zero(w)) // always shifts everything out
+	}
+	if s, ok := a[1].Singleton(); ok && !mayOver {
+		x := a[0]
+		v := TopBV(w)
+		low := bv.Ones(w).Lshr(bv.New(w, uint64(w-kmin)))
+		if kmin == 0 {
+			low = bv.Zero(w)
+		}
+		v.KZ = x.KZ.Shl(s).Or(low)
+		v.KO = x.KO.Shl(s)
+		if x.UHi.LeadingZeros() >= kmin {
+			v.ULo, v.UHi = x.ULo.Shl(s), x.UHi.Shl(s)
+		}
+		return v.reduce()
+	}
+	v := TopBV(w)
+	if kmin > 0 {
+		// At least kmin low bits are zero regardless of the amount.
+		v.KZ = bv.Ones(w).Lshr(bv.New(w, uint64(w-kmin)))
+	}
+	return v.reduce()
+}
+
+func transferLshr(t *smt.Term, a []Value) Value {
+	w := t.Width
+	x := a[0]
+	kmin, kmax, mayOver := shiftBounds(w, a[1])
+	if kmin >= w {
+		return FromConst(bv.Zero(w))
+	}
+	v := TopBV(w)
+	if s, ok := a[1].Singleton(); ok && !mayOver {
+		high := bv.Ones(w).Shl(bv.New(w, uint64(w-kmin)))
+		if kmin == 0 {
+			high = bv.Zero(w)
+		}
+		v.KZ = x.KZ.Lshr(s).Or(high)
+		v.KO = x.KO.Lshr(s)
+	}
+	// Monotone: shifting right by more gives a smaller result.
+	v.UHi = x.UHi.Lshr(bv.New(w, uint64(kmin)))
+	if mayOver {
+		v.ULo = bv.Zero(w)
+	} else {
+		v.ULo = x.ULo.Lshr(bv.New(w, uint64(kmax)))
+	}
+	return v.reduce()
+}
+
+func transferAshr(t *smt.Term, a []Value) Value {
+	w := t.Width
+	x := a[0]
+	kmin, kmax, _ := shiftBounds(w, a[1])
+	if kmin >= w {
+		kmin = w - 1 // saturates to the sign fill, same as shifting w-1
+	}
+	v := TopBV(w)
+	if s, ok := a[1].Singleton(); ok && s.Ult(bv.New(w, uint64(w))) {
+		// Bits below w-k move down; the sign-filled top bits are known
+		// only when the sign bit itself is known, which the mask SExt
+		// trick expresses via Ashr of the masks.
+		v.KZ = x.KZ.Ashr(s)
+		v.KO = x.KO.Ashr(s)
+	}
+	// Ashr moves values toward 0 (nonnegative) or -1 (negative), so
+	// each endpoint's extreme is at one of the clamped amount bounds.
+	kminV, kmaxV := bv.New(w, uint64(kmin)), bv.New(w, uint64(kmax))
+	if x.SLo.SignBit() == 1 {
+		v.SLo = x.SLo.Ashr(kminV)
+	} else {
+		v.SLo = x.SLo.Ashr(kmaxV)
+	}
+	if x.SHi.SignBit() == 0 {
+		v.SHi = x.SHi.Ashr(kminV)
+	} else {
+		v.SHi = x.SHi.Ashr(kmaxV)
+	}
+	return v.reduce()
+}
+
+// Analysis computes abstract values for terms of one Builder,
+// memoizing per node. The zero Analysis is not usable; call New or
+// Refined.
+type Analysis struct {
+	memo   map[*smt.Term]Value
+	assume map[*smt.Term]Value
+	contra bool
+}
+
+// New returns an unconditional analysis: its facts hold for every
+// assignment, so they are pointwise equivalences safe for rewriting.
+func New() *Analysis {
+	return &Analysis{memo: map[*smt.Term]Value{}, assume: map[*smt.Term]Value{}}
+}
+
+// Of returns a sound abstraction of t (plus any assumed refinements
+// when the analysis was built by Refined).
+func (an *Analysis) Of(t *smt.Term) Value {
+	if v, ok := an.memo[t]; ok {
+		return v
+	}
+	args := make([]Value, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = an.Of(a)
+	}
+	v := transfers[t.Kind](t, args)
+	if f, ok := an.assume[t]; ok {
+		v = Meet(v, f)
+	}
+	v = v.reduce()
+	if v.IsBot() {
+		an.contra = true
+	}
+	an.memo[t] = v
+	return v
+}
+
+// Contradiction reports whether the assumed assertions are mutually
+// inconsistent — some term's abstraction collapsed to ⊥, so no model
+// satisfies the assertions.
+func (an *Analysis) Contradiction() bool { return an.contra }

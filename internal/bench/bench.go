@@ -32,6 +32,9 @@ type Config struct {
 	WorkloadFuncs int
 	InstrsPerFunc int
 	Seed          int64
+	// ArtifactDir, when set, receives machine-readable JSON reports from
+	// experiments that produce them (currently presolve).
+	ArtifactDir string
 }
 
 // NewConfig parses a comma-separated width list.

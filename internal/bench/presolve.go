@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"alive/internal/solver"
+	"alive/internal/suite"
+	"alive/internal/verify"
+)
+
+// presolveReport is the JSON artifact the experiment writes when
+// Config.ArtifactDir is set; CI uploads it so presolver effectiveness
+// can be tracked across commits.
+type presolveReport struct {
+	Widths     []int                `json:"widths"`
+	Transforms int                  `json:"transforms"`
+	Mismatches []string             `json:"verdict_mismatches"`
+	InvalidOn  int                  `json:"invalid_with_presolve"`
+	InvalidOff int                  `json:"invalid_without_presolve"`
+	On         solver.PresolveStats `json:"with_presolve"`
+	Off        solver.PresolveStats `json:"without_presolve"`
+	Discharged int                  `json:"queries_discharged"`
+	Simplified int                  `json:"queries_simplified"`
+	Rate       float64              `json:"discharge_rate"`
+	OnMillis   int64                `json:"wall_ms_with_presolve"`
+	OffMillis  int64                `json:"wall_ms_without_presolve"`
+}
+
+// Presolve runs the abstract-interpretation presolver A/B experiment:
+// the whole corpus is verified once with the presolver enabled and once
+// with it disabled. The two runs must produce identical verdicts
+// (including the 8 Figure 8 bugs staying wrong); the report shows how
+// many solver queries the abstraction discharged or simplified without
+// a CDCL run, the unit-clause hints it seeded, and the CNF shrink.
+func Presolve(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Presolve: abstract-interpretation presolver on the corpus (A/B)\n\n")
+
+	ts := suite.ParseAll()
+	run := func(disable bool) ([]verify.Result, time.Duration) {
+		opts := cfg.verifyOpts()
+		opts.DisablePresolve = disable
+		start := time.Now()
+		res, _ := verify.RunCorpus(context.Background(), ts, verify.CorpusOptions{
+			Verify:  opts,
+			Workers: cfg.Jobs,
+		})
+		return res, time.Since(start)
+	}
+	onRes, onT := run(false)
+	offRes, offT := run(true)
+
+	rep := presolveReport{Widths: cfg.Widths, Transforms: len(ts)}
+	for i := range onRes {
+		if onRes[i].Verdict != offRes[i].Verdict {
+			rep.Mismatches = append(rep.Mismatches,
+				fmt.Sprintf("%s: %v with presolve, %v without", ts[i].Name, onRes[i].Verdict, offRes[i].Verdict))
+		}
+		if onRes[i].Verdict == verify.Invalid {
+			rep.InvalidOn++
+		}
+		if offRes[i].Verdict == verify.Invalid {
+			rep.InvalidOff++
+		}
+		rep.On.Add(onRes[i].Presolve)
+		rep.Off.Add(offRes[i].Presolve)
+		rep.Discharged += onRes[i].QueriesDischarged
+		rep.Simplified += onRes[i].QueriesSimplified
+	}
+	if rep.On.Checks > 0 {
+		rep.Rate = float64(rep.On.DischargedOrSimplified()) / float64(rep.On.Checks)
+	}
+	rep.OnMillis = onT.Milliseconds()
+	rep.OffMillis = offT.Milliseconds()
+
+	fmt.Fprintf(&sb, "corpus: %d transformations at widths %v\n\n", len(ts), cfg.Widths)
+	fmt.Fprintf(&sb, "%-28s %12s %12s\n", "", "presolve on", "presolve off")
+	fmt.Fprintf(&sb, "%-28s %12d %12d\n", "solver Check calls", rep.On.Checks, rep.Off.Checks)
+	fmt.Fprintf(&sb, "%-28s %12d %12d\n", "folded by builder", rep.On.Folded, rep.Off.Folded)
+	fmt.Fprintf(&sb, "%-28s %12d %12d\n", "decided abstractly", rep.On.Decided, rep.Off.Decided)
+	fmt.Fprintf(&sb, "%-28s %12d %12d\n", "simplified term DAGs", rep.On.Simplified, rep.Off.Simplified)
+	fmt.Fprintf(&sb, "%-28s %12d %12d\n", "CDCL runs", rep.On.CDCLRuns, rep.Off.CDCLRuns)
+	fmt.Fprintf(&sb, "%-28s %12d %12d\n", "hint literals seeded", rep.On.HintLits, rep.Off.HintLits)
+	fmt.Fprintf(&sb, "%-28s %12d %12d\n", "CNF variables", rep.On.CNFVars, rep.Off.CNFVars)
+	fmt.Fprintf(&sb, "%-28s %12d %12d\n", "CNF clauses", rep.On.CNFClauses, rep.Off.CNFClauses)
+	fmt.Fprintf(&sb, "%-28s %12v %12v\n", "wall clock", onT.Round(time.Millisecond), offT.Round(time.Millisecond))
+
+	fmt.Fprintf(&sb, "\nrefinement queries discharged without CDCL: %d, simplified first: %d\n",
+		rep.Discharged, rep.Simplified)
+	fmt.Fprintf(&sb, "discharged-or-simplified rate: %d/%d = %.0f%% (target >= 20%%)\n",
+		rep.On.DischargedOrSimplified(), rep.On.Checks, 100*rep.Rate)
+	switch {
+	case len(rep.Mismatches) > 0:
+		fmt.Fprintf(&sb, "verdict check: %d MISMATCHES — FAIL\n", len(rep.Mismatches))
+		for _, m := range rep.Mismatches {
+			fmt.Fprintf(&sb, "  %s\n", m)
+		}
+	case rep.InvalidOn != rep.InvalidOff:
+		fmt.Fprintf(&sb, "verdict check: invalid counts differ (%d vs %d) — FAIL\n", rep.InvalidOn, rep.InvalidOff)
+	default:
+		fmt.Fprintf(&sb, "verdict check: all %d verdicts agree, %d invalid on both legs — PASS\n",
+			len(ts), rep.InvalidOn)
+	}
+	if rep.Rate >= 0.20 {
+		sb.WriteString("rate check: presolver discharges or simplifies >= 20% of queries — PASS\n")
+	} else {
+		sb.WriteString("rate check: below the 20% target — FAIL\n")
+	}
+
+	if cfg.ArtifactDir != "" {
+		if err := writePresolveArtifact(cfg.ArtifactDir, &rep); err != nil {
+			fmt.Fprintf(&sb, "artifact: %v\n", err)
+		} else {
+			fmt.Fprintf(&sb, "artifact: wrote %s\n", filepath.Join(cfg.ArtifactDir, "presolve.json"))
+		}
+	}
+	return sb.String()
+}
+
+func writePresolveArtifact(dir string, rep *presolveReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "presolve.json"), append(data, '\n'), 0o644)
+}

@@ -535,6 +535,22 @@ func (bl *Blaster) Assert(t *smt.Term) {
 // assumption to require t.
 func (bl *Blaster) AssumptionLit(t *smt.Term) sat.Lit { return bl.Lit(t) }
 
+// CachedLit returns the literal already encoding the Bool term t, if t
+// was lowered during an Assert. It never lowers anything — the
+// presolver uses it to seed hints only for subterms that actually
+// reached the CNF.
+func (bl *Blaster) CachedLit(t *smt.Term) (sat.Lit, bool) {
+	l, ok := bl.boolCache[t]
+	return l, ok
+}
+
+// CachedBits returns the per-bit literals already encoding the BitVec
+// term t, if it was lowered. Like CachedLit, it never lowers.
+func (bl *Blaster) CachedBits(t *smt.Term) ([]sat.Lit, bool) {
+	bits, ok := bl.bvCache[t]
+	return bits, ok
+}
+
 // BVVarValue reads the model value of a BitVec variable after a Sat
 // result; missing variables (never blasted) read as zero.
 func (bl *Blaster) BVVarValue(name string, width int) bv.Vec {

@@ -1,8 +1,12 @@
 // Package lint is a solver-free static analyzer for Alive
 // transformations. It front-loads cheap structural and arithmetic checks
-// before the expensive refinement proof: every check here is O(pattern
-// size) (the type-constraint pass is a single union-find sweep), issues
-// stable AL*** diagnostic codes, and never calls the SAT/SMT machinery.
+// before the expensive refinement proof: the structural checks are
+// O(pattern size) (the type-constraint pass is a single union-find
+// sweep), and the semantic tier (AL013–AL017) encodes the verification
+// conditions and runs the internal/absint known-bits + interval
+// analysis over the term DAG. No check ever runs the SAT solver; every
+// verdict comes from constant folding or abstract interpretation, so
+// the whole suite stays near-instant per transformation.
 //
 // Per-transform checks catch scoping violations the parser cannot reject
 // (unbound target registers and constants, precondition typos),
@@ -28,6 +32,11 @@
 //	AL010 warning  literal exceeds every feasible width of its class
 //	AL011 warning  duplicate source pattern (α-equivalent, same precondition)
 //	AL012 warning  earlier transformation shadows a later one
+//	AL013 warning  target root always produces poison (abstractly)
+//	AL014 warning  precondition conjunct implied by the other conjuncts
+//	AL015 warning  select condition decided; one arm is dead
+//	AL016 warning  comparison decided at every feasible width
+//	AL017 warning  nsw/nuw attribute provably cannot fire
 package lint
 
 import (
@@ -100,6 +109,11 @@ var Codes = []CodeInfo{
 	{"AL010", Warning, "literal exceeds feasible width"},
 	{"AL011", Warning, "duplicate source pattern"},
 	{"AL012", Warning, "shadowed source pattern"},
+	{"AL013", Warning, "target always produces poison"},
+	{"AL014", Warning, "precondition conjunct implied by the others"},
+	{"AL015", Warning, "dead select arm"},
+	{"AL016", Warning, "comparison decided at every feasible width"},
+	{"AL017", Warning, "provably redundant nsw/nuw attribute"},
 }
 
 // Check is one per-transform analysis in the registry.
@@ -126,6 +140,7 @@ func Checks() []Check {
 		{"types", []string{"AL005", "AL010"}, "type-constraint contradictions and width hazards (union-find, no enumeration)", checkTypes},
 		{"precondition", []string{"AL006", "AL007", "AL008"}, "vacuous, tautological, and constant-foldable preconditions", checkPre},
 		{"attrs", []string{"AL009"}, "poison attributes on operators that do not admit them", checkAttrs},
+		{"semantic", []string{"AL013", "AL014", "AL015", "AL016", "AL017"}, "abstract-interpretation findings over the VC encoding (known bits + intervals, no solver)", checkSemantic},
 	}
 }
 

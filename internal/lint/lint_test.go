@@ -46,8 +46,9 @@ func TestStructuralViolation(t *testing.T) {
 }
 
 // TestErrorPathBudget checks the acceptance bound: lint verdicts on a
-// synthetic bad transform come back in under a millisecond. The package
-// imports no SAT/SMT machinery, so the whole path is plain traversal.
+// synthetic bad transform come back in under a millisecond. Error
+// findings from the structural tiers skip the semantic tier, so the
+// error path never encodes VCs — it is plain traversal.
 func TestErrorPathBudget(t *testing.T) {
 	tr := mustParse(t, `
 Name: bad

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"alive/internal/absint"
+	"alive/internal/ir"
+	"alive/internal/smt"
+	"alive/internal/typing"
+	"alive/internal/vcgen"
+)
+
+// maxSemanticAssignments caps the type assignments the semantic tier
+// probes. It mirrors the verifier's default width ladder, so "every
+// feasible width" below means the assignments verification would try.
+const maxSemanticAssignments = 6
+
+// checkSemantic is the abstract-interpretation tier: it encodes the
+// transformation's verification conditions at each feasible type
+// assignment and runs the known-bits + interval analysis of
+// internal/absint over the term DAG — no SAT or SMT solving. Each
+// finding must hold at every probed assignment; widths where the
+// precondition is abstractly contradictory contribute no evidence
+// (the transformation cannot fire there).
+//
+//	AL013  the target root produces poison whenever the source does not
+//	AL014  a precondition conjunct is implied by the remaining conjuncts
+//	AL015  a select condition is decided, leaving one arm dead
+//	AL016  a comparison is decided at every feasible width
+//	AL017  an nsw/nuw attribute can never fire (provably no wrap)
+func checkSemantic(t *ir.Transform, r *Reporter) {
+	// Error findings from the structural tiers mean the pattern is
+	// meaningless as written; encoding its VCs would analyze something
+	// other than what the author wrote. Skipping also keeps the lint
+	// error path at plain-traversal cost.
+	if HasErrors(r.ds) {
+		return
+	}
+	asgs, err := typing.Infer(t, typing.Options{MaxAssignments: maxSemanticAssignments})
+	if err != nil || len(asgs) == 0 {
+		return
+	}
+	conj := flattenAnd(t.Pre)
+
+	// flagUse identifies one attribute occurrence on one instruction.
+	type flagUse struct {
+		in ir.Instr
+		f  ir.Flags
+	}
+
+	// Per-finding confirmation counters; a finding is reported only
+	// when every counted assignment confirms it (hits == n).
+	n := 0
+	alwaysPoison := 0
+	implied := make([]int, len(conj))
+	condTrue := map[ir.Instr]int{}
+	condFalse := map[ir.Instr]int{}
+	cmpTrue := map[ir.Instr]int{}
+	cmpFalse := map[ir.Instr]int{}
+	redundant := map[flagUse]int{}
+
+	instrs := make([]ir.Instr, 0, len(t.Source)+len(t.Target))
+	instrs = append(instrs, t.Source...)
+	instrs = append(instrs, t.Target...)
+
+	// Select conditions are AL015's; AL016 skips them to avoid double
+	// reporting one decided comparison.
+	selConds := map[ir.Value]bool{}
+	for _, in := range instrs {
+		if sel, ok := in.(*ir.Select); ok {
+			selConds[sel.Cond] = true
+		}
+	}
+
+	for _, asg := range asgs {
+		b := smt.NewBuilder()
+		enc, err := vcgen.Encode(b, t, asg)
+		if err != nil {
+			continue
+		}
+		base := make([]*smt.Term, 0, len(enc.PreParts)+len(enc.SideCons))
+		base = append(base, enc.PreParts...)
+		base = append(base, enc.SideCons...)
+		an := absint.Refined(base...)
+		if an.Contradiction() {
+			continue
+		}
+		n++
+		plain := absint.New() // unconditional, for in-isolation verdicts
+
+		// AL013: refine with the source root being defined and
+		// poison-free; if the target root's ρ is then abstractly false,
+		// the rewrite introduces poison on every feasible execution.
+		if tgtRoot, ok := enc.Tgt[t.Root]; ok && tgtRoot.Poison != nil {
+			facts := append([]*smt.Term{}, base...)
+			if srcRoot, ok := enc.Src[t.Root]; ok {
+				if srcRoot.Def != nil {
+					facts = append(facts, srcRoot.Def)
+				}
+				if srcRoot.Poison != nil {
+					facts = append(facts, srcRoot.Poison)
+				}
+			}
+			pan := absint.Refined(facts...)
+			if !pan.Contradiction() && pan.Of(tgtRoot.Poison).B == absint.BFalse {
+				alwaysPoison++
+			}
+		}
+
+		// AL014: clause i is implied when assuming only the other
+		// clauses already decides it. Clauses true in isolation are
+		// AL007's business and are skipped here.
+		if len(enc.PreParts) >= 2 && len(enc.PreParts) == len(conj) {
+			for i, p := range enc.PreParts {
+				if p.IsTrue() || plain.Of(p).B == absint.BTrue {
+					continue
+				}
+				rest := make([]*smt.Term, 0, len(base)-1)
+				for j, q := range enc.PreParts {
+					if j != i {
+						rest = append(rest, q)
+					}
+				}
+				rest = append(rest, enc.SideCons...)
+				ran := absint.Refined(rest...)
+				if !ran.Contradiction() && ran.Of(p).B == absint.BTrue {
+					implied[i]++
+				}
+			}
+		}
+
+		// AL015 / AL016 / AL017 read operand encodings under the
+		// precondition-refined analysis.
+		for _, in := range instrs {
+			switch in := in.(type) {
+			case *ir.Select:
+				// A syntactically constant condition is the pattern
+				// being matched (select true, ...), not a semantic
+				// finding.
+				if literalOnly(in.Cond) {
+					continue
+				}
+				ce, ok := enc.Values[in.Cond]
+				if !ok || ce.Val == nil {
+					continue
+				}
+				if c, ok := an.Of(ce.Val).Singleton(); ok {
+					if c.IsZero() {
+						condFalse[in]++
+					} else {
+						condTrue[in]++
+					}
+				}
+			case *ir.ICmp:
+				if selConds[ir.Value(in)] {
+					continue
+				}
+				e, ok := enc.Values[ir.Value(in)]
+				if !ok || e.Val == nil {
+					continue
+				}
+				if c, ok := an.Of(e.Val).Singleton(); ok {
+					if c.IsZero() {
+						cmpFalse[in]++
+					} else {
+						cmpTrue[in]++
+					}
+				}
+			case *ir.BinOp:
+				if in.Flags&(ir.NSW|ir.NUW) == 0 {
+					continue
+				}
+				xe, okx := enc.Values[in.X]
+				ye, oky := enc.Values[in.Y]
+				if !okx || !oky || xe.Val == nil || ye.Val == nil {
+					continue
+				}
+				vx, vy := an.Of(xe.Val), an.Of(ye.Val)
+				if in.Flags&ir.NSW != 0 && noWrapVerdict(in.Op, vx, vy, true) == absint.BTrue {
+					redundant[flagUse{in, ir.NSW}]++
+				}
+				if in.Flags&ir.NUW != 0 && noWrapVerdict(in.Op, vx, vy, false) == absint.BTrue {
+					redundant[flagUse{in, ir.NUW}]++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return
+	}
+
+	if alwaysPoison == n {
+		pos := t.PrePos
+		if root := t.TargetValue(t.Root); root != nil {
+			pos = t.PosOf(root)
+		}
+		r.report("AL013", Warning, pos,
+			"the rewritten root is poison on every input where the source is poison-free; the transformation is unsound as written",
+			"target %s always produces poison when the source does not", t.Root)
+	}
+	for i, hits := range implied {
+		if hits == n {
+			r.report("AL014", Warning, t.PrePos,
+				"the conjunct follows from the remaining conjuncts at every feasible width; drop it",
+				"precondition conjunct %s is implied by the other conjuncts", conj[i].String())
+		}
+	}
+	for _, in := range instrs {
+		switch in := in.(type) {
+		case *ir.Select:
+			if condTrue[in] == n {
+				r.report("AL015", Warning, t.PosOf(in),
+					"the condition is provably true at every feasible width; replace the select with its true arm",
+					"select %s always takes its true arm; the false arm is dead", in.Name())
+			} else if condFalse[in] == n {
+				r.report("AL015", Warning, t.PosOf(in),
+					"the condition is provably false at every feasible width; replace the select with its false arm",
+					"select %s always takes its false arm; the true arm is dead", in.Name())
+			}
+		case *ir.ICmp:
+			if cmpTrue[in] == n {
+				r.report("AL016", Warning, t.PosOf(in),
+					"the comparison is decided by known bits and intervals alone; replace it with true",
+					"comparison %s is true at every feasible width", in.Name())
+			} else if cmpFalse[in] == n {
+				r.report("AL016", Warning, t.PosOf(in),
+					"the comparison is decided by known bits and intervals alone; replace it with false",
+					"comparison %s is false at every feasible width", in.Name())
+			}
+		case *ir.BinOp:
+			for _, f := range []ir.Flags{ir.NSW, ir.NUW} {
+				if in.Flags&f != 0 && redundant[flagUse{in, f}] == n {
+					r.report("AL017", Warning, t.PosOf(in),
+						"the operands provably never wrap, so the attribute can never produce poison; drop it",
+						"%s on %s is redundant: the operation provably cannot wrap", f, in.Name())
+				}
+			}
+		}
+	}
+}
+
+// noWrapVerdict asks the abstract domain whether op over the given
+// operand abstractions provably cannot wrap in the signed (nsw) or
+// unsigned (nuw) sense.
+func noWrapVerdict(op ir.BinOpKind, x, y absint.Value, signed bool) absint.Bool3 {
+	switch op {
+	case ir.Add:
+		if signed {
+			return absint.AddNoSignedWrap(x, y)
+		}
+		return absint.AddNoUnsignedWrap(x, y)
+	case ir.Sub:
+		if signed {
+			return absint.SubNoSignedWrap(x, y)
+		}
+		return absint.SubNoUnsignedWrap(x, y)
+	case ir.Mul:
+		if signed {
+			return absint.MulNoSignedWrap(x, y)
+		}
+		return absint.MulNoUnsignedWrap(x, y)
+	case ir.Shl:
+		if signed {
+			return absint.ShlNoSignedWrap(x, y)
+		}
+		return absint.ShlNoUnsignedWrap(x, y)
+	}
+	return absint.BTop
+}

@@ -31,6 +31,14 @@ var corpusAllowlist = map[string]bool{
 	"AL012 Select:nested-same-cond-false-arm": true,
 	"AL012 Shifts:shl-mul-combine":            true,
 	"AL012 Shifts:ashr-exact-of-shl-nsw":      true,
+	// Semantic-tier findings (AL013–AL017): real redundancies in the
+	// original patterns, kept as written to stay faithful to the corpus.
+	// sub nsw -1, %x is ~x bitwise and can never leave the signed range;
+	// the fourth shl-shl clause follows from the width bounds; shl nuw
+	// 1, %x never sheds its bit on any defined (amount < width) run.
+	"AL017 AddSub:sub-nsw-allones-not":      true,
+	"AL014 Shifts:shl-shl-overflow-to-zero": true,
+	"AL017 Shifts:shl-nuw-pow2-test":        true,
 }
 
 // TestSuiteCorpus lints the whole bundled corpus: no transformation may

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"alive/internal/absint"
 	"alive/internal/ir"
 	"alive/internal/typing"
 )
@@ -16,9 +17,9 @@ type widthBounds struct {
 	// after contracting bitcast (equal-width) edges.
 	eq map[ir.Value]ir.Value
 
-	// lo and hi bound the feasible width of each supernode (1..64).
-	lo map[ir.Value]int
-	hi map[ir.Value]int
+	// rng bounds the feasible width of each supernode; absent means
+	// the full [1, maxWidth] range.
+	rng map[ir.Value]absint.IntRange
 
 	// conflict holds a human-readable contradiction, "" if consistent.
 	conflict string
@@ -30,7 +31,7 @@ const maxWidth = 64
 // cycles, and propagates lower/upper width bounds along the strict
 // edges. Everything is linear in the number of constraints.
 func buildWidthBounds(cs *typing.ConstraintSet) *widthBounds {
-	wb := &widthBounds{cs: cs, eq: map[ir.Value]ir.Value{}, lo: map[ir.Value]int{}, hi: map[ir.Value]int{}}
+	wb := &widthBounds{cs: cs, eq: map[ir.Value]ir.Value{}, rng: map[ir.Value]absint.IntRange{}}
 
 	find := func(v ir.Value) ir.Value {
 		root := v
@@ -91,11 +92,12 @@ func buildWidthBounds(cs *typing.ConstraintSet) *widthBounds {
 		r := find(v)
 		nodes[r] = true
 		if w, ok := cs.FixedWidth(v); ok {
-			if lo, have := wb.lo[r]; have && wb.hi[r] == lo && lo != w {
+			if nr := wb.rangeOf(r).Intersect(absint.NewIntRange(w, w)); nr.Empty() {
 				wb.conflict = "a bitcast forces two differently-annotated widths to be equal"
 				return false
+			} else {
+				wb.rng[r] = nr
 			}
-			wb.lo[r], wb.hi[r] = w, w
 		}
 		return true
 	}
@@ -142,44 +144,38 @@ func buildWidthBounds(cs *typing.ConstraintSet) *widthBounds {
 
 	// Propagate: forward pass raises lower bounds (lo(b) > lo(a)),
 	// backward pass lowers upper bounds (hi(a) < hi(b)).
-	loOf := func(v ir.Value) int {
-		if w, ok := wb.lo[v]; ok {
-			return w
-		}
-		return 1
-	}
-	hiOf := func(v ir.Value) int {
-		if w, ok := wb.hi[v]; ok {
-			return w
-		}
-		return maxWidth
-	}
 	for _, n := range order {
 		for _, m := range succ[n] {
-			if l := loOf(n) + 1; l > loOf(m) {
-				wb.lo[m] = l
-			}
+			wb.rng[m] = wb.rangeOf(m).RaiseLo(wb.rangeOf(n).Lo + 1)
 		}
 	}
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		for _, m := range succ[n] {
-			if h := hiOf(m) - 1; h < hiOf(n) {
-				wb.hi[n] = h
-			}
+			wb.rng[n] = wb.rangeOf(n).LowerHi(wb.rangeOf(m).Hi - 1)
 		}
 	}
 	for n := range nodes {
-		if loOf(n) > hiOf(n) {
+		r := wb.rangeOf(n)
+		if r.Empty() {
 			wb.conflict = "the width annotations violate a zext/sext/trunc strict ordering (no feasible width remains)"
 			return wb
 		}
-		if loOf(n) > maxWidth {
+		if r.Lo > maxWidth {
 			wb.conflict = "a chain of widenings requires an integer wider than 64 bits"
 			return wb
 		}
 	}
 	return wb
+}
+
+// rangeOf returns the feasible-width interval of a supernode,
+// defaulting to the full [1, maxWidth] range.
+func (wb *widthBounds) rangeOf(v ir.Value) absint.IntRange {
+	if r, ok := wb.rng[v]; ok {
+		return r
+	}
+	return absint.NewIntRange(1, maxWidth)
 }
 
 // maxFeasibleWidth returns the largest width v's class can take given
@@ -193,8 +189,8 @@ func (wb *widthBounds) maxFeasibleWidth(v ir.Value) int {
 		}
 		r = p
 	}
-	if w, ok := wb.hi[r]; ok {
-		return w
+	if rr, ok := wb.rng[r]; ok {
+		return rr.Hi
 	}
 	if w, ok := wb.cs.FixedWidth(v); ok {
 		return w

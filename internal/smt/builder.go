@@ -603,26 +603,50 @@ func (b *Builder) Srem(x, y *Term) *Term {
 	return b.binBV(KBVSrem, x, y, bv.Vec.Srem)
 }
 
-// Shl returns x << y.
+// overShift reports whether y is a constant shift amount >= the operand
+// width, where bv semantics (matching bit-blasting and Eval) fill with
+// zero or the sign bit.
+func overShift(y *Term) bool {
+	return y.Kind == KBVConst && !y.Val.Ult(bv.New(y.Width, uint64(y.Width)))
+}
+
+// Shl returns x << y. A constant amount >= width folds to zero, the
+// fill semantics used by Eval and the bit-blaster.
 func (b *Builder) Shl(x, y *Term) *Term {
-	if b.Simplify && y.Kind == KBVConst && y.Val.IsZero() {
-		return x
+	if b.Simplify && y.Kind == KBVConst {
+		if y.Val.IsZero() {
+			return x
+		}
+		if overShift(y) {
+			return b.ConstUint(x.Width, 0)
+		}
 	}
 	return b.binBV(KBVShl, x, y, bv.Vec.Shl)
 }
 
-// Lshr returns x >>u y.
+// Lshr returns x >>u y. A constant amount >= width folds to zero.
 func (b *Builder) Lshr(x, y *Term) *Term {
-	if b.Simplify && y.Kind == KBVConst && y.Val.IsZero() {
-		return x
+	if b.Simplify && y.Kind == KBVConst {
+		if y.Val.IsZero() {
+			return x
+		}
+		if overShift(y) {
+			return b.ConstUint(x.Width, 0)
+		}
 	}
 	return b.binBV(KBVLshr, x, y, bv.Vec.Lshr)
 }
 
-// Ashr returns x >>s y.
+// Ashr returns x >>s y. A constant amount >= width fills every bit with
+// the sign, i.e. the same result as shifting by width-1.
 func (b *Builder) Ashr(x, y *Term) *Term {
-	if b.Simplify && y.Kind == KBVConst && y.Val.IsZero() {
-		return x
+	if b.Simplify && y.Kind == KBVConst {
+		if y.Val.IsZero() {
+			return x
+		}
+		if overShift(y) {
+			return b.Ashr(x, b.ConstUint(x.Width, uint64(x.Width-1)))
+		}
 	}
 	return b.binBV(KBVAshr, x, y, bv.Vec.Ashr)
 }
@@ -769,6 +793,13 @@ func (b *Builder) Substitute(t *Term, sub map[string]*Term) *Term {
 	}
 	return walk(t)
 }
+
+// Rebuild reconstructs u with new arguments through the simplifying
+// constructors. args must match u.Args in arity and sorts. Passing
+// u.Args verbatim re-canonicalizes u itself, which picks up any
+// constructor simplifications that became applicable after its
+// arguments were rewritten.
+func (b *Builder) Rebuild(u *Term, args []*Term) *Term { return b.rebuild(u, args) }
 
 // rebuild reconstructs a node with new arguments, going through the
 // simplifying constructors.

@@ -425,3 +425,52 @@ func TestACNormalizationSemantics(t *testing.T) {
 		t.Fatalf("normalization changed semantics: %s vs %s", pv, nv)
 	}
 }
+
+// TestOverWidthShiftFolds checks the constant folds for shift amounts
+// >= the operand width: shl and lshr produce zero, ashr replicates the
+// sign bit (the same fill semantics bv.Vec and the bit-blaster use).
+func TestOverWidthShiftFolds(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 8)
+	for _, amt := range []uint64{8, 9, 200} {
+		y := b.ConstUint(8, amt)
+		if got := b.Shl(x, y); !got.IsConst() || !got.Val.IsZero() {
+			t.Errorf("shl x, %d = %s, want 0", amt, got)
+		}
+		if got := b.Lshr(x, y); !got.IsConst() || !got.Val.IsZero() {
+			t.Errorf("lshr x, %d = %s, want 0", amt, got)
+		}
+		want := b.Ashr(x, b.ConstUint(8, 7))
+		if got := b.Ashr(x, y); got != want {
+			t.Errorf("ashr x, %d = %s, want %s", amt, got, want)
+		}
+	}
+	// Width 1: ashr by >= 1 degenerates to a shift by 0, i.e. x itself.
+	x1 := b.Var("x1", 1)
+	if got := b.Ashr(x1, b.ConstUint(1, 1)); got != x1 {
+		t.Errorf("ashr i1 x, 1 = %s, want x", got)
+	}
+	// Folding must agree with evaluation of the unsimplified graph.
+	plain := NewBuilder()
+	plain.Simplify = false
+	for _, v := range []uint64{0, 1, 0x80, 0xFF} {
+		m := NewModel()
+		m.BVs["x"] = bv.New(8, v)
+		px := plain.Var("x", 8)
+		pa := plain.ConstUint(8, 12)
+		for _, op := range []struct {
+			name          string
+			plainT, foldT *Term
+		}{
+			{"shl", plain.Shl(px, pa), b.Shl(x, b.ConstUint(8, 12))},
+			{"lshr", plain.Lshr(px, pa), b.Lshr(x, b.ConstUint(8, 12))},
+			{"ashr", plain.Ashr(px, pa), b.Ashr(x, b.ConstUint(8, 12))},
+		} {
+			want := Eval(op.plainT, m).V
+			got := Eval(op.foldT, m).V
+			if !want.Eq(got) {
+				t.Errorf("%s x=%#x: fold %s, eval %s", op.name, v, got, want)
+			}
+		}
+	}
+}

@@ -68,6 +68,15 @@ const (
 	KConcat
 )
 
+// NumKinds is the number of distinct term kinds; Kind values are dense
+// in [0, NumKinds). Clients enumerating kinds (e.g. the abstract
+// interpreter's transfer registry) range over this so a new kind added
+// here fails their completeness checks loudly.
+const NumKinds = int(KConcat) + 1
+
+// String renders the kind as its SMT-LIB operator name.
+func (k Kind) String() string { return kindNames[k] }
+
 var kindNames = map[Kind]string{
 	KBoolConst: "bool", KBVConst: "bv", KVar: "var",
 	KNot: "not", KAnd: "and", KOr: "or", KXor: "xor", KImplies: "=>",

@@ -6,6 +6,7 @@
 package solver
 
 import (
+	"alive/internal/absint"
 	"alive/internal/bitblast"
 	"alive/internal/bv"
 	"alive/internal/sat"
@@ -68,6 +69,59 @@ type Result struct {
 	Rounds    int // CEGIS refinement rounds (1 for plain Check)
 }
 
+// PresolveStats counts what the abstract-interpretation presolver did
+// across the satisfiability queries of one Solver. "Query" means one
+// Check call, including the synthesis and verification rounds CEGIS
+// issues internally — those are exactly the CDCL runs the presolver can
+// save.
+type PresolveStats struct {
+	// Checks is the number of satisfiability queries seen.
+	Checks int64
+	// Folded queries were decided by constructor-level constant folding
+	// before any abstract analysis ran (e.g. a CEGIS instantiation
+	// collapsed the formula).
+	Folded int64
+	// Decided queries were decided by the abstract interpreter alone —
+	// a definitely-true/false simplification or a refinement
+	// contradiction — with no CDCL run.
+	Decided int64
+	// Simplified queries still reached CDCL but on an abstractly
+	// shrunk formula.
+	Simplified int64
+	// CDCLRuns is the number of queries that reached the SAT core.
+	CDCLRuns int64
+	// HintLits is the number of unit-clause literals seeded into the
+	// SAT core from refinement facts.
+	HintLits int64
+	// TermNodesBefore/After total the formula DAG sizes around
+	// abstract simplification, for queries that reached it.
+	TermNodesBefore int64
+	TermNodesAfter  int64
+	// CNFVars and CNFClauses total the SAT core sizes of the CDCL runs.
+	CNFVars    int64
+	CNFClauses int64
+}
+
+// Add accumulates o into p.
+func (p *PresolveStats) Add(o PresolveStats) {
+	p.Checks += o.Checks
+	p.Folded += o.Folded
+	p.Decided += o.Decided
+	p.Simplified += o.Simplified
+	p.CDCLRuns += o.CDCLRuns
+	p.HintLits += o.HintLits
+	p.TermNodesBefore += o.TermNodesBefore
+	p.TermNodesAfter += o.TermNodesAfter
+	p.CNFVars += o.CNFVars
+	p.CNFClauses += o.CNFClauses
+}
+
+// DischargedOrSimplified is the number of queries the presolver either
+// fully discharged (no CDCL run) or shrank before CDCL.
+func (p PresolveStats) DischargedOrSimplified() int64 {
+	return p.Folded + p.Decided + p.Simplified
+}
+
 // Solver holds per-query configuration. The zero value is usable.
 type Solver struct {
 	// MaxConflicts bounds each SAT call; <= 0 means unbounded.
@@ -78,6 +132,13 @@ type Solver struct {
 	// tripping it makes every in-flight query return Unknown with
 	// CauseStopped promptly.
 	Stop *sat.StopFlag
+	// DisablePresolve turns the abstract-interpretation presolver off:
+	// every query goes straight to bit-blasting (the -presolve=off
+	// escape hatch and the baseline leg of the bench experiment).
+	DisablePresolve bool
+	// Presolve accumulates presolver statistics across every query
+	// this Solver answers.
+	Presolve PresolveStats
 }
 
 // collectVars gathers variable terms of a formula keyed by name.
@@ -91,40 +152,104 @@ func collectVars(ts ...*smt.Term) map[string]*smt.Term {
 	return vars
 }
 
+// defaultModel assigns zero/false to every variable of the assertions,
+// a valid completion for a formula that holds under all assignments.
+func defaultModel(assertions []*smt.Term) *smt.Model {
+	m := smt.NewModel()
+	for name, v := range collectVars(assertions...) {
+		if v.IsBool() {
+			m.Bools[name] = false
+		} else {
+			m.BVs[name] = bv.Zero(v.Width)
+		}
+	}
+	return m
+}
+
+// conjuncts returns the top-level conjuncts of a formula.
+func conjuncts(t *smt.Term) []*smt.Term {
+	if t.Kind == smt.KAnd {
+		return t.Args
+	}
+	return []*smt.Term{t}
+}
+
 // Check determines satisfiability of the conjunction of the assertions.
+//
+// Unless DisablePresolve is set, an abstract-interpretation presolve
+// runs first: the formula is rewritten through pointwise-equivalent
+// singleton substitutions (absint.Simplify) — if it collapses to a
+// constant, no CDCL run happens — and the surviving formula's top-level
+// conjuncts are fed to a refinement analysis whose contradiction check
+// can still discharge the query. Refinement facts that reach the CNF
+// are seeded as unit-clause hints; being consequences of the formula
+// they never change its model set.
 func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 	formula := b.And(assertions...)
+	s.Presolve.Checks++
 	if formula.IsTrue() {
 		// The conjunction simplified to a tautology, so any assignment
 		// satisfies it; honor the Model contract by assigning defaults to
 		// every variable of the original assertions.
-		m := smt.NewModel()
-		for name, v := range collectVars(assertions...) {
-			if v.IsBool() {
-				m.Bools[name] = false
-			} else {
-				m.BVs[name] = bv.Zero(v.Width)
-			}
-		}
-		return Result{Status: Sat, Model: m, Rounds: 1}
+		s.Presolve.Folded++
+		return Result{Status: Sat, Model: defaultModel(assertions), Rounds: 1}
 	}
 	if formula.IsFalse() {
+		s.Presolve.Folded++
 		return Result{Status: Unsat, Rounds: 1}
 	}
 	if s.Stop.Stopped() {
 		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
 	}
+
+	blastTerm := formula
+	var refined *absint.Analysis
+	if !s.DisablePresolve {
+		s.Presolve.TermNodesBefore += int64(formula.Size())
+		simplified := absint.Simplify(b, formula)
+		s.Presolve.TermNodesAfter += int64(simplified.Size())
+		if simplified.IsTrue() {
+			// Pointwise equivalence: the original formula holds under
+			// every assignment, so the default model satisfies it.
+			s.Presolve.Decided++
+			return Result{Status: Sat, Model: defaultModel(assertions), Rounds: 1}
+		}
+		if simplified.IsFalse() {
+			s.Presolve.Decided++
+			return Result{Status: Unsat, Rounds: 1}
+		}
+		if simplified != formula {
+			s.Presolve.Simplified++
+			blastTerm = simplified
+		}
+		refined = absint.Refined(conjuncts(blastTerm)...)
+		if refined.Contradiction() {
+			// The conjuncts are mutually inconsistent in the abstract
+			// domain, which over-approximates the models: Unsat.
+			s.Presolve.Decided++
+			return Result{Status: Unsat, Rounds: 1}
+		}
+	}
+
+	s.Presolve.CDCLRuns++
 	core := sat.New()
 	core.MaxConflicts = s.MaxConflicts
 	core.Stop = s.Stop
 	bl := bitblast.New(core)
 	bl.Stop = s.Stop
-	if stopped := assertStopped(bl, formula); stopped {
+	if stopped := assertStopped(bl, blastTerm); stopped {
 		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
 	}
+	if refined != nil {
+		s.seedHints(core, bl, refined)
+	}
 	st := core.Solve()
+	s.Presolve.CNFVars += int64(core.NumVars())
+	s.Presolve.CNFClauses += int64(core.NumClauses())
 	res := Result{Status: st, Conflicts: core.Conflicts(), Clauses: core.NumClauses(), Rounds: 1}
 	if st == Sat {
+		// Extract over the ORIGINAL formula's variables: anything the
+		// simplifier erased is unconstrained and reads as the default.
 		res.Model = s.extractModel(bl, collectVars(formula))
 	} else if st == Unknown {
 		if core.Interrupted() {
@@ -134,6 +259,47 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 		}
 	}
 	return res
+}
+
+// seedHints adds unit clauses for refinement facts about subterms that
+// were actually lowered to CNF: decided Bool subterms and individual
+// known bits of BitVec subterms. Every fact is a consequence of the
+// asserted formula, so the added clauses preserve its model set while
+// pruning the CDCL search space.
+func (s *Solver) seedHints(core *sat.Solver, bl *bitblast.Blaster, an *absint.Analysis) {
+	an.Facts(func(t *smt.Term, v absint.Value) {
+		if v.IsBot() {
+			return
+		}
+		if t.IsBool() {
+			l, ok := bl.CachedLit(t)
+			if !ok {
+				return
+			}
+			switch v.B {
+			case absint.BTrue:
+				core.AddClause(l)
+				s.Presolve.HintLits++
+			case absint.BFalse:
+				core.AddClause(l.Not())
+				s.Presolve.HintLits++
+			}
+			return
+		}
+		bits, ok := bl.CachedBits(t)
+		if !ok {
+			return
+		}
+		for i, l := range bits {
+			if v.KO.Bit(i) == 1 {
+				core.AddClause(l)
+				s.Presolve.HintLits++
+			} else if v.KZ.Bit(i) == 1 {
+				core.AddClause(l.Not())
+				s.Presolve.HintLits++
+			}
+		}
+	})
 }
 
 // assertStopped lowers formula into bl, converting the bit-blaster's

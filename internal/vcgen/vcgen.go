@@ -35,6 +35,20 @@ type Encoding struct {
 	// analyses (must: p ⇒ s).
 	Pre *smt.Term
 
+	// PreParts holds each top-level conjunct of the written
+	// precondition φ encoded separately, in source order (nested
+	// conjunctions flattened) — the granularity the semantic linter
+	// reasons about implied/contradictory clauses at. Conjoining
+	// PreParts with SideCons yields a formula equivalent to Pre.
+	PreParts []*smt.Term
+	// SideCons are the approximated-analysis side constraints folded
+	// into Pre.
+	SideCons []*smt.Term
+
+	// Values exposes the per-ir.Value encodings (both sides' caches):
+	// semantic lint checks read operand terms through it.
+	Values map[ir.Value]InstrEnc
+
 	// Src and Tgt map instruction names to their encodings.
 	Src map[string]InstrEnc
 	Tgt map[string]InstrEnc
@@ -75,6 +89,19 @@ type context struct {
 
 	mem *memState
 	err error
+}
+
+// flattenPred splits nested conjunctions into a flat conjunct list,
+// mirroring the linter's clause granularity.
+func flattenPred(p ir.Pred) []ir.Pred {
+	if and, ok := p.(*ir.AndPred); ok {
+		var out []ir.Pred
+		for _, q := range and.Ps {
+			out = append(out, flattenPred(q)...)
+		}
+		return out
+	}
+	return []ir.Pred{p}
 }
 
 // Encode builds the verification-condition encoding of t under the type
@@ -120,12 +147,18 @@ func Encode(b *smt.Builder, t *ir.Transform, asg *typing.Assignment) (*Encoding,
 	}
 
 	// Precondition (encoded with the source-side cache; predicates refer
-	// only to inputs, constants, and source temporaries).
-	pre := c.encodePred(t.Pre)
+	// only to inputs, constants, and source temporaries). Each written
+	// conjunct is encoded separately for the semantic linter before the
+	// builder conjoins (and possibly folds) them.
+	for _, q := range flattenPred(t.Pre) {
+		enc.PreParts = append(enc.PreParts, c.encodePred(q))
+	}
 	if c.err != nil {
 		return nil, c.err
 	}
-	enc.Pre = b.And(append([]*smt.Term{pre}, c.sideCons...)...)
+	enc.SideCons = c.sideCons
+	enc.Pre = b.And(append(append([]*smt.Term{}, enc.PreParts...), c.sideCons...)...)
+	enc.Values = c.cache
 
 	for _, in := range t.Source {
 		n := in.Name()

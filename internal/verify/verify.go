@@ -143,6 +143,10 @@ type Options struct {
 	// transformation without attempting a proof when it reports
 	// error-severity findings; all findings land in Result.Lint.
 	Lint bool
+	// DisablePresolve turns off the abstract-interpretation presolver
+	// in the solver layer (the -presolve=off escape hatch): every
+	// query bit-blasts directly, as before the presolver existed.
+	DisablePresolve bool
 }
 
 // Result is the outcome of Verify.
@@ -176,6 +180,16 @@ type Result struct {
 	// Escalations counts conflict-budget ladder retries across all type
 	// assignments.
 	Escalations int
+
+	// Presolve aggregates abstract-interpretation presolver statistics
+	// across every solver query of this verification.
+	Presolve solver.PresolveStats
+	// QueriesDischarged counts correctness conditions (the Queries
+	// counter) decided without a single CDCL run.
+	QueriesDischarged int
+	// QueriesSimplified counts conditions where the presolver shrank
+	// at least one formula before bit-blasting.
+	QueriesSimplified int
 }
 
 const defaultDivMulMaxWidth = 8
@@ -314,7 +328,7 @@ func VerifyContext(ctx context.Context, t *ir.Transform, opts Options) (res Resu
 			res.GaveUpAssignment = i
 			return res
 		}
-		v, cex, queries, escalations, detail := verifyAssignment(t, asg, opts, g)
+		v, cex, queries, escalations, detail := verifyAssignment(t, asg, opts, g, &res)
 		res.Queries += queries
 		res.Escalations += escalations
 		switch v {
@@ -345,14 +359,14 @@ type unknownDetail struct {
 // conflict-budget escalation ladder on budget-bound Unknowns while the
 // deadline leaves time: each retry multiplies the budget by 4, so the
 // total work stays within ~4/3 of the final (successful) rung.
-func verifyAssignment(t *ir.Transform, asg *typing.Assignment, opts Options, g *governor) (Verdict, *Counterexample, int, int, unknownDetail) {
+func verifyAssignment(t *ir.Transform, asg *typing.Assignment, opts Options, g *governor, res *Result) (Verdict, *Counterexample, int, int, unknownDetail) {
 	budget := opts.MaxConflicts
 	if g.hasDeadline() && budget <= 0 {
 		budget = escalationStart
 	}
 	queries, escalations := 0, 0
 	for {
-		v, cex, q, detail := verifyOne(t, asg, opts, budget, g)
+		v, cex, q, detail := verifyOne(t, asg, opts, budget, g, res)
 		queries += q
 		if v != Unknown {
 			return v, cex, queries, escalations, unknownDetail{}
@@ -440,16 +454,29 @@ func condName(k CexKind) string {
 // verifyOne checks conditions 1-4 under a single type assignment with
 // the given conflict budget, reporting which condition and why on an
 // Unknown outcome.
-func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflicts int64, g *governor) (Verdict, *Counterexample, int, unknownDetail) {
+func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflicts int64, g *governor, res *Result) (Verdict, *Counterexample, int, unknownDetail) {
 	b, enc, conds, err := buildConditions(t, asg, opts)
 	if err != nil {
 		return Unknown, nil, 0, unknownDetail{reason: ReasonEncoding, err: err}
 	}
-	sol := solver.Solver{MaxConflicts: maxConflicts, Stop: &g.flag}
+	sol := solver.Solver{MaxConflicts: maxConflicts, Stop: &g.flag, DisablePresolve: opts.DisablePresolve}
+	if res != nil {
+		// Aggregate however the loop exits (valid, invalid, or unknown).
+		defer func() { res.Presolve.Add(sol.Presolve) }()
+	}
 	queries := 0
 	for _, cond := range conds {
 		queries++
+		before := sol.Presolve
 		r := sol.CheckExistsForall(b, cond.body, enc.SrcUndefs)
+		if res != nil {
+			if sol.Presolve.CDCLRuns == before.CDCLRuns {
+				res.QueriesDischarged++
+			}
+			if sol.Presolve.Simplified > before.Simplified {
+				res.QueriesSimplified++
+			}
+		}
 		switch r.Status {
 		case solver.Unsat:
 			continue
