@@ -42,6 +42,7 @@ import (
 	"alive/internal/ir"
 	"alive/internal/lint"
 	"alive/internal/parser"
+	"alive/internal/telemetry"
 	"alive/internal/verify"
 )
 
@@ -97,6 +98,24 @@ type CorpusOptions = verify.CorpusOptions
 // CorpusStats aggregates a RunCorpus run.
 type CorpusStats = verify.CorpusStats
 
+// Tracer collects hierarchical telemetry spans; attach one via
+// Options.Trace and export it with WriteChromeTrace for Perfetto /
+// chrome://tracing. A nil Tracer disables telemetry at negligible cost.
+type Tracer = telemetry.Tracer
+
+// Counters is the coherent set of verification work counters — SAT-core
+// work, presolver outcomes, CNF sizes, CEGIS rounds — populated on
+// every Result whether or not a tracer is attached.
+type Counters = telemetry.Counters
+
+// Summary digests a corpus run: per-transform telemetry records plus
+// histograms of wall time and CNF volume. Render writes the human
+// digest; WriteNDJSON streams machine-readable per-transform records.
+type Summary = verify.Summary
+
+// TransformStat is one per-transformation telemetry record of a Summary.
+type TransformStat = verify.TransformStat
+
 // Diagnostic is one finding of the static analyzer: a stable AL*** code,
 // a severity, a source position, and a message with an optional hint.
 type Diagnostic = lint.Diagnostic
@@ -144,6 +163,18 @@ func VerifyContext(ctx context.Context, t *Transform, opts Options) Result {
 // results.
 func RunCorpus(ctx context.Context, ts []*Transform, opts CorpusOptions) ([]Result, CorpusStats) {
 	return verify.RunCorpus(ctx, ts, opts)
+}
+
+// NewTracer creates a telemetry collector. Pass it as Options.Trace to
+// record the full verification pipeline — per transform, per type
+// assignment, per correctness condition, per SMT check — then export
+// with its WriteChromeTraceFile method.
+func NewTracer() *Tracer { return telemetry.New() }
+
+// Summarize digests a corpus run into per-transform records and
+// histograms for reporting.
+func Summarize(results []Result, stats CorpusStats) *Summary {
+	return verify.Summarize(results, stats)
 }
 
 // Lint runs the per-transform checks and, across the whole slice, the

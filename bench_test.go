@@ -10,6 +10,7 @@ package alive_test
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"alive"
@@ -270,6 +271,37 @@ Pre: C1 u>= C2
 
 func benchName(w int) string {
 	return "i" + string(rune('0'+w/10)) + string(rune('0'+w%10))
+}
+
+// BenchmarkCorpusDriverTelemetryOff/On bound the telemetry overhead
+// contract: the same corpus slice through the parallel driver with no
+// tracer versus a full tracer attached. The DESIGN.md contract is that
+// the On/Off delta stays within 2%; the counters themselves are always
+// on in both legs.
+func BenchmarkCorpusDriverTelemetryOff(b *testing.B) {
+	benchCorpusDriver(b, false)
+}
+
+func BenchmarkCorpusDriverTelemetryOn(b *testing.B) {
+	benchCorpusDriver(b, true)
+}
+
+func benchCorpusDriver(b *testing.B, trace bool) {
+	ts := suite.ParseAll()[:48]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := alive.Options{Widths: []int{4, 8}, MaxAssignments: 2}
+		if trace {
+			opts.Trace = alive.NewTracer()
+		}
+		_, stats := alive.RunCorpus(context.Background(), ts, alive.CorpusOptions{
+			Verify:  opts,
+			Workers: 4,
+		})
+		if stats.Completed != len(ts) {
+			b.Fatalf("completed %d/%d", stats.Completed, len(ts))
+		}
+	}
 }
 
 // BenchmarkFullCorpusVerdict verifies one representative entry per file.

@@ -4,22 +4,39 @@
 //
 // Usage:
 //
-//	alive-bench [-j N] [-artifacts DIR] -experiment table3|fig5|fig8|fig9|patches|attrs|lint|presolve|compiletime|runtime|driver|all
+//	alive-bench [-j N] [-artifacts DIR] -experiment table3|fig5|fig8|fig9|patches|attrs|lint|presolve|verify|compiletime|runtime|driver|all
+//
+// The "verify" experiment is the perf baseline: it verifies the whole
+// corpus, prints the telemetry digest, and with -artifacts writes the
+// schema-versioned BENCH_verify.json. With -baseline it diffs the run
+// against a checked-in report (exact verdict counts, work counters
+// within -tolerance) and exits 1 on regression — the CI benchmark-smoke
+// job. -cpuprofile/-memprofile capture pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"alive/internal/bench"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, lint, presolve, compiletime, runtime, driver, all)")
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, lint, presolve, verify, compiletime, runtime, driver, all)")
 	widths := flag.String("widths", "4,8", "verification widths for corpus experiments")
 	jobs := flag.Int("j", 0, "corpus-driver workers (0 = GOMAXPROCS)")
 	artifacts := flag.String("artifacts", "", "directory for machine-readable JSON reports (empty = none)")
+	baseline := flag.String("baseline", "", "checked-in BENCH_verify.json to compare the verify experiment against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative growth of work counters vs the baseline")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	runners := map[string]func(*bench.Config) string{
@@ -31,30 +48,72 @@ func main() {
 		"attrs":       bench.AttrInference,
 		"lint":        bench.Lint,
 		"presolve":    bench.Presolve,
+		"verify":      bench.VerifyBench,
 		"compiletime": bench.CompileTime,
 		"runtime":     bench.RunTime,
 		"driver":      bench.Driver,
 	}
-	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "lint", "presolve", "fig9", "compiletime", "runtime", "driver"}
+	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "lint", "presolve", "verify", "fig9", "compiletime", "runtime", "driver"}
 
 	cfg, err := bench.NewConfig(*widths)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alive-bench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	cfg.Jobs = *jobs
 	cfg.ArtifactDir = *artifacts
+	cfg.Baseline = *baseline
+	cfg.Tolerance = *tolerance
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alive-bench: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "alive-bench: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "alive-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "alive-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Println(runners[name](cfg))
 		}
-		return
+	} else {
+		runner, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "alive-bench: unknown experiment %q\n", *exp)
+			return 2
+		}
+		fmt.Println(runner(cfg))
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "alive-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+
+	if len(cfg.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "alive-bench: %d regression(s):\n", len(cfg.Failures))
+		for _, f := range cfg.Failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		return 1
 	}
-	fmt.Println(run(cfg))
+	return 0
 }

@@ -22,12 +22,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "alive-export: %v\n", err)
 		os.Exit(1)
 	}
+	transforms := 0
+	byFile := suite.ByFile()
 	for _, f := range suite.Files {
 		path := filepath.Join(*dir, f+".opt")
 		if err := os.WriteFile(path, []byte(suite.OptFile(f)), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "alive-export: %v\n", err)
 			os.Exit(1)
 		}
+		transforms += len(byFile[f])
 		fmt.Println("wrote", path)
 	}
+	fmt.Printf("%d files, %d transformations\n", len(suite.Files), transforms)
 }

@@ -16,6 +16,8 @@
 //	-json        emit newline-delimited JSON records instead of text
 //	-no-corpus   skip the cross-transformation analyses
 //	-q           suppress fix hints
+//	-trace f     write a Chrome trace_event JSON file with per-file
+//	             parse and lint spans (loadable in Perfetto)
 //
 // In -json mode every diagnostic is one JSON object per line; files
 // that fail to parse produce a record with code "PARSE" and severity
@@ -33,6 +35,7 @@ import (
 
 	"alive"
 	"alive/internal/lint"
+	"alive/internal/telemetry"
 )
 
 // record is the NDJSON shape of one diagnostic (or parse failure).
@@ -58,8 +61,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit newline-delimited JSON diagnostic records")
 	noCorpus := fs.Bool("no-corpus", false, "skip duplicate/shadowing analyses across transformations")
 	quiet := fs.Bool("q", false, "suppress fix hints")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file of the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var tracer *telemetry.Tracer
+	var track *telemetry.Track
+	if *traceOut != "" {
+		tracer = telemetry.New()
+		track = tracer.NewTrack("lint")
 	}
 
 	if *codes {
@@ -83,6 +94,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			err error
 		)
 		label := path
+		fspan := track.Start(label, "file")
+		pspan := fspan.Child("parse", "parse")
 		if path == "-" {
 			label = "<stdin>"
 			data, rerr := io.ReadAll(stdin)
@@ -95,6 +108,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			ts, err = alive.ParseFile(path)
 		}
 		if err != nil {
+			pspan.SetAttr("error", err.Error())
+			pspan.End()
+			fspan.End()
 			if *jsonOut {
 				enc.Encode(record{File: label, Code: "PARSE", Severity: "error", Message: err.Error()})
 			} else {
@@ -103,8 +119,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			exit = 1
 			continue
 		}
+		pspan.SetInt("transforms", int64(len(ts)))
+		pspan.End()
 		files++
 		var ds []alive.Diagnostic
+		lspan := fspan.Child("lint", "lint")
 		if *noCorpus {
 			for _, t := range ts {
 				ds = append(ds, lint.Transform(t)...)
@@ -112,6 +131,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		} else {
 			ds = alive.Lint(ts)
 		}
+		lspan.SetInt("diagnostics", int64(len(ds)))
+		lspan.End()
+		fspan.End()
 		if *quiet {
 			for i := range ds {
 				ds[i].Hint = ""
@@ -142,6 +164,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if !*jsonOut && (files > 1 || errors+warnings > 0) {
 		fmt.Fprintf(stdout, "%d errors, %d warnings\n", errors, warnings)
+	}
+	if *traceOut != "" {
+		if terr := tracer.WriteChromeTraceFile(*traceOut); terr != nil {
+			fmt.Fprintf(stderr, "alive-lint: %v\n", terr)
+			return 2
+		}
 	}
 	return exit
 }

@@ -21,6 +21,16 @@
 //	-lint              run the static analyzer first; lint errors reject a
 //	                   transformation without attempting a proof
 //	-quiet             print only the per-transformation verdict lines
+//	-v                 print per-transformation solver counters
+//	-trace out.json    write a Chrome trace_event file of the run, loadable
+//	                   in Perfetto or chrome://tracing
+//	-stats out.ndjson  write per-transformation telemetry records, one JSON
+//	                   object per line ("-" for stdout)
+//	-summary           print the run digest: aggregate solver work, slowest
+//	                   transformations, and time/clause histograms
+//	-cpuprofile f      write a CPU profile; samples carry a "transform"
+//	                   pprof label naming the transformation being verified
+//	-memprofile f      write an allocation profile at exit
 //
 // A SIGINT or SIGTERM stops the run gracefully: in-flight proofs are
 // cancelled, verdicts already reached are kept, and transformations that
@@ -40,6 +50,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -49,6 +61,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	widthsFlag := flag.String("widths", "", "comma-separated candidate bit widths (default 1,4,8,16,32,64)")
 	divMulMax := flag.Int("divmul-max", 8, "width cap for transformations containing mul/div/rem (0 disables)")
 	jobs := flag.Int("j", 1, "parallel verification workers (0 = GOMAXPROCS)")
@@ -60,6 +76,12 @@ func main() {
 	lintFlag := flag.Bool("lint", false, "reject transformations with lint errors before proving")
 	presolve := flag.String("presolve", "on", "abstract-interpretation presolver before the SAT core (on|off)")
 	quiet := flag.Bool("quiet", false, "suppress counterexample details")
+	verbose := flag.Bool("v", false, "print per-transformation solver counters")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+	statsOut := flag.String("stats", "", "write per-transformation NDJSON telemetry records (- for stdout)")
+	summary := flag.Bool("summary", false, "print the run telemetry digest")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	opts := alive.Options{DivMulMaxWidth: *divMulMax, Lint: *lintFlag}
@@ -72,27 +94,61 @@ func main() {
 		opts.DisablePresolve = true
 	default:
 		fmt.Fprintf(os.Stderr, "alive: -presolve must be on or off, got %q\n", *presolve)
-		os.Exit(2)
+		return 2
 	}
 	if *widthsFlag != "" {
 		for _, s := range strings.Split(*widthsFlag, ",") {
 			w, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || w <= 0 || w > 64 {
 				fmt.Fprintf(os.Stderr, "alive: bad width %q\n", s)
-				os.Exit(2)
+				return 2
 			}
 			opts.Widths = append(opts.Widths, w)
 		}
 	}
 	if *jobs < 0 || *timeout < 0 || *totalTimeout < 0 {
 		fmt.Fprintln(os.Stderr, "alive: -j, -timeout, and -total-timeout must be non-negative")
-		os.Exit(2)
+		return 2
 	}
 
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: alive [flags] file.opt... (or - for stdin)")
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alive: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "alive: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "alive: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "alive: %v\n", err)
+			}
+		}()
+	}
+
+	if *traceOut != "" {
+		opts.Trace = alive.NewTracer()
 	}
 
 	// Parse everything up front so the corpus driver sees one flat list.
@@ -110,7 +166,7 @@ func main() {
 			data, rerr := io.ReadAll(os.Stdin)
 			if rerr != nil {
 				fmt.Fprintf(os.Stderr, "alive: %v\n", rerr)
-				os.Exit(2)
+				return 2
 			}
 			ts, err = alive.Parse(string(data))
 		} else {
@@ -158,7 +214,7 @@ func main() {
 		Workers:          *jobs,
 		TransformTimeout: *timeout,
 		OnResult: func(i int, res alive.Result) {
-			printResult(names[i], files[i], res, *quiet)
+			printResult(names[i], files[i], res, *quiet, *verbose)
 		},
 	})
 
@@ -195,7 +251,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "alive: run interrupted; partial results above")
 	}
 
-	os.Exit(exitCode(parseFailed, stats))
+	if *summary || *statsOut != "" {
+		sum := alive.Summarize(results, stats)
+		for i := range sum.Records {
+			sum.Records[i].Name = names[i]
+			sum.Records[i].File = lintFile(files[i])
+		}
+		if *statsOut != "" {
+			if err := writeStats(*statsOut, sum); err != nil {
+				fmt.Fprintf(os.Stderr, "alive: %v\n", err)
+				return 2
+			}
+		}
+		if *summary {
+			fmt.Println()
+			sum.Render(os.Stdout, 10)
+		}
+	}
+	if *traceOut != "" {
+		if err := opts.Trace.WriteChromeTraceFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "alive: %v\n", err)
+			return 2
+		}
+	}
+
+	return exitCode(parseFailed, stats)
+}
+
+func writeStats(path string, sum *alive.Summary) error {
+	if path == "-" {
+		return sum.WriteNDJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sum.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // exitCode folds the run's outcomes into one status, most severe first:
@@ -215,7 +310,7 @@ func exitCode(parseFailed bool, stats alive.CorpusStats) int {
 	return 0
 }
 
-func printResult(name, file string, res alive.Result, quiet bool) {
+func printResult(name, file string, res alive.Result, quiet, verbose bool) {
 	switch res.Verdict {
 	case alive.Valid:
 		fmt.Printf("%-40s done (%d type assignments, %d queries, %v)\n",
@@ -247,6 +342,12 @@ func printResult(name, file string, res alive.Result, quiet bool) {
 		if !quiet && res.PanicStack != "" {
 			fmt.Fprintf(os.Stderr, "alive: %s: internal panic:\n%s\n", name, res.PanicStack)
 		}
+	}
+	if verbose {
+		c := res.Counters
+		fmt.Printf("    solver: %d CDCL runs, %d propagations, %d conflicts, %d decisions, %d restarts, %d learned; presolve %d/%d decided+simplified; %d CNF vars, %d clauses\n",
+			c.CDCLRuns, c.Propagations, c.Conflicts, c.Decisions, c.Restarts, c.LearnedClauses,
+			c.Decided+c.Simplified, c.Checks, c.CNFVars, c.CNFClauses)
 	}
 }
 

@@ -1,6 +1,8 @@
 package absint
 
 import (
+	"sort"
+
 	"alive/internal/bv"
 	"alive/internal/smt"
 )
@@ -36,13 +38,22 @@ func Refined(asserts ...*smt.Term) *Analysis {
 	return an
 }
 
-// Facts calls f for every term carrying a recorded refinement fact
-// (iteration order is unspecified). The facts are consequences of the
-// assertions passed to Refined; callers may use them to strengthen a
-// CNF encoding of those assertions without changing its model set.
+// Facts calls f for every term carrying a recorded refinement fact, in
+// ascending hash-consing order (term ID). The deterministic order
+// matters: facts seed unit clauses into the CDCL core, and a map-random
+// order would make propagation/conflict counts — and with them the
+// checked-in perf baseline — vary run to run. The facts are
+// consequences of the assertions passed to Refined; callers may use
+// them to strengthen a CNF encoding of those assertions without
+// changing its model set.
 func (an *Analysis) Facts(f func(t *smt.Term, v Value)) {
-	for t, v := range an.assume {
-		f(t, v)
+	terms := make([]*smt.Term, 0, len(an.assume))
+	for t := range an.assume {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].ID() < terms[j].ID() })
+	for _, t := range terms {
+		f(t, an.assume[t])
 	}
 }
 

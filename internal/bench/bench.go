@@ -33,8 +33,16 @@ type Config struct {
 	InstrsPerFunc int
 	Seed          int64
 	// ArtifactDir, when set, receives machine-readable JSON reports from
-	// experiments that produce them (currently presolve).
+	// experiments that produce them (presolve.json, BENCH_verify.json).
 	ArtifactDir string
+	// Baseline, when set, is a checked-in BENCH_verify.json the "verify"
+	// experiment compares against; Tolerance is the allowed relative
+	// growth of each work counter (0 means the default 25%).
+	Baseline  string
+	Tolerance float64
+	// Failures collects hard regressions experiments detected; the CLI
+	// exits nonzero when any are present.
+	Failures []string
 }
 
 // NewConfig parses a comma-separated width list.

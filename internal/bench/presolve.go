@@ -9,8 +9,8 @@ import (
 	"strings"
 	"time"
 
-	"alive/internal/solver"
 	"alive/internal/suite"
+	"alive/internal/telemetry"
 	"alive/internal/verify"
 )
 
@@ -18,18 +18,18 @@ import (
 // Config.ArtifactDir is set; CI uploads it so presolver effectiveness
 // can be tracked across commits.
 type presolveReport struct {
-	Widths     []int                `json:"widths"`
-	Transforms int                  `json:"transforms"`
-	Mismatches []string             `json:"verdict_mismatches"`
-	InvalidOn  int                  `json:"invalid_with_presolve"`
-	InvalidOff int                  `json:"invalid_without_presolve"`
-	On         solver.PresolveStats `json:"with_presolve"`
-	Off        solver.PresolveStats `json:"without_presolve"`
-	Discharged int                  `json:"queries_discharged"`
-	Simplified int                  `json:"queries_simplified"`
-	Rate       float64              `json:"discharge_rate"`
-	OnMillis   int64                `json:"wall_ms_with_presolve"`
-	OffMillis  int64                `json:"wall_ms_without_presolve"`
+	Widths     []int              `json:"widths"`
+	Transforms int                `json:"transforms"`
+	Mismatches []string           `json:"verdict_mismatches"`
+	InvalidOn  int                `json:"invalid_with_presolve"`
+	InvalidOff int                `json:"invalid_without_presolve"`
+	On         telemetry.Counters `json:"with_presolve"`
+	Off        telemetry.Counters `json:"without_presolve"`
+	Discharged int                `json:"queries_discharged"`
+	Simplified int                `json:"queries_simplified"`
+	Rate       float64            `json:"discharge_rate"`
+	OnMillis   int64              `json:"wall_ms_with_presolve"`
+	OffMillis  int64              `json:"wall_ms_without_presolve"`
 }
 
 // Presolve runs the abstract-interpretation presolver A/B experiment:
@@ -68,8 +68,8 @@ func Presolve(cfg *Config) string {
 		if offRes[i].Verdict == verify.Invalid {
 			rep.InvalidOff++
 		}
-		rep.On.Add(onRes[i].Presolve)
-		rep.Off.Add(offRes[i].Presolve)
+		rep.On.Add(onRes[i].Counters)
+		rep.Off.Add(offRes[i].Counters)
 		rep.Discharged += onRes[i].QueriesDischarged
 		rep.Simplified += onRes[i].QueriesSimplified
 	}

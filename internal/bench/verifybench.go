@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"alive/internal/suite"
+	"alive/internal/telemetry"
+	"alive/internal/verify"
+)
+
+// VerifyReportSchema versions BENCH_verify.json; bump it whenever a
+// field changes meaning so the CI comparator can refuse mismatched
+// baselines instead of mis-reading them.
+const VerifyReportSchema = 1
+
+// VerifySlow is one entry of the report's slowest-transforms table.
+// Durations are machine-dependent and informational; the comparator
+// never diffs them.
+type VerifySlow struct {
+	Name       string `json:"name"`
+	Verdict    string `json:"verdict"`
+	DurationUS int64  `json:"duration_us"`
+	Queries    int    `json:"queries"`
+	Conflicts  int64  `json:"conflicts"`
+}
+
+// VerifyReport is the machine-readable perf baseline produced by the
+// "verify" experiment: environment provenance, exact verdict counts,
+// and the deterministic work counters of a full-corpus verification.
+// The counters are reproducible run-to-run (typing enumeration, term
+// construction, and presolve fact order are all deterministic), which
+// is what makes a checked-in baseline meaningful.
+type VerifyReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	Widths        []int  `json:"widths"`
+
+	Transforms int `json:"transforms"`
+	Valid      int `json:"valid"`
+	Invalid    int `json:"invalid"`
+	Rejected   int `json:"rejected"`
+	Unknown    int `json:"unknown"`
+
+	Queries  int                `json:"queries"`
+	Counters telemetry.Counters `json:"counters"`
+
+	// WallMS and PeakHeapBytes depend on the machine and the scheduler;
+	// the comparator reports them but never fails on them.
+	WallMS        int64 `json:"wall_ms"`
+	PeakHeapBytes int64 `json:"peak_heap_bytes"`
+
+	Slowest []VerifySlow `json:"slowest"`
+}
+
+// VerifyBench runs the full corpus through the parallel driver and
+// renders the telemetry digest; with ArtifactDir set it also writes the
+// schema-versioned BENCH_verify.json report, and with Baseline set it
+// diffs the run against a checked-in report, appending regressions to
+// cfg.Failures (the CLI turns those into a nonzero exit).
+func VerifyBench(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("Verify: corpus verification perf baseline (BENCH_verify.json)\n\n")
+
+	ts := suite.ParseAll()
+	results, stats := verify.RunCorpus(context.Background(), ts, verify.CorpusOptions{
+		Verify:  cfg.verifyOpts(),
+		Workers: cfg.Jobs,
+	})
+	sum := verify.Summarize(results, stats)
+
+	rep := &VerifyReport{
+		SchemaVersion: VerifyReportSchema,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Widths:        cfg.Widths,
+		Transforms:    stats.Total,
+		Valid:         stats.Valid,
+		Invalid:       stats.Invalid,
+		Rejected:      stats.Rejected,
+		Unknown:       stats.Unknown,
+		Queries:       stats.Queries,
+		Counters:      stats.Counters,
+		WallMS:        stats.Duration.Milliseconds(),
+		PeakHeapBytes: int64(stats.PeakHeapBytes),
+	}
+	for _, rec := range sum.Slowest(10) {
+		rep.Slowest = append(rep.Slowest, VerifySlow{
+			Name:       rec.Name,
+			Verdict:    rec.Verdict,
+			DurationUS: rec.DurationUS,
+			Queries:    rec.Queries,
+			Conflicts:  rec.Counters.Conflicts,
+		})
+	}
+
+	sum.Render(&sb, 10)
+
+	if cfg.ArtifactDir != "" {
+		path := filepath.Join(cfg.ArtifactDir, "BENCH_verify.json")
+		if err := WriteVerifyReport(path, rep); err != nil {
+			fmt.Fprintf(&sb, "\nartifact: %v\n", err)
+			cfg.Failures = append(cfg.Failures, fmt.Sprintf("verify: %v", err))
+		} else {
+			fmt.Fprintf(&sb, "\nartifact: wrote %s\n", path)
+		}
+	}
+
+	if cfg.Baseline != "" {
+		base, err := LoadVerifyReport(cfg.Baseline)
+		if err != nil {
+			fmt.Fprintf(&sb, "\nbaseline: %v\n", err)
+			cfg.Failures = append(cfg.Failures, fmt.Sprintf("verify: %v", err))
+			return sb.String()
+		}
+		tol := cfg.Tolerance
+		if tol <= 0 {
+			tol = 0.25
+		}
+		fails, notes := CompareVerifyReports(base, rep, tol)
+		fmt.Fprintf(&sb, "\nbaseline compare vs %s (tolerance %.0f%%):\n", cfg.Baseline, 100*tol)
+		for _, n := range notes {
+			fmt.Fprintf(&sb, "  note: %s\n", n)
+		}
+		for _, f := range fails {
+			fmt.Fprintf(&sb, "  FAIL: %s\n", f)
+		}
+		if len(fails) == 0 {
+			sb.WriteString("  within tolerance — PASS\n")
+		} else {
+			cfg.Failures = append(cfg.Failures, fails...)
+		}
+	}
+	return sb.String()
+}
+
+// WriteVerifyReport writes rep as indented JSON, creating the directory
+// if needed.
+func WriteVerifyReport(path string, rep *VerifyReport) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadVerifyReport reads a BENCH_verify.json and rejects schema
+// mismatches.
+func LoadVerifyReport(path string) (*VerifyReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep VerifyReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.SchemaVersion != VerifyReportSchema {
+		return nil, fmt.Errorf("%s: schema version %d, want %d", path, rep.SchemaVersion, VerifyReportSchema)
+	}
+	return &rep, nil
+}
+
+// CompareVerifyReports diffs a run against a baseline. The policy keeps
+// CI meaningful without becoming flaky across runner speeds:
+//
+//   - corpus shape and verdict counts must match exactly — a changed
+//     verdict is never a perf regression, it is a correctness change;
+//   - deterministic work counters (CDCL runs, propagations, conflicts,
+//     CNF sizes, ...) fail when they grow beyond the tolerance (plus a
+//     small absolute slack so near-zero counters don't trip on noise);
+//     shrinking is reported as an improvement note, not a failure;
+//   - wall-clock time and peak heap are machine-dependent and are
+//     reported as notes only.
+func CompareVerifyReports(base, cur *VerifyReport, tol float64) (fails, notes []string) {
+	exact := []struct {
+		name      string
+		old, new_ int
+	}{
+		{"transforms", base.Transforms, cur.Transforms},
+		{"valid", base.Valid, cur.Valid},
+		{"invalid", base.Invalid, cur.Invalid},
+		{"rejected", base.Rejected, cur.Rejected},
+		{"unknown", base.Unknown, cur.Unknown},
+		{"queries", base.Queries, cur.Queries},
+	}
+	for _, e := range exact {
+		if e.old != e.new_ {
+			fails = append(fails, fmt.Sprintf("%s: %d, baseline %d (must match exactly)", e.name, e.new_, e.old))
+		}
+	}
+	if !baselineWidthsEqual(base.Widths, cur.Widths) {
+		fails = append(fails, fmt.Sprintf("widths: %v, baseline %v (not comparable)", cur.Widths, base.Widths))
+		return fails, notes
+	}
+
+	// The two Each calls visit fields in the same declared order, so the
+	// pairs zip by position.
+	var names []string
+	var baseVals, curVals []int64
+	base.Counters.Each(func(name string, v int64) {
+		names = append(names, name)
+		baseVals = append(baseVals, v)
+	})
+	cur.Counters.Each(func(_ string, v int64) { curVals = append(curVals, v) })
+	const slack = 16 // absolute headroom so near-zero counters aren't all-noise
+	for i, name := range names {
+		b, c := baseVals[i], curVals[i]
+		limit := int64(float64(b)*(1+tol)) + slack
+		switch {
+		case c > limit:
+			fails = append(fails, fmt.Sprintf("%s: %d, baseline %d (limit %d)", name, c, b, limit))
+		case b > 0 && float64(c) < float64(b)*(1-tol):
+			notes = append(notes, fmt.Sprintf("%s improved: %d from %d", name, c, b))
+		}
+	}
+
+	if base.WallMS > 0 {
+		notes = append(notes, fmt.Sprintf("wall clock %dms vs baseline %dms (informational)", cur.WallMS, base.WallMS))
+	}
+	if base.PeakHeapBytes > 0 {
+		notes = append(notes, fmt.Sprintf("peak heap %.1f MiB vs baseline %.1f MiB (informational)",
+			float64(cur.PeakHeapBytes)/(1<<20), float64(base.PeakHeapBytes)/(1<<20)))
+	}
+	return fails, notes
+}
+
+func baselineWidthsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *VerifyReport {
+	rep := &VerifyReport{
+		SchemaVersion: VerifyReportSchema,
+		GoVersion:     "go0.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		NumCPU:        8,
+		Widths:        []int{4, 8},
+		Transforms:    237,
+		Valid:         229,
+		Invalid:       8,
+		Queries:       508,
+		WallMS:        15000,
+		PeakHeapBytes: 24 << 20,
+	}
+	rep.Counters.Checks = 1000
+	rep.Counters.CDCLRuns = 800
+	rep.Counters.Propagations = 500000
+	rep.Counters.Conflicts = 20000
+	rep.Counters.CNFClauses = 300000
+	return rep
+}
+
+func TestVerifyReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_verify.json")
+	rep := sampleReport()
+	if err := WriteVerifyReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadVerifyReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip changed the report:\n got %+v\nwant %+v", got, rep)
+	}
+}
+
+func TestVerifyReportSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old.json")
+	rep := sampleReport()
+	rep.SchemaVersion = VerifyReportSchema + 1
+	if err := WriteVerifyReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadVerifyReport(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+}
+
+func TestCompareVerifyReportsPass(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Counters.Propagations += cur.Counters.Propagations / 10 // +10% < 25%
+	cur.WallMS *= 3                                             // informational only
+	fails, notes := CompareVerifyReports(base, cur, 0.25)
+	if len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "wall clock") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no wall-clock note in %v", notes)
+	}
+}
+
+func TestCompareVerifyReportsCounterRegression(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Counters.Conflicts = base.Counters.Conflicts * 2
+	fails, _ := CompareVerifyReports(base, cur, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "conflicts") {
+		t.Fatalf("doubled conflicts not flagged: %v", fails)
+	}
+}
+
+func TestCompareVerifyReportsImprovementIsNote(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Counters.Conflicts = base.Counters.Conflicts / 2
+	fails, notes := CompareVerifyReports(base, cur, 0.25)
+	if len(fails) != 0 {
+		t.Fatalf("improvement flagged as failure: %v", fails)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "conflicts improved") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("improvement not noted: %v", notes)
+	}
+}
+
+func TestCompareVerifyReportsVerdictMustMatch(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Invalid--
+	cur.Valid++
+	fails, _ := CompareVerifyReports(base, cur, 0.25)
+	if len(fails) < 2 { // both valid and invalid moved
+		t.Fatalf("verdict drift not flagged: %v", fails)
+	}
+}
+
+func TestCompareVerifyReportsWidthsGate(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Widths = []int{4}
+	fails, _ := CompareVerifyReports(base, cur, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "widths") {
+		t.Fatalf("width mismatch not gated: %v", fails)
+	}
+}
+
+func TestCompareVerifyReportsNearZeroSlack(t *testing.T) {
+	// A counter going 0 -> 10 must not fail: the absolute slack absorbs
+	// noise-scale motion near zero.
+	base, cur := sampleReport(), sampleReport()
+	base.Counters.Restarts = 0
+	cur.Counters.Restarts = 10
+	fails, _ := CompareVerifyReports(base, cur, 0.25)
+	if len(fails) != 0 {
+		t.Fatalf("near-zero counter motion flagged: %v", fails)
+	}
+}

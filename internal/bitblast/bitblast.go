@@ -62,6 +62,27 @@ func (bl *Blaster) checkStop() {
 	}
 }
 
+// Stats summarizes one Blaster's encoding work for telemetry: Tseitin
+// gate variables introduced, distinct Bool and BitVec terms lowered
+// (cache entries, so shared subterms count once), and named problem
+// variables bound.
+type Stats struct {
+	Gates     int
+	BoolTerms int
+	BVTerms   int
+	Vars      int
+}
+
+// EncodeStats reports the encoding work done so far.
+func (bl *Blaster) EncodeStats() Stats {
+	return Stats{
+		Gates:     bl.Gates,
+		BoolTerms: len(bl.boolCache),
+		BVTerms:   len(bl.bvCache),
+		Vars:      len(bl.boolVars) + len(bl.bvVars),
+	}
+}
+
 // New returns a Blaster over solver s.
 func New(s *sat.Solver) *Blaster {
 	bl := &Blaster{

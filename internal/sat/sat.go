@@ -118,6 +118,8 @@ type Solver struct {
 	conflicts    int64
 	decisions    int64
 	propagations int64
+	restarts     int64
+	learned      int64
 
 	// MaxConflicts bounds the search; <= 0 means unbounded. When the bound
 	// is hit Solve returns Unknown.
@@ -164,6 +166,19 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // Conflicts returns the number of conflicts encountered so far.
 func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+// Propagations returns the number of unit propagations performed.
+func (s *Solver) Propagations() int64 { return s.propagations }
+
+// Decisions returns the number of branching decisions made.
+func (s *Solver) Decisions() int64 { return s.decisions }
+
+// Restarts returns the number of Luby restarts taken.
+func (s *Solver) Restarts() int64 { return s.restarts }
+
+// Learned returns the number of conflict-derived clauses (including
+// learned units).
+func (s *Solver) Learned() int64 { return s.learned }
 
 // Interrupted reports whether the Stop flag has tripped — after an
 // Unknown result it distinguishes cancellation from conflict-budget
@@ -526,6 +541,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 	for {
 		restartNum++
+		if restartNum > 1 {
+			s.restarts++
+		}
 		budget := luby(restartNum) * baseInterval
 		st := s.search(budget, maxLearnts)
 		if st == Sat {
@@ -572,6 +590,7 @@ func (s *Solver) search(conflictBudget int64, maxLearnts int) Status {
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			s.learned++
 			s.backtrackTo(btLevel)
 			if len(learnt) == 1 && btLevel == 0 {
 				s.uncheckedEnqueue(learnt[0], nil)

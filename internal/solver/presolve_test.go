@@ -19,8 +19,8 @@ func TestPresolveDischargesWithoutCDCL(t *testing.T) {
 	if r.Status != Unsat {
 		t.Fatalf("status = %v, want Unsat", r.Status)
 	}
-	if s.Presolve.CDCLRuns != 0 || s.Presolve.Decided != 1 {
-		t.Errorf("stats = %+v, want Decided=1 CDCLRuns=0", s.Presolve)
+	if s.Stats.CDCLRuns != 0 || s.Stats.Decided != 1 {
+		t.Errorf("stats = %+v, want Decided=1 CDCLRuns=0", s.Stats)
 	}
 	// (x & 0x0F) <u 16 is abstractly true: Sat with the default model.
 	s2 := &Solver{}
@@ -28,8 +28,8 @@ func TestPresolveDischargesWithoutCDCL(t *testing.T) {
 	if r.Status != Sat {
 		t.Fatalf("status = %v, want Sat", r.Status)
 	}
-	if s2.Presolve.CDCLRuns != 0 {
-		t.Errorf("tautology reached CDCL: %+v", s2.Presolve)
+	if s2.Stats.CDCLRuns != 0 {
+		t.Errorf("tautology reached CDCL: %+v", s2.Stats)
 	}
 	if got := smt.Eval(b.Ult(b.BVAnd(x, b.ConstUint(8, 0x0F)), b.ConstUint(8, 16)), r.Model); !got.B {
 		t.Error("returned model does not satisfy the formula")
@@ -43,8 +43,8 @@ func TestPresolveDischargesWithoutCDCL(t *testing.T) {
 	if r.Status != Unsat {
 		t.Fatalf("status = %v, want Unsat", r.Status)
 	}
-	if s3.Presolve.CDCLRuns != 0 {
-		t.Errorf("contradiction reached CDCL: %+v", s3.Presolve)
+	if s3.Stats.CDCLRuns != 0 {
+		t.Errorf("contradiction reached CDCL: %+v", s3.Stats)
 	}
 }
 
@@ -105,10 +105,10 @@ func TestPresolveHintsPreserveModels(t *testing.T) {
 	if !smt.Eval(b.And(f...), r.Model).B {
 		t.Fatal("model does not satisfy the formula")
 	}
-	if s.Presolve.CDCLRuns != 1 {
-		t.Errorf("expected one CDCL run, got %+v", s.Presolve)
+	if s.Stats.CDCLRuns != 1 {
+		t.Errorf("expected one CDCL run, got %+v", s.Stats)
 	}
-	if s.Presolve.HintLits == 0 {
-		t.Errorf("expected some hint literals from x <u 16, got %+v", s.Presolve)
+	if s.Stats.HintLits == 0 {
+		t.Errorf("expected some hint literals from x <u 16, got %+v", s.Stats)
 	}
 }

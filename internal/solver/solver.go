@@ -11,6 +11,7 @@ import (
 	"alive/internal/bv"
 	"alive/internal/sat"
 	"alive/internal/smt"
+	"alive/internal/telemetry"
 )
 
 // Status mirrors the SAT result for formula-level queries.
@@ -69,59 +70,6 @@ type Result struct {
 	Rounds    int // CEGIS refinement rounds (1 for plain Check)
 }
 
-// PresolveStats counts what the abstract-interpretation presolver did
-// across the satisfiability queries of one Solver. "Query" means one
-// Check call, including the synthesis and verification rounds CEGIS
-// issues internally — those are exactly the CDCL runs the presolver can
-// save.
-type PresolveStats struct {
-	// Checks is the number of satisfiability queries seen.
-	Checks int64
-	// Folded queries were decided by constructor-level constant folding
-	// before any abstract analysis ran (e.g. a CEGIS instantiation
-	// collapsed the formula).
-	Folded int64
-	// Decided queries were decided by the abstract interpreter alone —
-	// a definitely-true/false simplification or a refinement
-	// contradiction — with no CDCL run.
-	Decided int64
-	// Simplified queries still reached CDCL but on an abstractly
-	// shrunk formula.
-	Simplified int64
-	// CDCLRuns is the number of queries that reached the SAT core.
-	CDCLRuns int64
-	// HintLits is the number of unit-clause literals seeded into the
-	// SAT core from refinement facts.
-	HintLits int64
-	// TermNodesBefore/After total the formula DAG sizes around
-	// abstract simplification, for queries that reached it.
-	TermNodesBefore int64
-	TermNodesAfter  int64
-	// CNFVars and CNFClauses total the SAT core sizes of the CDCL runs.
-	CNFVars    int64
-	CNFClauses int64
-}
-
-// Add accumulates o into p.
-func (p *PresolveStats) Add(o PresolveStats) {
-	p.Checks += o.Checks
-	p.Folded += o.Folded
-	p.Decided += o.Decided
-	p.Simplified += o.Simplified
-	p.CDCLRuns += o.CDCLRuns
-	p.HintLits += o.HintLits
-	p.TermNodesBefore += o.TermNodesBefore
-	p.TermNodesAfter += o.TermNodesAfter
-	p.CNFVars += o.CNFVars
-	p.CNFClauses += o.CNFClauses
-}
-
-// DischargedOrSimplified is the number of queries the presolver either
-// fully discharged (no CDCL run) or shrank before CDCL.
-func (p PresolveStats) DischargedOrSimplified() int64 {
-	return p.Folded + p.Decided + p.Simplified
-}
-
 // Solver holds per-query configuration. The zero value is usable.
 type Solver struct {
 	// MaxConflicts bounds each SAT call; <= 0 means unbounded.
@@ -136,9 +84,15 @@ type Solver struct {
 	// every query goes straight to bit-blasting (the -presolve=off
 	// escape hatch and the baseline leg of the bench experiment).
 	DisablePresolve bool
-	// Presolve accumulates presolver statistics across every query
-	// this Solver answers.
-	Presolve PresolveStats
+	// Stats accumulates the telemetry counters — presolver outcomes, SAT
+	// core work, CNF sizes, CEGIS rounds — across every query this
+	// Solver answers. Always on; plain int64 adds, no sink required.
+	Stats telemetry.Counters
+	// Span, when non-nil, is the parent under which Check records
+	// presolve / bitblast / cdcl child spans and CheckExistsForall
+	// records cegis-round spans. Nil (the default) skips all span
+	// bookkeeping at nil-receiver cost.
+	Span *telemetry.Span
 }
 
 // collectVars gathers variable terms of a formula keyed by name.
@@ -186,66 +140,113 @@ func conjuncts(t *smt.Term) []*smt.Term {
 // they never change its model set.
 func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 	formula := b.And(assertions...)
-	s.Presolve.Checks++
+	s.Stats.Checks++
 	if formula.IsTrue() {
 		// The conjunction simplified to a tautology, so any assignment
 		// satisfies it; honor the Model contract by assigning defaults to
 		// every variable of the original assertions.
-		s.Presolve.Folded++
+		s.Stats.Folded++
 		return Result{Status: Sat, Model: defaultModel(assertions), Rounds: 1}
 	}
 	if formula.IsFalse() {
-		s.Presolve.Folded++
+		s.Stats.Folded++
 		return Result{Status: Unsat, Rounds: 1}
 	}
 	if s.Stop.Stopped() {
 		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
 	}
 
+	qspan := s.Span.Child("smt-check", "solver")
+	defer qspan.End()
+
 	blastTerm := formula
 	var refined *absint.Analysis
 	if !s.DisablePresolve {
-		s.Presolve.TermNodesBefore += int64(formula.Size())
+		pspan := qspan.Child("presolve", "presolve")
+		s.Stats.TermNodesBefore += int64(formula.Size())
 		simplified := absint.Simplify(b, formula)
-		s.Presolve.TermNodesAfter += int64(simplified.Size())
+		s.Stats.TermNodesAfter += int64(simplified.Size())
 		if simplified.IsTrue() {
 			// Pointwise equivalence: the original formula holds under
 			// every assignment, so the default model satisfies it.
-			s.Presolve.Decided++
+			s.Stats.Decided++
+			pspan.SetAttr("outcome", "decided-sat")
+			pspan.End()
 			return Result{Status: Sat, Model: defaultModel(assertions), Rounds: 1}
 		}
 		if simplified.IsFalse() {
-			s.Presolve.Decided++
+			s.Stats.Decided++
+			pspan.SetAttr("outcome", "decided-unsat")
+			pspan.End()
 			return Result{Status: Unsat, Rounds: 1}
 		}
 		if simplified != formula {
-			s.Presolve.Simplified++
+			s.Stats.Simplified++
 			blastTerm = simplified
 		}
 		refined = absint.Refined(conjuncts(blastTerm)...)
 		if refined.Contradiction() {
 			// The conjuncts are mutually inconsistent in the abstract
 			// domain, which over-approximates the models: Unsat.
-			s.Presolve.Decided++
+			s.Stats.Decided++
+			pspan.SetAttr("outcome", "refuted")
+			pspan.End()
 			return Result{Status: Unsat, Rounds: 1}
+		}
+		if pspan != nil {
+			if blastTerm != formula {
+				pspan.SetAttr("outcome", "simplified")
+			} else {
+				pspan.SetAttr("outcome", "pass-through")
+			}
+			pspan.End()
 		}
 	}
 
-	s.Presolve.CDCLRuns++
+	s.Stats.CDCLRuns++
 	core := sat.New()
 	core.MaxConflicts = s.MaxConflicts
 	core.Stop = s.Stop
 	bl := bitblast.New(core)
 	bl.Stop = s.Stop
+	bspan := qspan.Child("bitblast", "bitblast")
 	if stopped := assertStopped(bl, blastTerm); stopped {
+		bspan.End()
 		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
 	}
+	hintsBefore := s.Stats.HintLits
 	if refined != nil {
 		s.seedHints(core, bl, refined)
 	}
+	if bspan != nil {
+		bst := bl.EncodeStats()
+		bspan.SetInt("cnf_vars", int64(core.NumVars()))
+		bspan.SetInt("cnf_clauses", int64(core.NumClauses()))
+		bspan.SetInt("gates", int64(bst.Gates))
+		bspan.SetInt("bool_terms", int64(bst.BoolTerms))
+		bspan.SetInt("bv_terms", int64(bst.BVTerms))
+		bspan.SetInt("hint_lits", s.Stats.HintLits-hintsBefore)
+		bspan.End()
+	}
+
+	cspan := qspan.Child("cdcl", "sat")
 	st := core.Solve()
-	s.Presolve.CNFVars += int64(core.NumVars())
-	s.Presolve.CNFClauses += int64(core.NumClauses())
+	s.Stats.CNFVars += int64(core.NumVars())
+	s.Stats.CNFClauses += int64(core.NumClauses())
+	s.Stats.Propagations += core.Propagations()
+	s.Stats.Conflicts += core.Conflicts()
+	s.Stats.Decisions += core.Decisions()
+	s.Stats.Restarts += core.Restarts()
+	s.Stats.LearnedClauses += core.Learned()
+	if cspan != nil {
+		cspan.SetAttr("status", st.String())
+		cspan.SetInt("propagations", core.Propagations())
+		cspan.SetInt("conflicts", core.Conflicts())
+		cspan.SetInt("decisions", core.Decisions())
+		cspan.SetInt("restarts", core.Restarts())
+		cspan.SetInt("learned_clauses", core.Learned())
+		cspan.End()
+	}
 	res := Result{Status: st, Conflicts: core.Conflicts(), Clauses: core.NumClauses(), Rounds: 1}
 	if st == Sat {
 		// Extract over the ORIGINAL formula's variables: anything the
@@ -279,10 +280,10 @@ func (s *Solver) seedHints(core *sat.Solver, bl *bitblast.Blaster, an *absint.An
 			switch v.B {
 			case absint.BTrue:
 				core.AddClause(l)
-				s.Presolve.HintLits++
+				s.Stats.HintLits++
 			case absint.BFalse:
 				core.AddClause(l.Not())
-				s.Presolve.HintLits++
+				s.Stats.HintLits++
 			}
 			return
 		}
@@ -293,10 +294,10 @@ func (s *Solver) seedHints(core *sat.Solver, bl *bitblast.Blaster, an *absint.An
 		for i, l := range bits {
 			if v.KO.Bit(i) == 1 {
 				core.AddClause(l)
-				s.Presolve.HintLits++
+				s.Stats.HintLits++
 			} else if v.KZ.Bit(i) == 1 {
 				core.AddClause(l.Not())
-				s.Presolve.HintLits++
+				s.Stats.HintLits++
 			}
 		}
 	})
@@ -372,11 +373,21 @@ func (s *Solver) CheckExistsForall(b *smt.Builder, body *smt.Term, forallVars []
 		}),
 	}
 
+	// CEGIS rounds are traced as children of the condition span; the
+	// synthesis/verification SMT checks inside each round nest under the
+	// round span via s.Span.
+	outer := s.Span
+	defer func() { s.Span = outer }()
+
 	totalConflicts := int64(0)
 	for round := 1; round <= maxRounds; round++ {
 		if s.Stop.Stopped() {
 			return Result{Status: Unknown, Cause: CauseStopped, Conflicts: totalConflicts, Rounds: round}
 		}
+		s.Stats.CEGISRounds++
+		rspan := outer.Child("cegis-round", "cegis")
+		rspan.SetInt("round", int64(round))
+		s.Span = rspan
 		// Synthesis: find x satisfying body under every candidate y.
 		parts := make([]*smt.Term, len(candidates))
 		for i, c := range candidates {
@@ -385,6 +396,7 @@ func (s *Solver) CheckExistsForall(b *smt.Builder, body *smt.Term, forallVars []
 		synth := s.Check(b, parts...)
 		totalConflicts += synth.Conflicts
 		if synth.Status != Sat {
+			rspan.End()
 			return Result{Status: synth.Status, Cause: synth.Cause, Conflicts: totalConflicts, Rounds: round}
 		}
 		// Candidate x: complete the model over all existential vars.
@@ -404,6 +416,7 @@ func (s *Solver) CheckExistsForall(b *smt.Builder, body *smt.Term, forallVars []
 		// Verification: does some y defeat x? Check ¬body[x].
 		verify := s.Check(b, b.Not(b.Substitute(body, xSub)))
 		totalConflicts += verify.Conflicts
+		rspan.End()
 		switch verify.Status {
 		case Unsat:
 			return Result{Status: Sat, Model: xModel, Conflicts: totalConflicts, Rounds: round}

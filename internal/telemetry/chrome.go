@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteChromeTrace renders the completed spans in the Chrome
+// trace_event format (JSON object form), loadable in Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing. Every track becomes a
+// named thread under one "alive" process; spans are complete ("X")
+// events with microsecond timestamps. Output is deterministic for a
+// deterministic clock: events are sorted by (track, start, -duration,
+// name) and annotations keep their recording order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	events := t.Events()
+	tracks := t.Tracks()
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur // parents before children at equal start
+		}
+		return a.Name < b.Name
+	})
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`+"\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) error {
+		if !first {
+			line = ",\n" + line
+		}
+		first = false
+		_, err := io.WriteString(w, line)
+		return err
+	}
+
+	if err := emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"alive"}}`); err != nil {
+		return err
+	}
+	for id, name := range tracks {
+		nm, _ := json.Marshal(name)
+		if err := emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`, id, nm)); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		line, err := chromeEvent(ev)
+		if err != nil {
+			return err
+		}
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// WriteChromeTraceFile writes the trace to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// chromeEvent renders one complete event. The JSON is assembled by hand
+// so annotation order survives (encoding/json randomizes map keys).
+func chromeEvent(ev Event) (string, error) {
+	name, err := json.Marshal(ev.Name)
+	if err != nil {
+		return "", err
+	}
+	cat, err := json.Marshal(ev.Cat)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s`,
+		name, cat, ev.Track, micros(ev.Start), micros(ev.Dur))
+	if len(ev.Args) > 0 {
+		out += `,"args":{`
+		for i, a := range ev.Args {
+			k, err := json.Marshal(a.Key)
+			if err != nil {
+				return "", err
+			}
+			v, err := json.Marshal(a.Val)
+			if err != nil {
+				return "", err
+			}
+			if i > 0 {
+				out += ","
+			}
+			out += string(k) + ":" + string(v)
+		}
+		out += "}"
+	}
+	return out + "}", nil
+}
+
+// micros renders a duration as decimal microseconds with nanosecond
+// precision, the unit the trace_event format specifies for ts/dur.
+func micros(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1e3, 'f', 3, 64)
+}

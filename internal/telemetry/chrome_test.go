@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildTrace constructs a small deterministic trace shaped like a real
+// verification: a parse track plus a worker track with the pipeline
+// phases nested under one transform span.
+func buildTrace() *Tracer {
+	tr := NewWithClock(fakeClock(time.Millisecond))
+
+	parse := tr.NewTrack("parse")
+	ps := parse.Start("parse:test.opt", "parse")
+	ps.SetInt("transforms", 2)
+	ps.End()
+
+	w := tr.NewTrack("worker 0")
+	ts := w.Start("AddSub:1164", "transform")
+	ty := ts.Child("typing", "typing")
+	ty.SetInt("assignments", 2)
+	ty.End()
+	asg := ts.Child("assignment", "assignment")
+	asg.SetInt("index", 0)
+	vc := asg.Child("vcgen", "vcgen")
+	vc.End()
+	chk := asg.Child("check:value", "condition")
+	pre := chk.Child("presolve", "presolve")
+	pre.SetAttr("outcome", "simplified")
+	pre.End()
+	bb := chk.Child("bitblast", "bitblast")
+	bb.SetInt("cnf_vars", 120)
+	bb.End()
+	cd := chk.Child("cdcl", "sat")
+	cd.SetCounters(Counters{Propagations: 900, Conflicts: 3, Decisions: 40})
+	cd.End()
+	chk.SetAttr("status", "unsat")
+	chk.End()
+	asg.End()
+	ts.SetAttr("verdict", "valid")
+	ts.End()
+	return tr
+}
+
+// TestChromeTraceGolden pins the exact trace_event output shape.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from golden\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceWellFormed checks the structural contract every
+// Perfetto-loadable trace needs: valid JSON, a traceEvents array, "X"
+// events with pid/tid/ts/dur, and thread-name metadata per track.
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	threads, complete := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threads++
+			}
+		case "X":
+			complete++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("negative time on %q", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if threads != 2 {
+		t.Errorf("thread_name events = %d, want 2", threads)
+	}
+	if complete != 9 {
+		t.Errorf("complete events = %d, want 9", complete)
+	}
+}
+
+func TestNilTracerWritesEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+// Counters is the one coherent stats model shared by every layer of the
+// verification pipeline. The solver façade, the CDCL core, and the
+// CEGIS engine all accumulate into the same struct, the verifier sums
+// it per transformation, and the corpus driver sums it per run — so a
+// number printed by `alive -v`, a span annotation in a Chrome trace,
+// and a metric in BENCH_verify.json are always the same counter read at
+// different granularities.
+//
+// All fields are plain int64s incremented by exactly one goroutine (a
+// Solver and its SAT cores are single-threaded); aggregation across
+// goroutines happens by value with Add. No atomics, no locks, no
+// allocation — accumulating counters costs a few ALU ops per query, so
+// they stay on whether or not a trace sink is attached.
+type Counters struct {
+	// Solver façade, per Check call (CEGIS rounds issue internal Checks,
+	// which are counted too).
+
+	// Checks is the number of satisfiability queries seen.
+	Checks int64 `json:"checks"`
+	// Folded queries were decided by constructor-level constant folding
+	// before any abstract analysis ran.
+	Folded int64 `json:"folded"`
+	// Decided queries were decided by the abstract-interpretation
+	// presolver alone — no CDCL run.
+	Decided int64 `json:"decided"`
+	// Simplified queries reached CDCL but on an abstractly shrunk
+	// formula.
+	Simplified int64 `json:"simplified"`
+	// CDCLRuns is the number of queries that reached the SAT core.
+	CDCLRuns int64 `json:"cdcl_runs"`
+	// HintLits is the number of unit-clause literals seeded into the SAT
+	// core from presolver refinement facts.
+	HintLits int64 `json:"hint_lits"`
+	// TermNodesBefore/After total the formula DAG sizes around abstract
+	// simplification, for queries that reached it.
+	TermNodesBefore int64 `json:"term_nodes_before"`
+	TermNodesAfter  int64 `json:"term_nodes_after"`
+
+	// SAT core totals, summed over every CDCL run.
+
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Restarts     int64 `json:"restarts"`
+	// LearnedClauses counts conflict-derived clauses (including learned
+	// units).
+	LearnedClauses int64 `json:"learned_clauses"`
+	// CNFVars and CNFClauses total the SAT core sizes of the CDCL runs.
+	CNFVars    int64 `json:"cnf_vars"`
+	CNFClauses int64 `json:"cnf_clauses"`
+
+	// CEGISRounds counts refinement rounds of the exists-forall engine.
+	CEGISRounds int64 `json:"cegis_rounds"`
+}
+
+// counterFields fixes the field order for Each (and therefore for span
+// annotations and every rendered listing): façade, SAT core, CEGIS.
+var counterFields = []struct {
+	name string
+	get  func(*Counters) *int64
+}{
+	{"checks", func(c *Counters) *int64 { return &c.Checks }},
+	{"folded", func(c *Counters) *int64 { return &c.Folded }},
+	{"decided", func(c *Counters) *int64 { return &c.Decided }},
+	{"simplified", func(c *Counters) *int64 { return &c.Simplified }},
+	{"cdcl_runs", func(c *Counters) *int64 { return &c.CDCLRuns }},
+	{"hint_lits", func(c *Counters) *int64 { return &c.HintLits }},
+	{"term_nodes_before", func(c *Counters) *int64 { return &c.TermNodesBefore }},
+	{"term_nodes_after", func(c *Counters) *int64 { return &c.TermNodesAfter }},
+	{"propagations", func(c *Counters) *int64 { return &c.Propagations }},
+	{"conflicts", func(c *Counters) *int64 { return &c.Conflicts }},
+	{"decisions", func(c *Counters) *int64 { return &c.Decisions }},
+	{"restarts", func(c *Counters) *int64 { return &c.Restarts }},
+	{"learned_clauses", func(c *Counters) *int64 { return &c.LearnedClauses }},
+	{"cnf_vars", func(c *Counters) *int64 { return &c.CNFVars }},
+	{"cnf_clauses", func(c *Counters) *int64 { return &c.CNFClauses }},
+	{"cegis_rounds", func(c *Counters) *int64 { return &c.CEGISRounds }},
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	for _, f := range counterFields {
+		*f.get(c) += *f.get(&o)
+	}
+}
+
+// Sub returns c - o, the counter delta between two snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	var d Counters
+	for _, f := range counterFields {
+		*f.get(&d) = *f.get(&c) - *f.get(&o)
+	}
+	return d
+}
+
+// IsZero reports whether every counter is zero.
+func (c Counters) IsZero() bool {
+	for _, f := range counterFields {
+		if *f.get(&c) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Each calls f for every counter in a fixed, documented order using the
+// same snake_case names the JSON encoding uses.
+func (c Counters) Each(f func(name string, v int64)) {
+	for _, fld := range counterFields {
+		f(fld.name, *fld.get(&c))
+	}
+}
+
+// DischargedOrSimplified is the number of queries the presolver either
+// fully discharged (no CDCL run) or shrank before CDCL.
+func (c Counters) DischargedOrSimplified() int64 {
+	return c.Folded + c.Decided + c.Simplified
+}

@@ -2,11 +2,14 @@ package verify
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"alive/internal/ir"
+	"alive/internal/telemetry"
 )
 
 // CorpusOptions configures RunCorpus.
@@ -40,6 +43,15 @@ type CorpusStats struct {
 	// still has an entry per input (skipped ones carry ReasonCancelled).
 	Interrupted bool
 	Duration    time.Duration
+	// Queries is the total number of solver queries issued across the
+	// corpus; Counters aggregates every per-transform counter set.
+	Queries  int
+	Counters telemetry.Counters
+	// PeakHeapBytes is the largest live-heap size observed by a ~250ms
+	// sampler while the corpus ran. It is a lower bound on the true peak
+	// (spikes between samples are missed) but is stable enough to track
+	// memory regressions across commits.
+	PeakHeapBytes uint64
 }
 
 // RunCorpus verifies a corpus on a bounded worker pool. It is the
@@ -92,16 +104,56 @@ func RunCorpus(ctx context.Context, ts []*ir.Transform, opts CorpusOptions) ([]R
 		vopts.Timeout = opts.TransformTimeout
 	}
 
+	// Peak-heap sampler: a coarse (~250ms) background probe of the live
+	// heap. Cheap enough to run unconditionally and good enough to flag
+	// memory regressions in the perf baseline.
+	var peakHeap uint64
+	samplerDone := make(chan struct{})
+	samplerStopped := make(chan struct{})
+	go func() {
+		defer close(samplerStopped)
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		sample := func() {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peakHeap {
+				peakHeap = ms.HeapAlloc
+			}
+		}
+		sample()
+		for {
+			select {
+			case <-samplerDone:
+				sample()
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for i := range jobs {
-				complete(i, VerifyContext(ctx, ts[i], vopts))
+			wopts := vopts
+			// Each worker gets its own telemetry track so spans from
+			// concurrent transforms land on separate rows instead of
+			// interleaving (Chrome-trace nesting is positional per tid).
+			if wopts.Trace != nil && wopts.Track == nil {
+				wopts.Track = wopts.Trace.NewTrack(fmt.Sprintf("worker-%d", worker))
 			}
-		}()
+			for i := range jobs {
+				// Label the goroutine so CPU-profile samples attribute to
+				// the transformation being verified.
+				pprof.Do(ctx, pprof.Labels("transform", ts[i].Name), func(ctx context.Context) {
+					complete(i, VerifyContext(ctx, ts[i], wopts))
+				})
+			}
+		}(w)
 	}
 feed:
 	for i := range ts {
@@ -113,6 +165,8 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	close(samplerDone)
+	<-samplerStopped
 
 	// Fill skips (never dispatched, or dispatched results lost to a
 	// cancelled feed — the latter cannot happen since workers drain the
@@ -153,8 +207,11 @@ feed:
 				stats.Panics++
 			}
 		}
+		stats.Queries += r.Queries
+		stats.Counters.Add(r.Counters)
 	}
 	stats.Interrupted = ctx.Err() != nil
 	stats.Duration = time.Since(start)
+	stats.PeakHeapBytes = peakHeap
 	return results, stats
 }

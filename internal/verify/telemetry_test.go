@@ -1,0 +1,378 @@
+package verify
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"alive/internal/ir"
+	"alive/internal/solver"
+	"alive/internal/telemetry"
+)
+
+func eventsNamed(evs []telemetry.Event, name string) []telemetry.Event {
+	var out []telemetry.Event
+	for _, ev := range evs {
+		if ev.Name == name {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func eventsInCat(evs []telemetry.Event, cat string) []telemetry.Event {
+	var out []telemetry.Event
+	for _, ev := range evs {
+		if ev.Cat == cat {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func eventAttr(ev telemetry.Event, key string) (any, bool) {
+	for _, a := range ev.Args {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return nil, false
+}
+
+// contains reports whether inner's interval lies within outer's.
+func contains(outer, inner telemetry.Event) bool {
+	return outer.Start <= inner.Start && inner.Start+inner.Dur <= outer.Start+outer.Dur
+}
+
+// TestPipelineSpans verifies one transformation with a tracer attached
+// and checks that every pipeline phase produced a span nested inside
+// the transform span.
+func TestPipelineSpans(t *testing.T) {
+	tr := parseOne(t, "Name: span-probe\n%1 = add %x, C1\n%r = sub %1, C1\n=>\n%r = %x\n")
+	tracer := telemetry.New()
+	res := VerifyContext(context.Background(), tr, Options{
+		Widths: []int{8},
+		Lint:   true,
+		Trace:  tracer,
+	})
+	if res.Verdict != Valid {
+		t.Fatalf("verdict = %v, want valid", res.Verdict)
+	}
+	evs := tracer.Events()
+
+	roots := eventsInCat(evs, "transform")
+	if len(roots) != 1 {
+		t.Fatalf("transform spans = %d, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Name != "span-probe" {
+		t.Errorf("transform span name = %q", root.Name)
+	}
+	if v, ok := eventAttr(root, "verdict"); !ok || v != "valid" {
+		t.Errorf("transform span verdict attr = %v, %v", v, ok)
+	}
+	if _, ok := eventAttr(root, "propagations"); !ok {
+		t.Error("transform span missing counter annotations")
+	}
+
+	// Every phase of the pipeline must have left at least one span, all
+	// nested inside the transform span on the same track.
+	for _, phase := range []string{"lint", "typing", "assignment", "vcgen", "smt-check", "presolve", "bitblast", "cdcl"} {
+		phased := eventsInCat(evs, phaseCat(phase))
+		named := eventsNamed(phased, phase)
+		if len(named) == 0 {
+			t.Errorf("no %q span recorded", phase)
+			continue
+		}
+		for _, ev := range named {
+			if ev.Track != root.Track {
+				t.Errorf("%s span on track %d, transform on %d", phase, ev.Track, root.Track)
+			}
+			if !contains(root, ev) {
+				t.Errorf("%s span [%v,+%v] escapes transform span [%v,+%v]",
+					phase, ev.Start, ev.Dur, root.Start, root.Dur)
+			}
+		}
+	}
+	// Condition spans are named check:<condition>.
+	var checks []telemetry.Event
+	for _, ev := range eventsInCat(evs, "condition") {
+		if strings.HasPrefix(ev.Name, "check:") {
+			checks = append(checks, ev)
+		}
+	}
+	if len(checks) == 0 {
+		t.Error("no condition check spans recorded")
+	}
+	if res.Queries != len(checks) {
+		t.Errorf("condition spans = %d, result queries = %d", len(checks), res.Queries)
+	}
+}
+
+func phaseCat(phase string) string {
+	switch phase {
+	case "smt-check":
+		return "solver"
+	case "cdcl":
+		return "sat"
+	}
+	return phase
+}
+
+// TestCorpusSpansParallel runs the parallel driver with a tracer and
+// checks the per-worker track discipline: every transformation gets
+// exactly one root span, root spans on one track never overlap, and
+// every child span is contained in some root on its track. Run under
+// -race this also exercises concurrent span recording.
+func TestCorpusSpansParallel(t *testing.T) {
+	srcs := []string{
+		"Name: t0\n%r = add %x, 0\n=>\n%r = %x\n",
+		"Name: t1\n%r = and %x, %x\n=>\n%r = %x\n",
+		"Name: t2\n%r = or %x, 0\n=>\n%r = %x\n",
+		"Name: t3\n%r = xor %x, 0\n=>\n%r = %x\n",
+		"Name: t4\n%r = mul %x, 1\n=>\n%r = %x\n",
+		"Name: t5\n%r = sub %x, 0\n=>\n%r = %x\n",
+		"Name: t6\n%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x\n",
+		"Name: t7\n%r = shl %x, 0\n=>\n%r = %x\n",
+	}
+	var ts []*ir.Transform
+	for _, s := range srcs {
+		ts = append(ts, parseOne(t, s))
+	}
+	tracer := telemetry.New()
+	results, stats := RunCorpus(context.Background(), ts, CorpusOptions{
+		Verify:  Options{Widths: []int{4, 8}, Trace: tracer},
+		Workers: 4,
+	})
+	if stats.Completed != len(ts) {
+		t.Fatalf("completed = %d, want %d", stats.Completed, len(ts))
+	}
+	if stats.Counters.IsZero() {
+		t.Fatal("corpus stats counters all zero")
+	}
+	var want telemetry.Counters
+	for _, r := range results {
+		want.Add(r.Counters)
+	}
+	if stats.Counters != want {
+		t.Fatalf("aggregate counters %+v != sum of per-result counters %+v", stats.Counters, want)
+	}
+
+	evs := tracer.Events()
+	roots := eventsInCat(evs, "transform")
+	if len(roots) != len(ts) {
+		t.Fatalf("transform spans = %d, want %d", len(roots), len(ts))
+	}
+	seen := map[string]bool{}
+	byTrack := map[int][]telemetry.Event{}
+	for _, r := range roots {
+		seen[r.Name] = true
+		byTrack[r.Track] = append(byTrack[r.Track], r)
+	}
+	for i := range srcs {
+		name := ts[i].Name
+		if !seen[name] {
+			t.Errorf("no root span for %s", name)
+		}
+	}
+	// Roots on one track must not overlap (workers run one transform at
+	// a time), and children must nest inside a root on the same track.
+	for track, rs := range byTrack {
+		for i := 0; i < len(rs); i++ {
+			for j := i + 1; j < len(rs); j++ {
+				a, b := rs[i], rs[j]
+				if a.Start < b.Start+b.Dur && b.Start < a.Start+a.Dur {
+					t.Errorf("track %d: root spans %q and %q overlap", track, a.Name, b.Name)
+				}
+			}
+		}
+	}
+	for _, ev := range evs {
+		if ev.Cat == "transform" {
+			continue
+		}
+		ok := false
+		for _, r := range byTrack[ev.Track] {
+			if contains(r, ev) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("span %s/%s on track %d not contained in any transform span", ev.Cat, ev.Name, ev.Track)
+		}
+	}
+}
+
+// TestUnknownReasonSpanAnnotations crafts one scenario per UnknownReason
+// and checks the reason string lands on the transform span.
+func TestUnknownReasonSpanAnnotations(t *testing.T) {
+	simple := "%r = add %x, 0\n=>\n%r = %x\n"
+	hard32 := "%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x\n"
+	// Valid refinement (source undef absorbs any target choice) whose
+	// CEGIS needs more than the single round the hook allows.
+	undefCEGIS := "%r = add undef, %x\n=>\n%r = undef\n"
+
+	cases := []struct {
+		reason UnknownReason
+		src    string
+		opts   Options
+		setup  func(t *testing.T) (ctx context.Context, teardown func())
+	}{
+		{
+			reason: ReasonCancelled,
+			src:    hardTransform,
+			opts:   hardOpts,
+			setup: func(t *testing.T) (context.Context, func()) {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				return ctx, func() {}
+			},
+		},
+		{
+			reason: ReasonDeadline,
+			src:    hardTransform,
+			opts: func() Options {
+				o := hardOpts
+				o.Timeout = 30 * time.Millisecond
+				return o
+			}(),
+		},
+		{
+			reason: ReasonConflictBudget,
+			src:    hard32,
+			opts:   Options{Widths: []int{32}, MaxConflicts: 1},
+		},
+		{
+			reason: ReasonEncoding,
+			src:    "Pre: totallyMadeUp(%x)\n" + simple,
+			opts:   Options{Widths: []int{4}},
+		},
+		{
+			reason: ReasonPanic,
+			src:    simple,
+			opts:   Options{Widths: []int{4}},
+			setup: func(t *testing.T) (context.Context, func()) {
+				testHookAfterTyping = func(*ir.Transform) { panic("injected for telemetry") }
+				return context.Background(), func() { testHookAfterTyping = nil }
+			},
+		},
+		{
+			reason: ReasonCEGISRounds,
+			src:    undefCEGIS,
+			opts:   Options{Widths: []int{4}, MaxAssignments: 1},
+			setup: func(t *testing.T) (context.Context, func()) {
+				testHookSolver = func(s *solver.Solver) { s.MaxRounds = 1 }
+				return context.Background(), func() { testHookSolver = nil }
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.reason.String(), func(t *testing.T) {
+			ctx := context.Background()
+			if tc.setup != nil {
+				var teardown func()
+				ctx, teardown = tc.setup(t)
+				defer teardown()
+			}
+			tracer := telemetry.New()
+			opts := tc.opts
+			opts.Trace = tracer
+			tr := parseOne(t, tc.src)
+			res := VerifyContext(ctx, tr, opts)
+			if res.Verdict != Unknown || res.Reason != tc.reason {
+				t.Fatalf("got %v/%v, want unknown/%v", res.Verdict, res.Reason, tc.reason)
+			}
+			roots := eventsInCat(tracer.Events(), "transform")
+			if len(roots) != 1 {
+				t.Fatalf("transform spans = %d, want 1", len(roots))
+			}
+			got, ok := eventAttr(roots[0], "unknown_reason")
+			if !ok {
+				t.Fatal("transform span has no unknown_reason annotation")
+			}
+			if got != tc.reason.String() {
+				t.Fatalf("unknown_reason = %v, want %q", got, tc.reason.String())
+			}
+		})
+	}
+}
+
+// TestSummaryAndNDJSON checks the corpus digest: record shape, slowest
+// ordering, and that the NDJSON stream round-trips as JSON.
+func TestSummaryAndNDJSON(t *testing.T) {
+	var ts []*ir.Transform
+	for _, s := range []string{
+		"Name: quick\n%r = add %x, 0\n=>\n%r = %x\n",
+		"Name: quicker\n%r = and %x, %x\n=>\n%r = %x\n",
+	} {
+		ts = append(ts, parseOne(t, s))
+	}
+	results, stats := RunCorpus(context.Background(), ts, CorpusOptions{
+		Verify:  Options{Widths: []int{8}},
+		Workers: 2,
+	})
+	sum := Summarize(results, stats)
+	if len(sum.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(sum.Records))
+	}
+	if sum.SolveTime.N != 2 {
+		t.Fatalf("solve-time histogram N = %d, want 2", sum.SolveTime.N)
+	}
+	slow := sum.Slowest(5)
+	if len(slow) != 2 {
+		t.Fatalf("slowest = %d entries, want 2", len(slow))
+	}
+	if slow[0].DurationUS < slow[1].DurationUS {
+		t.Error("slowest not sorted descending")
+	}
+
+	var buf bytes.Buffer
+	if err := sum.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("NDJSON lines = %d, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		for _, key := range []string{"name", "verdict", "duration_us", "counters"} {
+			if _, ok := rec[key]; !ok {
+				t.Errorf("NDJSON record missing %q", key)
+			}
+		}
+	}
+
+	var rbuf bytes.Buffer
+	sum.Render(&rbuf, 5)
+	out := rbuf.String()
+	for _, want := range []string{"verification telemetry", "slowest transformations", "per-transform wall time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q", want)
+		}
+	}
+}
+
+// TestResultCountersWithoutTracer checks satellite requirement 6: the
+// counters flow through Result with no tracer attached.
+func TestResultCountersWithoutTracer(t *testing.T) {
+	tr := parseOne(t, "%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x\n")
+	res := Verify(tr, Options{Widths: []int{8}})
+	if res.Verdict != Valid {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Counters.CDCLRuns == 0 || res.Counters.Propagations == 0 {
+		t.Fatalf("solver counters empty without tracer: %+v", res.Counters)
+	}
+	if res.Counters.Checks == 0 {
+		t.Fatal("check counter empty")
+	}
+}

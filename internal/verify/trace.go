@@ -1,0 +1,54 @@
+package verify
+
+import (
+	"alive/internal/ir"
+	"alive/internal/telemetry"
+)
+
+// startTransformSpan opens the per-transformation root span. With no
+// tracer configured it returns nil and every downstream span operation
+// is a nil-receiver no-op — the telemetry-off fast path.
+func startTransformSpan(opts Options, t *ir.Transform) *telemetry.Span {
+	track := opts.Track
+	if track == nil {
+		if opts.Trace == nil {
+			return nil
+		}
+		track = opts.Trace.NewTrack("verify")
+	}
+	name := t.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	return track.Start(name, "transform")
+}
+
+// finishTransformSpan annotates the root span with the final outcome —
+// verdict, structured Unknown reason, give-up location, and the
+// aggregated counters — and completes it. It runs after the panic
+// handler, so a recovered panic is annotated too.
+func finishTransformSpan(span *telemetry.Span, res *Result) {
+	if span == nil {
+		return
+	}
+	span.SetAttr("verdict", res.Verdict.String())
+	if res.Verdict == Unknown {
+		span.SetAttr("unknown_reason", res.Reason.String())
+		if res.GaveUpAssignment >= 0 {
+			span.SetInt("gave_up_assignment", int64(res.GaveUpAssignment))
+		}
+		if res.GaveUpCondition != "" {
+			span.SetAttr("gave_up_condition", res.GaveUpCondition)
+		}
+	}
+	if res.Err != nil {
+		span.SetAttr("error", res.Err.Error())
+	}
+	span.SetInt("type_assignments", int64(res.TypeAssignments))
+	span.SetInt("queries", int64(res.Queries))
+	if res.Escalations > 0 {
+		span.SetInt("escalations", int64(res.Escalations))
+	}
+	span.SetCounters(res.Counters)
+	span.End()
+}

@@ -27,6 +27,7 @@ import (
 	"alive/internal/lint"
 	"alive/internal/smt"
 	"alive/internal/solver"
+	"alive/internal/telemetry"
 	"alive/internal/typing"
 	"alive/internal/vcgen"
 )
@@ -147,6 +148,16 @@ type Options struct {
 	// in the solver layer (the -presolve=off escape hatch): every
 	// query bit-blasts directly, as before the presolver existed.
 	DisablePresolve bool
+	// Trace, when non-nil, records hierarchical spans for every pipeline
+	// phase (lint, typing, vcgen, presolve, bitblast, CDCL, CEGIS) into
+	// the tracer; export with Tracer.WriteChromeTrace. Nil (the default)
+	// keeps the pipeline span-free at nil-receiver cost — counters in
+	// Result.Counters are populated either way.
+	Trace *telemetry.Tracer
+	// Track is the tracer track (one Perfetto row) spans land on;
+	// RunCorpus assigns one per worker. Nil with Trace set allocates a
+	// fresh track per verification.
+	Track *telemetry.Track
 }
 
 // Result is the outcome of Verify.
@@ -181,9 +192,13 @@ type Result struct {
 	// assignments.
 	Escalations int
 
-	// Presolve aggregates abstract-interpretation presolver statistics
-	// across every solver query of this verification.
-	Presolve solver.PresolveStats
+	// Counters aggregates the telemetry counters — SAT-core work
+	// (propagations, conflicts, decisions, restarts, learned clauses),
+	// presolver outcomes, CNF sizes, CEGIS rounds — across every solver
+	// query of this verification. Populated whether or not a tracer is
+	// attached, so `alive -v` can print per-transform solver work with
+	// telemetry off.
+	Counters telemetry.Counters
 	// QueriesDischarged counts correctness conditions (the Queries
 	// counter) decided without a single CDCL run.
 	QueriesDischarged int
@@ -252,6 +267,11 @@ func Verify(t *ir.Transform, opts Options) Result {
 // — a fault-injection seam for exercising panic isolation in tests.
 var testHookAfterTyping func(*ir.Transform)
 
+// testHookSolver, when non-nil, runs on each freshly built per-assignment
+// solver — a seam for tests to tighten budgets (e.g. CEGIS MaxRounds)
+// that Options does not expose.
+var testHookSolver func(*solver.Solver)
+
 // escalationStart is the first rung of the conflict-budget ladder when a
 // deadline is present but MaxConflicts is unbounded.
 const escalationStart = 1 << 14
@@ -267,6 +287,11 @@ func VerifyContext(ctx context.Context, t *ir.Transform, opts Options) (res Resu
 	start := time.Now()
 	opts = opts.withDefaults()
 	res = Result{Transform: t, Verdict: Valid, GaveUpAssignment: -1}
+	span := startTransformSpan(opts, t)
+	// Deferred LIFO: the span finalizer registered first runs last, after
+	// the panic handler and the duration stamp, so it annotates the final
+	// verdict (including a recovered panic).
+	defer finishTransformSpan(span, &res)
 	defer func() { res.Duration = time.Since(start) }()
 	defer func() {
 		if r := recover(); r != nil {
@@ -282,7 +307,10 @@ func VerifyContext(ctx context.Context, t *ir.Transform, opts Options) (res Resu
 	defer release()
 
 	if opts.Lint {
+		lspan := span.Child("lint", "lint")
 		res.Lint = lint.Transform(t)
+		lspan.SetInt("diagnostics", int64(len(res.Lint)))
+		lspan.End()
 		if lint.HasErrors(res.Lint) {
 			res.Verdict = Rejected
 			return res
@@ -302,17 +330,22 @@ func VerifyContext(ctx context.Context, t *ir.Transform, opts Options) (res Resu
 		}
 	}
 
+	tspan := span.Child("typing", "typing")
 	asgs, err := typing.Infer(t, typing.Options{
 		Widths:         widths,
 		PtrWidth:       opts.PtrWidth,
 		MaxAssignments: opts.MaxAssignments,
 	})
 	if err != nil {
+		tspan.SetAttr("error", err.Error())
+		tspan.End()
 		res.Verdict = Unknown
 		res.Reason = ReasonEncoding
 		res.Err = err
 		return res
 	}
+	tspan.SetInt("assignments", int64(len(asgs)))
+	tspan.End()
 	if testHookAfterTyping != nil {
 		testHookAfterTyping(t)
 	}
@@ -328,7 +361,7 @@ func VerifyContext(ctx context.Context, t *ir.Transform, opts Options) (res Resu
 			res.GaveUpAssignment = i
 			return res
 		}
-		v, cex, queries, escalations, detail := verifyAssignment(t, asg, opts, g, &res)
+		v, cex, queries, escalations, detail := verifyAssignment(t, asg, opts, g, &res, span, i)
 		res.Queries += queries
 		res.Escalations += escalations
 		switch v {
@@ -359,14 +392,26 @@ type unknownDetail struct {
 // conflict-budget escalation ladder on budget-bound Unknowns while the
 // deadline leaves time: each retry multiplies the budget by 4, so the
 // total work stays within ~4/3 of the final (successful) rung.
-func verifyAssignment(t *ir.Transform, asg *typing.Assignment, opts Options, g *governor, res *Result) (Verdict, *Counterexample, int, int, unknownDetail) {
+func verifyAssignment(t *ir.Transform, asg *typing.Assignment, opts Options, g *governor, res *Result, span *telemetry.Span, index int) (v Verdict, cex *Counterexample, queries, escalations int, detail unknownDetail) {
+	aspan := span.Child("assignment", "assignment")
+	if aspan != nil {
+		aspan.SetInt("index", int64(index))
+		aspan.SetAttr("types", asg.String())
+		defer func() {
+			aspan.SetAttr("verdict", v.String())
+			if escalations > 0 {
+				aspan.SetInt("escalations", int64(escalations))
+			}
+			aspan.End()
+		}()
+	}
 	budget := opts.MaxConflicts
 	if g.hasDeadline() && budget <= 0 {
 		budget = escalationStart
 	}
-	queries, escalations := 0, 0
 	for {
-		v, cex, q, detail := verifyOne(t, asg, opts, budget, g, res)
+		var q int
+		v, cex, q, detail = verifyOne(t, asg, opts, budget, g, res, aspan)
 		queries += q
 		if v != Unknown {
 			return v, cex, queries, escalations, unknownDetail{}
@@ -454,26 +499,43 @@ func condName(k CexKind) string {
 // verifyOne checks conditions 1-4 under a single type assignment with
 // the given conflict budget, reporting which condition and why on an
 // Unknown outcome.
-func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflicts int64, g *governor, res *Result) (Verdict, *Counterexample, int, unknownDetail) {
+func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflicts int64, g *governor, res *Result, aspan *telemetry.Span) (Verdict, *Counterexample, int, unknownDetail) {
+	vspan := aspan.Child("vcgen", "vcgen")
 	b, enc, conds, err := buildConditions(t, asg, opts)
 	if err != nil {
+		vspan.SetAttr("error", err.Error())
+		vspan.End()
 		return Unknown, nil, 0, unknownDetail{reason: ReasonEncoding, err: err}
 	}
+	vspan.SetInt("conditions", int64(len(conds)))
+	vspan.End()
 	sol := solver.Solver{MaxConflicts: maxConflicts, Stop: &g.flag, DisablePresolve: opts.DisablePresolve}
+	if testHookSolver != nil {
+		testHookSolver(&sol)
+	}
 	if res != nil {
 		// Aggregate however the loop exits (valid, invalid, or unknown).
-		defer func() { res.Presolve.Add(sol.Presolve) }()
+		defer func() { res.Counters.Add(sol.Stats) }()
 	}
 	queries := 0
 	for _, cond := range conds {
 		queries++
-		before := sol.Presolve
+		cspan := aspan.Child("check:"+condName(cond.kind), "condition")
+		sol.Span = cspan
+		before := sol.Stats
 		r := sol.CheckExistsForall(b, cond.body, enc.SrcUndefs)
+		sol.Span = nil
+		if cspan != nil {
+			cspan.SetAttr("status", r.Status.String())
+			cspan.SetInt("cegis_rounds", int64(r.Rounds))
+			cspan.SetCounters(sol.Stats.Sub(before))
+			cspan.End()
+		}
 		if res != nil {
-			if sol.Presolve.CDCLRuns == before.CDCLRuns {
+			if sol.Stats.CDCLRuns == before.CDCLRuns {
 				res.QueriesDischarged++
 			}
-			if sol.Presolve.Simplified > before.Simplified {
+			if sol.Stats.Simplified > before.Simplified {
 				res.QueriesSimplified++
 			}
 		}
