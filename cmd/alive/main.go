@@ -75,6 +75,7 @@ func run() int {
 	dumpSMT := flag.Bool("dump-smt", false, "print the verification conditions as SMT-LIB 2 scripts")
 	lintFlag := flag.Bool("lint", false, "reject transformations with lint errors before proving")
 	presolve := flag.String("presolve", "on", "abstract-interpretation presolver before the SAT core (on|off)")
+	preprocess := flag.String("preprocess", "on", "SatELite-style CNF preprocessing between bit-blasting and the SAT core (on|off)")
 	quiet := flag.Bool("quiet", false, "suppress counterexample details")
 	verbose := flag.Bool("v", false, "print per-transformation solver counters")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
@@ -94,6 +95,14 @@ func run() int {
 		opts.DisablePresolve = true
 	default:
 		fmt.Fprintf(os.Stderr, "alive: -presolve must be on or off, got %q\n", *presolve)
+		return 2
+	}
+	switch *preprocess {
+	case "on":
+	case "off":
+		opts.DisablePreprocess = true
+	default:
+		fmt.Fprintf(os.Stderr, "alive: -preprocess must be on or off, got %q\n", *preprocess)
 		return 2
 	}
 	if *widthsFlag != "" {
@@ -348,6 +357,8 @@ func printResult(name, file string, res alive.Result, quiet, verbose bool) {
 		fmt.Printf("    solver: %d CDCL runs, %d propagations, %d conflicts, %d decisions, %d restarts, %d learned; presolve %d/%d decided+simplified; %d CNF vars, %d clauses\n",
 			c.CDCLRuns, c.Propagations, c.Conflicts, c.Decisions, c.Restarts, c.LearnedClauses,
 			c.Decided+c.Simplified, c.Checks, c.CNFVars, c.CNFClauses)
+		fmt.Printf("    preprocess: %d vars eliminated, %d subsumed, %d strengthened, %d blocked, %d probe units\n",
+			c.VarsEliminated, c.ClausesSubsumed, c.ClausesStrengthened, c.ClausesBlocked, c.ProbeUnits)
 	}
 }
 

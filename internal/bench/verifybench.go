@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
 	"alive/internal/suite"
@@ -16,8 +17,11 @@ import (
 
 // VerifyReportSchema versions BENCH_verify.json; bump it whenever a
 // field changes meaning so the CI comparator can refuse mismatched
-// baselines instead of mis-reading them.
-const VerifyReportSchema = 1
+// baselines instead of mis-reading them. Version 2: CNF preprocessing
+// landed — the counters block gained the per-pass preprocessor columns
+// and cnf_clauses/propagations/conflicts now measure the preprocessed
+// search.
+const VerifyReportSchema = 2
 
 // VerifySlow is one entry of the report's slowest-transforms table.
 // Durations are machine-dependent and informational; the comparator
@@ -52,6 +56,13 @@ type VerifyReport struct {
 
 	Queries  int                `json:"queries"`
 	Counters telemetry.Counters `json:"counters"`
+
+	// CounterKeys lists the counter columns literally present in a
+	// loaded baseline file (LoadVerifyReport fills it from the raw
+	// JSON). The comparator uses it to fail when a baseline predates a
+	// counter the ±tolerance policy is supposed to cover — a missing
+	// column would otherwise unmarshal as zero and pass silently.
+	CounterKeys []string `json:"-"`
 
 	// WallMS and PeakHeapBytes depend on the machine and the scheduler;
 	// the comparator reports them but never fails on them.
@@ -173,6 +184,15 @@ func LoadVerifyReport(path string) (*VerifyReport, error) {
 	if rep.SchemaVersion != VerifyReportSchema {
 		return nil, fmt.Errorf("%s: schema version %d, want %d", path, rep.SchemaVersion, VerifyReportSchema)
 	}
+	var raw struct {
+		Counters map[string]json.RawMessage `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &raw); err == nil {
+		for k := range raw.Counters {
+			rep.CounterKeys = append(rep.CounterKeys, k)
+		}
+		sort.Strings(rep.CounterKeys)
+	}
 	return &rep, nil
 }
 
@@ -207,6 +227,22 @@ func CompareVerifyReports(base, cur *VerifyReport, tol float64) (fails, notes []
 	if !baselineWidthsEqual(base.Widths, cur.Widths) {
 		fails = append(fails, fmt.Sprintf("widths: %v, baseline %v (not comparable)", cur.Widths, base.Widths))
 		return fails, notes
+	}
+
+	// A baseline loaded from disk carries the counter columns literally
+	// present in its JSON; every column of the current policy table must
+	// be there, or the ±tolerance gate would silently compare against an
+	// unmarshal-default zero.
+	if base.CounterKeys != nil {
+		present := map[string]bool{}
+		for _, k := range base.CounterKeys {
+			present[k] = true
+		}
+		base.Counters.Each(func(name string, _ int64) {
+			if !present[name] {
+				fails = append(fails, fmt.Sprintf("counter %s: missing from baseline (stale baseline file — regenerate it)", name))
+			}
+		})
 	}
 
 	// The two Each calls visit fields in the same declared order, so the

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -41,6 +42,14 @@ func TestVerifyReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Loading records the counter columns present in the file — one per
+	// field of the counters block.
+	want := 0
+	rep.Counters.Each(func(string, int64) { want++ })
+	if len(got.CounterKeys) != want {
+		t.Fatalf("loaded %d counter keys, want %d: %v", len(got.CounterKeys), want, got.CounterKeys)
+	}
+	got.CounterKeys = nil
 	if !reflect.DeepEqual(got, rep) {
 		t.Fatalf("round trip changed the report:\n got %+v\nwant %+v", got, rep)
 	}
@@ -121,6 +130,42 @@ func TestCompareVerifyReportsWidthsGate(t *testing.T) {
 	fails, _ := CompareVerifyReports(base, cur, 0.25)
 	if len(fails) != 1 || !strings.Contains(fails[0], "widths") {
 		t.Fatalf("width mismatch not gated: %v", fails)
+	}
+}
+
+func TestCompareVerifyReportsMissingCounterColumn(t *testing.T) {
+	// A baseline file that predates a counter must fail the gate loudly:
+	// the missing column would otherwise unmarshal as zero and compare
+	// as an "improvement".
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_verify.json")
+	if err := WriteVerifyReport(path, sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := strings.Replace(string(data), "\"probe_units\": 0,\n", "", 1)
+	if stripped == string(data) {
+		t.Fatal("test setup: probe_units column not found in the written report")
+	}
+	if err := os.WriteFile(path, []byte(stripped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadVerifyReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, _ := CompareVerifyReports(base, sampleReport(), 0.25)
+	found := false
+	for _, f := range fails {
+		if strings.Contains(f, "probe_units") && strings.Contains(f, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing counter column not flagged: %v", fails)
 	}
 }
 

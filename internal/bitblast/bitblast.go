@@ -21,10 +21,24 @@ import (
 // solver package converts it into an Unknown result).
 var ErrStopped = errors.New("bitblast: encoding stopped")
 
-// Blaster converts terms to clauses over a backing SAT solver. All terms
-// passed to one Blaster must come from the same smt.Builder.
+// ClauseDB is the clause sink a Blaster lowers into: the CDCL solver
+// itself, or a staged clause database (cnf.Formula) that a preprocessor
+// rewrites before search. *sat.Solver satisfies it directly.
+type ClauseDB interface {
+	// NewVar allocates a fresh 1-based variable.
+	NewVar() int
+	// AddClause adds a clause; it returns false once the database is
+	// known unsatisfiable at the root.
+	AddClause(lits ...sat.Lit) bool
+	// NumVars and NumClauses report the database size for telemetry.
+	NumVars() int
+	NumClauses() int
+}
+
+// Blaster converts terms to clauses over a backing clause database. All
+// terms passed to one Blaster must come from the same smt.Builder.
 type Blaster struct {
-	S *sat.Solver
+	S ClauseDB
 
 	// Stop, when non-nil, is polled during lowering; once it trips, the
 	// encoding panics with ErrStopped.
@@ -83,8 +97,8 @@ func (bl *Blaster) EncodeStats() Stats {
 	}
 }
 
-// New returns a Blaster over solver s.
-func New(s *sat.Solver) *Blaster {
+// New returns a Blaster over the clause database s.
+func New(s ClauseDB) *Blaster {
 	bl := &Blaster{
 		S:         s,
 		boolCache: map[*smt.Term]sat.Lit{},
@@ -573,15 +587,17 @@ func (bl *Blaster) CachedBits(t *smt.Term) ([]sat.Lit, bool) {
 }
 
 // BVVarValue reads the model value of a BitVec variable after a Sat
-// result; missing variables (never blasted) read as zero.
-func (bl *Blaster) BVVarValue(name string, width int) bv.Vec {
+// result, given a variable-truth reader (sat.Solver.ValueOf, or a
+// closure over a preprocessor-extended model); missing variables (never
+// blasted) read as zero.
+func (bl *Blaster) BVVarValue(name string, width int, value func(v int) bool) bv.Vec {
 	bits, ok := bl.bvVars[name]
 	if !ok {
 		return bv.Zero(width)
 	}
 	v := bv.Zero(width)
 	for i, l := range bits {
-		val := bl.S.ValueOf(l.Var())
+		val := value(l.Var())
 		if l.Neg() {
 			val = !val
 		}
@@ -592,13 +608,14 @@ func (bl *Blaster) BVVarValue(name string, width int) bv.Vec {
 	return v
 }
 
-// BoolVarValue reads the model value of a Bool variable after Sat.
-func (bl *Blaster) BoolVarValue(name string) bool {
+// BoolVarValue reads the model value of a Bool variable after Sat,
+// given a variable-truth reader.
+func (bl *Blaster) BoolVarValue(name string, value func(v int) bool) bool {
 	l, ok := bl.boolVars[name]
 	if !ok {
 		return false
 	}
-	val := bl.S.ValueOf(l.Var())
+	val := value(l.Var())
 	if l.Neg() {
 		val = !val
 	}

@@ -18,6 +18,12 @@ func solveTerm(t *smt.Term) (sat.Status, *Blaster) {
 	return core.Solve(), bl
 }
 
+// valueOf exposes the backing solver's model reader for the var-value
+// helpers.
+func valueOf(bl *Blaster) func(v int) bool {
+	return bl.S.(*sat.Solver).ValueOf
+}
+
 func TestConstTrueFalse(t *testing.T) {
 	b := smt.NewBuilder()
 	b.Simplify = false
@@ -37,7 +43,7 @@ func TestSimpleEquality(t *testing.T) {
 	if st != sat.Sat {
 		t.Fatal("x+1=0 should be sat")
 	}
-	if got := bl.BVVarValue("x", 8); got.Uint64() != 0xFF {
+	if got := bl.BVVarValue("x", 8, valueOf(bl)); got.Uint64() != 0xFF {
 		t.Fatalf("x = %s, want 0xFF", got)
 	}
 }
@@ -320,14 +326,14 @@ func TestModelExtraction(t *testing.T) {
 	if st != sat.Sat {
 		t.Fatal("should be sat")
 	}
-	if got := bl.BVVarValue("x", 16); got.Uint64() != 0xBEEF {
+	if got := bl.BVVarValue("x", 16, valueOf(bl)); got.Uint64() != 0xBEEF {
 		t.Fatalf("x = %s", got)
 	}
-	if !bl.BoolVarValue("p") {
+	if !bl.BoolVarValue("p", valueOf(bl)) {
 		t.Fatal("p should be true")
 	}
 	// Unknown variables read as defaults.
-	if !bl.BVVarValue("nope", 8).IsZero() || bl.BoolVarValue("nope") {
+	if !bl.BVVarValue("nope", 8, valueOf(bl)).IsZero() || bl.BoolVarValue("nope", valueOf(bl)) {
 		t.Fatal("unknown variables should read zero/false")
 	}
 }

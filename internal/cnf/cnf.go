@@ -1,0 +1,180 @@
+// Package cnf is a SatELite-style static-analysis pipeline over the
+// bit-blasted clause database: the formula produced by bitblast is
+// staged in a Formula instead of streaming straight into the CDCL core,
+// a preprocessor rewrites it — subsumption, self-subsuming resolution,
+// bounded variable elimination, blocked clause elimination,
+// failed-literal probing, root-level unit saturation — and the
+// simplified clauses are then loaded into sat.Solver for search.
+//
+// Variable elimination and blocked clause elimination only preserve
+// equisatisfiability, not models, so every clause they remove is
+// recorded on a reconstruction stack together with a witness literal.
+// ExtendModel replays the stack in reverse to turn any model of the
+// simplified formula into a model of the original one, which keeps the
+// smt.Model values read back by the verifier (counterexamples, CEGIS
+// refinement points) exact.
+package cnf
+
+import "alive/internal/sat"
+
+// clause is a stored clause plus a 64-bit signature over its literals
+// (a bloom filter: sig(C) ⊆ sig(D) is necessary for C ⊆ D, so most
+// subsumption candidates are rejected without touching the literals).
+type clause struct {
+	lits    []sat.Lit
+	sig     uint64
+	deleted bool
+}
+
+func litSig(l sat.Lit) uint64 { return 1 << (uint32(l) % 64) }
+
+func computeSig(lits []sat.Lit) uint64 {
+	var s uint64
+	for _, l := range lits {
+		s |= litSig(l)
+	}
+	return s
+}
+
+// Formula is a clause database with root-level simplification on add:
+// duplicate literals collapse, tautologies are dropped, literals false
+// under the current root assignment are removed, and unit clauses are
+// absorbed into the root assignment immediately. It implements the same
+// NewVar/AddClause surface as sat.Solver, so bitblast can lower into
+// either.
+type Formula struct {
+	nvars   int
+	clauses []*clause
+	live    int
+	// value is the root-level assignment, 1-indexed: 0 unknown, 1 true,
+	// -1 false.
+	value []int8
+	// unitQ holds root assignments not yet saturated through the clause
+	// database (saturation needs occurrence lists, which are built by
+	// the preprocessor; AddClause only filters against value).
+	unitQ []sat.Lit
+	ok    bool
+}
+
+// NewFormula returns an empty formula.
+func NewFormula() *Formula {
+	return &Formula{value: make([]int8, 1), ok: true}
+}
+
+// NewVar allocates a fresh 1-based variable.
+func (f *Formula) NewVar() int {
+	f.nvars++
+	f.value = append(f.value, 0)
+	return f.nvars
+}
+
+// NumVars returns the number of allocated variables.
+func (f *Formula) NumVars() int { return f.nvars }
+
+// NumClauses returns the number of live (non-unit) clauses.
+func (f *Formula) NumClauses() int { return f.live }
+
+// NumUnits returns the number of root-assigned variables.
+func (f *Formula) NumUnits() int {
+	n := 0
+	for v := 1; v <= f.nvars; v++ {
+		if f.value[v] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Ok reports whether the formula is still possibly satisfiable; it
+// turns false when an added or derived clause conflicts with the root
+// assignment.
+func (f *Formula) Ok() bool { return f.ok }
+
+// litValue returns the root-level truth of l: 1 true, -1 false, 0
+// unassigned.
+func (f *Formula) litValue(l sat.Lit) int8 {
+	v := f.value[l.Var()]
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+// assign records l as true at the root. It returns false on conflict
+// with an earlier assignment (and marks the formula unsatisfiable).
+func (f *Formula) assign(l sat.Lit) bool {
+	switch f.litValue(l) {
+	case 1:
+		return true
+	case -1:
+		f.ok = false
+		return false
+	}
+	if l.Neg() {
+		f.value[l.Var()] = -1
+	} else {
+		f.value[l.Var()] = 1
+	}
+	f.unitQ = append(f.unitQ, l)
+	return true
+}
+
+// AddClause adds a clause, simplifying against the root assignment. It
+// returns false once the formula is known unsatisfiable (matching
+// sat.Solver.AddClause).
+func (f *Formula) AddClause(lits ...sat.Lit) bool {
+	if !f.ok {
+		return false
+	}
+	out := make([]sat.Lit, 0, len(lits))
+	var seen uint64
+	for _, l := range lits {
+		switch f.litValue(l) {
+		case 1:
+			return true // satisfied at root
+		case -1:
+			continue // false at root: drop
+		}
+		dup := false
+		if litSig(l)&seen != 0 {
+			for _, o := range out {
+				if o == l {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
+			continue
+		}
+		for _, o := range out {
+			if o == l.Not() {
+				return true // tautology
+			}
+		}
+		seen |= litSig(l)
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		f.ok = false
+		return false
+	case 1:
+		return f.assign(out[0])
+	}
+	f.clauses = append(f.clauses, &clause{lits: out, sig: computeSig(out)})
+	f.live++
+	return true
+}
+
+// delete marks c dead. Occurrence lists are cleaned lazily.
+func (f *Formula) delete(c *clause) {
+	if !c.deleted {
+		c.deleted = true
+		f.live--
+	}
+}
+
+func litTrue(model []bool, l sat.Lit) bool {
+	return model[l.Var()] != l.Neg()
+}

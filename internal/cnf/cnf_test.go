@@ -1,0 +1,322 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"alive/internal/sat"
+)
+
+func lit(v int) sat.Lit {
+	if v < 0 {
+		return sat.MkLit(-v, true)
+	}
+	return sat.MkLit(v, false)
+}
+
+// newFormula builds a formula with n variables and the given clauses
+// (DIMACS-style signed ints).
+func newFormula(n int, clauses ...[]int) *Formula {
+	f := NewFormula()
+	for i := 0; i < n; i++ {
+		f.NewVar()
+	}
+	for _, c := range clauses {
+		lits := make([]sat.Lit, len(c))
+		for i, v := range c {
+			lits[i] = lit(v)
+		}
+		f.AddClause(lits...)
+	}
+	return f
+}
+
+func TestAddClauseNormalization(t *testing.T) {
+	f := newFormula(3)
+	if !f.AddClause(lit(1), lit(1), lit(2)) || f.NumClauses() != 1 {
+		t.Fatalf("duplicate literal not collapsed: %d clauses", f.NumClauses())
+	}
+	if !f.AddClause(lit(1), lit(-1)) || f.NumClauses() != 1 {
+		t.Fatal("tautology not dropped")
+	}
+	if !f.AddClause(lit(3)) || f.value[3] != 1 {
+		t.Fatal("unit not absorbed into the root assignment")
+	}
+	if !f.AddClause(lit(-3), lit(2)) {
+		t.Fatal("clause with one false literal must stay satisfiable")
+	}
+	if f.value[2] != 1 {
+		t.Fatal("stripping the false literal should leave a unit")
+	}
+	if f.AddClause(lit(-2), lit(-3)) || f.Ok() {
+		t.Fatal("clause false under the root assignment must refute")
+	}
+}
+
+func TestSaturationRefutes(t *testing.T) {
+	// 1; ¬1 ∨ 2; ¬2 — unit propagation alone refutes.
+	f := newFormula(2, []int{1}, []int{-1, 2}, []int{-2})
+	res := Preprocess(f, Options{})
+	if !res.Unsat {
+		t.Fatal("saturation should refute")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	f := newFormula(3, []int{1, 2}, []int{1, 2, 3})
+	res := Preprocess(f, Options{NoElim: true, NoBlocked: true, NoProbe: true})
+	if res.Stats.ClausesSubsumed != 1 {
+		t.Fatalf("subsumed = %d, want 1", res.Stats.ClausesSubsumed)
+	}
+	if f.NumClauses() != 1 {
+		t.Fatalf("clauses = %d, want 1", f.NumClauses())
+	}
+}
+
+func TestSelfSubsumingResolution(t *testing.T) {
+	// (1 ∨ 2) strengthens (¬1 ∨ 2 ∨ 3) to (2 ∨ 3).
+	f := newFormula(3, []int{1, 2}, []int{-1, 2, 3})
+	res := Preprocess(f, Options{NoElim: true, NoBlocked: true, NoProbe: true})
+	if res.Stats.ClausesStrengthened != 1 {
+		t.Fatalf("strengthened = %d, want 1", res.Stats.ClausesStrengthened)
+	}
+	found := false
+	for _, c := range f.clauses {
+		if !c.deleted && len(c.lits) == 2 && contains(c.lits, lit(2)) && contains(c.lits, lit(3)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected the strengthened clause (2 ∨ 3)")
+	}
+}
+
+func TestProbeFindsFailedLiteral(t *testing.T) {
+	// Assuming ¬1 propagates 2 (from 1∨2) and ¬2 (from 1∨¬2): conflict,
+	// so 1 is forced at the root.
+	f := newFormula(2, []int{1, 2}, []int{1, -2})
+	res := Preprocess(f, Options{NoSubsume: true, NoElim: true, NoBlocked: true})
+	if res.Stats.ProbeUnits == 0 {
+		t.Fatal("probing should find the failed literal ¬1")
+	}
+	if f.value[1] != 1 {
+		t.Fatal("variable 1 should be forced true")
+	}
+}
+
+// checkModel verifies that model (1-indexed) satisfies every clause.
+func checkModel(t *testing.T, model []bool, clauses [][]int) {
+	t.Helper()
+	for _, c := range clauses {
+		ok := false
+		for _, v := range c {
+			if v > 0 && model[v] || v < 0 && !model[-v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("reconstructed model %v violates clause %v", model, c)
+		}
+	}
+}
+
+// solveAndExtend preprocesses f, loads the remainder into a fresh CDCL
+// core, and returns the status plus the reconstructed full model.
+func solveAndExtend(t *testing.T, f *Formula, opts Options) (sat.Status, []bool) {
+	t.Helper()
+	res := Preprocess(f, opts)
+	if res.Unsat {
+		return sat.Unsat, nil
+	}
+	core := sat.New()
+	res.Load(core)
+	st := core.Solve()
+	if st != sat.Sat {
+		return st, nil
+	}
+	return st, res.ExtendModel(core.Model())
+}
+
+func TestEliminationReconstruction(t *testing.T) {
+	// Variable 1 is functionally defined; elimination removes it and the
+	// reconstruction stack must restore a consistent value.
+	clauses := [][]int{{1, 2}, {-1, 3}, {2, 3, 4}}
+	f := newFormula(4, clauses...)
+	st, model := solveAndExtend(t, f, Options{NoSubsume: true, NoBlocked: true, NoProbe: true})
+	if st != sat.Sat {
+		t.Fatalf("status = %v, want sat", st)
+	}
+	checkModel(t, model, clauses)
+}
+
+func TestPureLiteralReconstruction(t *testing.T) {
+	// Variable 1 occurs only positively: pure-literal elimination (BVE
+	// with an empty side) drops both clauses; reconstruction must set it
+	// true whenever the clauses would otherwise be violated.
+	clauses := [][]int{{1, 2}, {1, 3}, {-2, -3}}
+	f := newFormula(3, clauses...)
+	st, model := solveAndExtend(t, f, Options{NoSubsume: true, NoBlocked: true, NoProbe: true})
+	if st != sat.Sat {
+		t.Fatalf("status = %v, want sat", st)
+	}
+	checkModel(t, model, clauses)
+}
+
+func TestBlockedClauseReconstruction(t *testing.T) {
+	// (1 ∨ 2) is blocked on 1 when every clause with ¬1 resolves
+	// tautologically; flipping 1 must repair any model that violates it.
+	clauses := [][]int{{1, 2}, {-1, -2, 3}, {-3, 2}}
+	f := newFormula(3, clauses...)
+	st, model := solveAndExtend(t, f, Options{NoSubsume: true, NoElim: true, NoProbe: true})
+	if st != sat.Sat {
+		t.Fatalf("status = %v, want sat", st)
+	}
+	checkModel(t, model, clauses)
+}
+
+func TestStopFlagHalts(t *testing.T) {
+	var flag sat.StopFlag
+	flag.Stop()
+	clauses := [][]int{{1, 2}, {-1, 3}}
+	f := newFormula(3, clauses...)
+	res := Preprocess(f, Options{Stop: &flag})
+	// A stopped run does nothing beyond saturation but stays sound.
+	if res.Unsat {
+		t.Fatal("stopped preprocessing must not claim unsat")
+	}
+	if res.Stats.VarsEliminated+res.Stats.ClausesSubsumed+res.Stats.ClausesBlocked != 0 {
+		t.Fatal("stopped preprocessing should not run passes")
+	}
+}
+
+func TestBudgetHalts(t *testing.T) {
+	clauses := [][]int{{1, 2, 3}, {-1, 2, 4}, {3, -4, 5}, {-5, 1, 2}}
+	f := newFormula(5, clauses...)
+	res := Preprocess(f, Options{Budget: 1})
+	if res.Unsat {
+		t.Fatal("budget exhaustion must not claim unsat")
+	}
+	// Whatever partial work happened must remain equisatisfiable.
+	core := sat.New()
+	res.Load(core)
+	if st := core.Solve(); st != sat.Sat {
+		t.Fatalf("status = %v, want sat", st)
+	}
+}
+
+// TestDifferentialRandom cross-checks the full pipeline against an
+// unpreprocessed CDCL run on random CNFs, over every pass-toggle
+// combination: statuses must agree, and reconstructed models must
+// satisfy every original clause.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 400; iter++ {
+		nvars := 3 + rng.Intn(18)
+		nclauses := 2 + rng.Intn(4*nvars)
+		clauses := make([][]int, nclauses)
+		for i := range clauses {
+			n := 1 + rng.Intn(4)
+			c := make([]int, n)
+			for j := range c {
+				v := 1 + rng.Intn(nvars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+			}
+			clauses[i] = c
+		}
+
+		// Reference: plain CDCL, no preprocessing.
+		ref := sat.New()
+		for i := 0; i < nvars; i++ {
+			ref.NewVar()
+		}
+		for _, c := range clauses {
+			lits := make([]sat.Lit, len(c))
+			for j, v := range c {
+				lits[j] = lit(v)
+			}
+			ref.AddClause(lits...)
+		}
+		want := ref.Solve()
+
+		opts := Options{
+			NoSubsume: rng.Intn(4) == 0,
+			NoElim:    rng.Intn(4) == 0,
+			NoBlocked: rng.Intn(4) == 0,
+			NoProbe:   rng.Intn(4) == 0,
+		}
+		f := newFormula(nvars, clauses...)
+		st, model := solveAndExtend(t, f, opts)
+		if st != want {
+			t.Fatalf("iter %d: status %v with preprocessing %+v, want %v (clauses %v)",
+				iter, st, opts, want, clauses)
+		}
+		if st == sat.Sat {
+			checkModel(t, model, clauses)
+		}
+	}
+}
+
+// TestDifferentialEliminationHeavy stresses reconstruction specifically:
+// few variables, many clauses, only elimination and blocked-clause
+// passes (the two that lose models).
+func TestDifferentialEliminationHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		nvars := 2 + rng.Intn(8)
+		nclauses := 1 + rng.Intn(3*nvars)
+		clauses := make([][]int, nclauses)
+		for i := range clauses {
+			n := 1 + rng.Intn(3)
+			c := make([]int, n)
+			for j := range c {
+				v := 1 + rng.Intn(nvars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+			}
+			clauses[i] = c
+		}
+		ref := sat.New()
+		for i := 0; i < nvars; i++ {
+			ref.NewVar()
+		}
+		for _, c := range clauses {
+			lits := make([]sat.Lit, len(c))
+			for j, v := range c {
+				lits[j] = lit(v)
+			}
+			ref.AddClause(lits...)
+		}
+		want := ref.Solve()
+
+		f := newFormula(nvars, clauses...)
+		st, model := solveAndExtend(t, f, Options{NoSubsume: true, NoProbe: true})
+		if st != want {
+			t.Fatalf("iter %d: status %v, want %v (clauses %v)", iter, st, want, clauses)
+		}
+		if st == sat.Sat {
+			checkModel(t, model, clauses)
+		}
+	}
+}
+
+func TestLoadCarriesUnits(t *testing.T) {
+	f := newFormula(3, []int{2}, []int{-2, 3})
+	res := Preprocess(f, Options{})
+	core := sat.New()
+	res.Load(core)
+	if core.NumVars() != 3 {
+		t.Fatalf("vars = %d, want 3", core.NumVars())
+	}
+	if st := core.Solve(); st != sat.Sat {
+		t.Fatal("want sat")
+	}
+	if !core.ValueOf(2) || !core.ValueOf(3) {
+		t.Fatal("root units lost in Load")
+	}
+}

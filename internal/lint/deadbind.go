@@ -1,0 +1,82 @@
+package lint
+
+import "alive/internal/ir"
+
+// checkDeadBind flags source bindings nothing consumes (AL018). A bare
+// register or abstract constant in a source operand position binds a
+// name; if that name never reappears — not in the target, not in the
+// precondition, not inside any constant expression, and not as a second
+// bare occurrence (which would impose an equality constraint on the
+// match) — the binding is a pure wildcard. The transform still
+// verifies, but the name is dead weight: it suggests a forgotten
+// precondition or a constraint the author meant to write, and in a
+// pattern-matching driver it widens the match for no reason.
+func checkDeadBind(t *ir.Transform, r *Reporter) {
+	type binding struct {
+		name  string
+		pos   ir.Pos
+		count int // bare source occurrences; >1 is an equality constraint
+		used  bool
+	}
+	var order []ir.Value
+	binds := map[ir.Value]*binding{}
+
+	// Pass 1: collect the bare bindings. A constant expression in a
+	// source operand position does not bind the names inside it — the
+	// matcher must solve for them — so those count as uses below.
+	for _, in := range t.Source {
+		pos := t.PosOf(in)
+		for _, op := range ir.Operands(in) {
+			var name string
+			switch v := op.(type) {
+			case *ir.Input:
+				name = v.VName
+			case *ir.AbstractConst:
+				name = v.CName
+			default:
+				continue
+			}
+			b := binds[op]
+			if b == nil {
+				b = &binding{name: name, pos: pos}
+				binds[op] = b
+				order = append(order, op)
+			}
+			b.count++
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+
+	// Pass 2: mark uses from every other syntactic position.
+	use := func(v ir.Value) {
+		if b := binds[v]; b != nil {
+			b.used = true
+		}
+	}
+	for _, in := range t.Source {
+		for _, op := range ir.Operands(in) {
+			if _, ok := binds[op]; ok {
+				continue // the binding occurrences themselves
+			}
+			walkShallow(op, use)
+		}
+	}
+	for _, in := range t.Target {
+		for _, op := range ir.Operands(in) {
+			walkShallow(op, use)
+		}
+	}
+	ir.WalkPred(t.Pre, func(v ir.Value) { walkShallow(v, use) })
+
+	for _, op := range order {
+		b := binds[op]
+		if b.used || b.count > 1 {
+			continue
+		}
+		r.report("AL018", Warning, b.pos,
+			"a bound name nothing reads is a pure wildcard; if the value is really irrelevant this is fine, otherwise a precondition or target use is missing",
+			"source binds %s, which the target, precondition, and constant expressions never use", b.name)
+	}
+}

@@ -37,6 +37,7 @@
 //	AL015 warning  select condition decided; one arm is dead
 //	AL016 warning  comparison decided at every feasible width
 //	AL017 warning  nsw/nuw attribute provably cannot fire
+//	AL018 warning  source binds a name nothing else uses (dead binding)
 package lint
 
 import (
@@ -114,6 +115,7 @@ var Codes = []CodeInfo{
 	{"AL015", Warning, "dead select arm"},
 	{"AL016", Warning, "comparison decided at every feasible width"},
 	{"AL017", Warning, "provably redundant nsw/nuw attribute"},
+	{"AL018", Warning, "dead source binding"},
 }
 
 // Check is one per-transform analysis in the registry.
@@ -141,6 +143,7 @@ func Checks() []Check {
 		{"precondition", []string{"AL006", "AL007", "AL008"}, "vacuous, tautological, and constant-foldable preconditions", checkPre},
 		{"attrs", []string{"AL009"}, "poison attributes on operators that do not admit them", checkAttrs},
 		{"semantic", []string{"AL013", "AL014", "AL015", "AL016", "AL017"}, "abstract-interpretation findings over the VC encoding (known bits + intervals, no solver)", checkSemantic},
+		{"deadbind", []string{"AL018"}, "source bindings the rest of the transform never consumes (pure wildcards)", checkDeadBind},
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"alive/internal/absint"
 	"alive/internal/bitblast"
 	"alive/internal/bv"
+	"alive/internal/cnf"
 	"alive/internal/sat"
 	"alive/internal/smt"
 	"alive/internal/telemetry"
@@ -84,6 +85,12 @@ type Solver struct {
 	// every query goes straight to bit-blasting (the -presolve=off
 	// escape hatch and the baseline leg of the bench experiment).
 	DisablePresolve bool
+	// DisablePreprocess turns the CNF preprocessor off: bit-blasted
+	// clauses stream straight into the CDCL core instead of being
+	// staged, simplified (subsumption, variable elimination, blocked
+	// clauses, probing), and reloaded (the -preprocess=off escape hatch
+	// and the baseline leg of the preprocess bench experiment).
+	DisablePreprocess bool
 	// Stats accumulates the telemetry counters — presolver outcomes, SAT
 	// core work, CNF sizes, CEGIS rounds — across every query this
 	// Solver answers. Always on; plain int64 adds, no sink required.
@@ -138,6 +145,14 @@ func conjuncts(t *smt.Term) []*smt.Term {
 // can still discharge the query. Refinement facts that reach the CNF
 // are seeded as unit-clause hints; being consequences of the formula
 // they never change its model set.
+//
+// Unless DisablePreprocess is set, the bit-blasted clauses are then
+// staged in a cnf.Formula and statically simplified (subsumption,
+// self-subsuming resolution, bounded variable elimination, blocked
+// clause elimination, failed-literal probing) before the surviving
+// clauses load into the CDCL core; Sat models are reconstructed through
+// the preprocessor's extension stack so every variable still reads an
+// exact value.
 func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 	formula := b.And(assertions...)
 	s.Stats.Checks++
@@ -203,11 +218,19 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 		}
 	}
 
-	s.Stats.CDCLRuns++
 	core := sat.New()
 	core.MaxConflicts = s.MaxConflicts
 	core.Stop = s.Stop
-	bl := bitblast.New(core)
+	// The bit-blaster lowers into the CDCL core directly, or — when the
+	// preprocessor is on — into a staged clause database that is
+	// statically simplified and then loaded into the core.
+	var db bitblast.ClauseDB = core
+	var form *cnf.Formula
+	if !s.DisablePreprocess {
+		form = cnf.NewFormula()
+		db = form
+	}
+	bl := bitblast.New(db)
 	bl.Stop = s.Stop
 	bspan := qspan.Child("bitblast", "bitblast")
 	if stopped := assertStopped(bl, blastTerm); stopped {
@@ -216,12 +239,12 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 	}
 	hintsBefore := s.Stats.HintLits
 	if refined != nil {
-		s.seedHints(core, bl, refined)
+		s.seedHints(db, bl, refined)
 	}
 	if bspan != nil {
 		bst := bl.EncodeStats()
-		bspan.SetInt("cnf_vars", int64(core.NumVars()))
-		bspan.SetInt("cnf_clauses", int64(core.NumClauses()))
+		bspan.SetInt("cnf_vars", int64(db.NumVars()))
+		bspan.SetInt("cnf_clauses", int64(db.NumClauses()))
 		bspan.SetInt("gates", int64(bst.Gates))
 		bspan.SetInt("bool_terms", int64(bst.BoolTerms))
 		bspan.SetInt("bv_terms", int64(bst.BVTerms))
@@ -229,6 +252,42 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 		bspan.End()
 	}
 
+	var pre *cnf.Result
+	if form != nil {
+		ppspan := qspan.Child("preprocess", "preprocess")
+		pre = cnf.Preprocess(form, cnf.Options{Stop: s.Stop})
+		pst := pre.Stats
+		s.Stats.VarsEliminated += pst.VarsEliminated
+		s.Stats.ClausesSubsumed += pst.ClausesSubsumed
+		s.Stats.ClausesStrengthened += pst.ClausesStrengthened
+		s.Stats.ClausesBlocked += pst.ClausesBlocked
+		s.Stats.ProbeUnits += pst.ProbeUnits
+		if ppspan != nil {
+			ppspan.SetInt("clauses_in", int64(pst.ClausesIn))
+			ppspan.SetInt("clauses_out", int64(pst.ClausesOut))
+			ppspan.SetInt("rounds", pst.Rounds)
+			ppspan.SetInt("vars_eliminated", pst.VarsEliminated)
+			ppspan.SetInt("clauses_subsumed", pst.ClausesSubsumed)
+			ppspan.SetInt("clauses_strengthened", pst.ClausesStrengthened)
+			ppspan.SetInt("clauses_blocked", pst.ClausesBlocked)
+			ppspan.SetInt("probe_units", pst.ProbeUnits)
+			if pre.Unsat {
+				ppspan.SetAttr("outcome", "refuted")
+			}
+			ppspan.End()
+		}
+		if pre.Unsat {
+			// Preprocessing alone refuted the formula (every rewrite
+			// preserves satisfiability): no CDCL run.
+			return Result{Status: Unsat, Rounds: 1}
+		}
+		if s.Stop.Stopped() {
+			return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
+		}
+		pre.Load(core)
+	}
+
+	s.Stats.CDCLRuns++
 	cspan := qspan.Child("cdcl", "sat")
 	st := core.Solve()
 	s.Stats.CNFVars += int64(core.NumVars())
@@ -251,7 +310,16 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 	if st == Sat {
 		// Extract over the ORIGINAL formula's variables: anything the
 		// simplifier erased is unconstrained and reads as the default.
-		res.Model = s.extractModel(bl, collectVars(formula))
+		// When the preprocessor ran, the core's model covers only the
+		// simplified formula; replaying the reconstruction stack extends
+		// it to a model of the original clauses, so variables removed by
+		// elimination or blocked clauses still read exact values.
+		value := core.ValueOf
+		if pre != nil {
+			ext := pre.ExtendModel(core.Model())
+			value = func(v int) bool { return v >= 0 && v < len(ext) && ext[v] }
+		}
+		res.Model = s.extractModel(bl, collectVars(formula), value)
 	} else if st == Unknown {
 		if core.Interrupted() {
 			res.Cause = CauseStopped
@@ -267,7 +335,7 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 // known bits of BitVec subterms. Every fact is a consequence of the
 // asserted formula, so the added clauses preserve its model set while
 // pruning the CDCL search space.
-func (s *Solver) seedHints(core *sat.Solver, bl *bitblast.Blaster, an *absint.Analysis) {
+func (s *Solver) seedHints(core bitblast.ClauseDB, bl *bitblast.Blaster, an *absint.Analysis) {
 	an.Facts(func(t *smt.Term, v absint.Value) {
 		if v.IsBot() {
 			return
@@ -319,13 +387,13 @@ func assertStopped(bl *bitblast.Blaster, formula *smt.Term) (stopped bool) {
 	return false
 }
 
-func (s *Solver) extractModel(bl *bitblast.Blaster, vars map[string]*smt.Term) *smt.Model {
+func (s *Solver) extractModel(bl *bitblast.Blaster, vars map[string]*smt.Term, value func(v int) bool) *smt.Model {
 	m := smt.NewModel()
 	for name, v := range vars {
 		if v.IsBool() {
-			m.Bools[name] = bl.BoolVarValue(name)
+			m.Bools[name] = bl.BoolVarValue(name, value)
 		} else {
-			m.BVs[name] = bl.BVVarValue(name, v.Width)
+			m.BVs[name] = bl.BVVarValue(name, v.Width, value)
 		}
 	}
 	return m

@@ -47,9 +47,28 @@ type Counters struct {
 	// LearnedClauses counts conflict-derived clauses (including learned
 	// units).
 	LearnedClauses int64 `json:"learned_clauses"`
-	// CNFVars and CNFClauses total the SAT core sizes of the CDCL runs.
+	// CNFVars and CNFClauses total the SAT core sizes of the CDCL runs
+	// (after preprocessing, when it is enabled).
 	CNFVars    int64 `json:"cnf_vars"`
 	CNFClauses int64 `json:"cnf_clauses"`
+
+	// CNF preprocessor totals (internal/cnf), summed over every query
+	// that reached the clause database.
+
+	// VarsEliminated counts variables removed by bounded variable
+	// elimination (including pure literals).
+	VarsEliminated int64 `json:"vars_eliminated"`
+	// ClausesSubsumed counts clauses deleted by backward subsumption.
+	ClausesSubsumed int64 `json:"clauses_subsumed"`
+	// ClausesStrengthened counts literals removed by self-subsuming
+	// resolution.
+	ClausesStrengthened int64 `json:"clauses_strengthened"`
+	// ClausesBlocked counts clauses removed by blocked clause
+	// elimination.
+	ClausesBlocked int64 `json:"clauses_blocked"`
+	// ProbeUnits counts root-level units discovered by failed-literal
+	// probing.
+	ProbeUnits int64 `json:"probe_units"`
 
 	// CEGISRounds counts refinement rounds of the exists-forall engine.
 	CEGISRounds int64 `json:"cegis_rounds"`
@@ -76,6 +95,11 @@ var counterFields = []struct {
 	{"learned_clauses", func(c *Counters) *int64 { return &c.LearnedClauses }},
 	{"cnf_vars", func(c *Counters) *int64 { return &c.CNFVars }},
 	{"cnf_clauses", func(c *Counters) *int64 { return &c.CNFClauses }},
+	{"vars_eliminated", func(c *Counters) *int64 { return &c.VarsEliminated }},
+	{"clauses_subsumed", func(c *Counters) *int64 { return &c.ClausesSubsumed }},
+	{"clauses_strengthened", func(c *Counters) *int64 { return &c.ClausesStrengthened }},
+	{"clauses_blocked", func(c *Counters) *int64 { return &c.ClausesBlocked }},
+	{"probe_units", func(c *Counters) *int64 { return &c.ProbeUnits }},
 	{"cegis_rounds", func(c *Counters) *int64 { return &c.CEGISRounds }},
 }
 

@@ -80,7 +80,7 @@ func TestPipelineSpans(t *testing.T) {
 
 	// Every phase of the pipeline must have left at least one span, all
 	// nested inside the transform span on the same track.
-	for _, phase := range []string{"lint", "typing", "assignment", "vcgen", "smt-check", "presolve", "bitblast", "cdcl"} {
+	for _, phase := range []string{"lint", "typing", "assignment", "vcgen", "smt-check", "presolve", "bitblast", "preprocess", "cdcl"} {
 		phased := eventsInCat(evs, phaseCat(phase))
 		named := eventsNamed(phased, phase)
 		if len(named) == 0 {

@@ -148,6 +148,10 @@ type Options struct {
 	// in the solver layer (the -presolve=off escape hatch): every
 	// query bit-blasts directly, as before the presolver existed.
 	DisablePresolve bool
+	// DisablePreprocess turns off the CNF preprocessor in the solver
+	// layer (the -preprocess=off escape hatch): bit-blasted clauses go
+	// straight to CDCL search without static simplification.
+	DisablePreprocess bool
 	// Trace, when non-nil, records hierarchical spans for every pipeline
 	// phase (lint, typing, vcgen, presolve, bitblast, CDCL, CEGIS) into
 	// the tracer; export with Tracer.WriteChromeTrace. Nil (the default)
@@ -509,7 +513,12 @@ func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflic
 	}
 	vspan.SetInt("conditions", int64(len(conds)))
 	vspan.End()
-	sol := solver.Solver{MaxConflicts: maxConflicts, Stop: &g.flag, DisablePresolve: opts.DisablePresolve}
+	sol := solver.Solver{
+		MaxConflicts:      maxConflicts,
+		Stop:              &g.flag,
+		DisablePresolve:   opts.DisablePresolve,
+		DisablePreprocess: opts.DisablePreprocess,
+	}
 	if testHookSolver != nil {
 		testHookSolver(&sol)
 	}
