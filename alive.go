@@ -88,6 +88,8 @@ const (
 	ReasonCEGISRounds    = verify.ReasonCEGISRounds
 	ReasonEncoding       = verify.ReasonEncoding
 	ReasonPanic          = verify.ReasonPanic
+	ReasonOOM            = verify.ReasonOOM      // memory governor abort
+	ReasonInjected       = verify.ReasonInjected // chaos-build injected fault
 )
 
 // CorpusOptions configures RunCorpus: per-transform verification
@@ -97,6 +99,22 @@ type CorpusOptions = verify.CorpusOptions
 
 // CorpusStats aggregates a RunCorpus run.
 type CorpusStats = verify.CorpusStats
+
+// Journal is a crash-safe append-only NDJSON record of corpus verdicts;
+// attach one via CorpusOptions.Journal to checkpoint a run and resume
+// it after a crash with OpenJournal.
+type Journal = verify.Journal
+
+// CreateJournal starts a fresh corpus journal at path.
+func CreateJournal(path string, opts Options) (*Journal, error) {
+	return verify.CreateJournal(path, opts)
+}
+
+// OpenJournal opens an existing journal for resuming (creating it if
+// missing); journaled verdicts are skipped by RunCorpus.
+func OpenJournal(path string, opts Options) (*Journal, error) {
+	return verify.OpenJournal(path, opts)
+}
 
 // Tracer collects hierarchical telemetry spans; attach one via
 // Options.Trace and export it with WriteChromeTrace for Perfetto /

@@ -31,16 +31,28 @@
 //	-cpuprofile f      write a CPU profile; samples carry a "transform"
 //	                   pprof label naming the transformation being verified
 //	-memprofile f      write an allocation profile at exit
+//	-mem-budget 512M   soft live-heap budget (K/M/G suffixes); when the heap
+//	                   stays over budget after a forced GC the longest-running
+//	                   in-flight proof is aborted as unknown (out-of-memory)
+//	                   instead of letting the kernel OOM-kill the process
+//	-journal f.ndjson  checkpoint verdicts to an append-only fsync'd NDJSON
+//	                   journal as they are reached (crash-safe; overwrites f)
+//	-resume f.ndjson   resume from a journal: verdicts already recorded are
+//	                   restored without re-verifying, fresh verdicts are
+//	                   appended (the file is created if missing)
 //
 // A SIGINT or SIGTERM stops the run gracefully: in-flight proofs are
-// cancelled, verdicts already reached are kept, and transformations that
-// never ran are reported unknown (cancelled).
+// cancelled, verdicts already reached are kept (and journaled, with
+// -journal/-resume), and transformations that never ran are reported
+// unknown (cancelled).
 //
 // Exit status: 0 all valid; 1 a transformation is incorrect, rejected, or
 // failed to parse; 2 usage error; 3 a verdict is unknown (budget,
-// deadline, unsupported); 4 the verifier panicked on a transformation
-// (isolated, never a crash); 130 the run was interrupted. When several
-// apply the most severe wins: 1 > 4 > 3 > 130.
+// deadline, unsupported, out-of-memory); 4 the verifier panicked on a
+// transformation (isolated, never a crash); 130 the run was interrupted.
+// When several apply the most severe wins: 1 > 4 > 3 > 130 — except that
+// unknowns which exist only because the run was interrupted count as the
+// interrupt, not as unknown.
 package main
 
 import (
@@ -83,6 +95,9 @@ func run() int {
 	summary := flag.Bool("summary", false, "print the run telemetry digest")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	memBudget := flag.String("mem-budget", "", "soft live-heap budget, e.g. 512M or 2G (0 or empty = unlimited)")
+	journalOut := flag.String("journal", "", "checkpoint verdicts to this NDJSON journal (overwrites)")
+	resumePath := flag.String("resume", "", "resume from (and keep appending to) this NDJSON journal")
 	flag.Parse()
 
 	opts := alive.Options{DivMulMaxWidth: *divMulMax, Lint: *lintFlag}
@@ -117,6 +132,18 @@ func run() int {
 	}
 	if *jobs < 0 || *timeout < 0 || *totalTimeout < 0 {
 		fmt.Fprintln(os.Stderr, "alive: -j, -timeout, and -total-timeout must be non-negative")
+		return 2
+	}
+	if *memBudget != "" {
+		b, err := parseBytes(*memBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alive: -mem-budget: %v\n", err)
+			return 2
+		}
+		opts.MaxHeapBytes = b
+	}
+	if *journalOut != "" && *resumePath != "" {
+		fmt.Fprintln(os.Stderr, "alive: -journal and -resume are mutually exclusive (resume keeps appending)")
 		return 2
 	}
 
@@ -210,6 +237,21 @@ func run() int {
 		}
 	}
 
+	var journal *alive.Journal
+	if *journalOut != "" || *resumePath != "" {
+		var jerr error
+		if *resumePath != "" {
+			journal, jerr = alive.OpenJournal(*resumePath, opts)
+		} else {
+			journal, jerr = alive.CreateJournal(*journalOut, opts)
+		}
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "alive: %v\n", jerr)
+			return 2
+		}
+		defer journal.Close()
+	}
+
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	if *totalTimeout > 0 {
@@ -222,6 +264,7 @@ func run() int {
 		Verify:           opts,
 		Workers:          *jobs,
 		TransformTimeout: *timeout,
+		Journal:          journal,
 		OnResult: func(i int, res alive.Result) {
 			printResult(names[i], files[i], res, *quiet, *verbose)
 		},
@@ -255,6 +298,15 @@ func run() int {
 	} else {
 		fmt.Printf("\n%d transformations: %d valid, %d incorrect, %d unknown (%v)\n",
 			stats.Total, stats.Valid, stats.Invalid, stats.Unknown, stats.Duration.Round(time.Millisecond))
+	}
+	if stats.Resumed > 0 {
+		fmt.Printf("resumed %d verdicts from journal, re-verified %d\n", stats.Resumed, stats.Completed)
+	}
+	if stats.MemoryAborts > 0 {
+		fmt.Fprintf(os.Stderr, "alive: memory governor aborted %d verifications (budget %s)\n", stats.MemoryAborts, *memBudget)
+	}
+	if stats.JournalError != nil {
+		fmt.Fprintf(os.Stderr, "alive: journal: %v (verdicts above are unaffected)\n", stats.JournalError)
 	}
 	if stats.Interrupted {
 		fmt.Fprintln(os.Stderr, "alive: run interrupted; partial results above")
@@ -304,19 +356,43 @@ func writeStats(path string, sum *alive.Summary) error {
 
 // exitCode folds the run's outcomes into one status, most severe first:
 // incorrect/rejected/parse failure (1), an isolated verifier panic (4),
-// an unknown verdict (3), a clean interrupt (130).
+// an unknown verdict (3), a clean interrupt (130). Unknowns that exist
+// only because the run was interrupted (reason cancelled) report as the
+// interrupt, not as a solver giving up.
 func exitCode(parseFailed bool, stats alive.CorpusStats) int {
 	switch {
 	case parseFailed || stats.Invalid > 0 || stats.Rejected > 0:
 		return 1
 	case stats.Panics > 0:
 		return 4
-	case stats.Unknown > 0:
+	case stats.Unknown-stats.Cancelled > 0:
 		return 3
-	case stats.Interrupted:
+	case stats.Interrupted || stats.Cancelled > 0:
 		return 130
 	}
 	return 0
+}
+
+// parseBytes parses a byte size with an optional K/M/G (or
+// KiB/MiB/GiB-style KB/MB/GB) suffix, base 1024.
+func parseBytes(s string) (uint64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	mult := uint64(1)
+	for _, suf := range []struct {
+		s string
+		m uint64
+	}{{"GB", 1 << 30}, {"G", 1 << 30}, {"MB", 1 << 20}, {"M", 1 << 20}, {"KB", 1 << 10}, {"K", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(t, suf.s) {
+			t = strings.TrimSuffix(t, suf.s)
+			mult = suf.m
+			break
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q (want e.g. 512M, 2G)", s)
+	}
+	return n * mult, nil
 }
 
 func printResult(name, file string, res alive.Result, quiet, verbose bool) {

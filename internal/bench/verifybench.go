@@ -20,8 +20,11 @@ import (
 // baselines instead of mis-reading them. Version 2: CNF preprocessing
 // landed — the counters block gained the per-pass preprocessor columns
 // and cnf_clauses/propagations/conflicts now measure the preprocessed
-// search.
-const VerifyReportSchema = 2
+// search. Version 3: the run is journaled and replayed — the report
+// gained the exact-match robustness columns escalations (solver
+// escalations during the run) and resumed (verdicts restored from the
+// journal on replay; a drop means verdicts stopped being checkpointed).
+const VerifyReportSchema = 3
 
 // VerifySlow is one entry of the report's slowest-transforms table.
 // Durations are machine-dependent and informational; the comparator
@@ -57,6 +60,14 @@ type VerifyReport struct {
 	Queries  int                `json:"queries"`
 	Counters telemetry.Counters `json:"counters"`
 
+	// Escalations counts solver escalations across the run; Resumed is
+	// the number of verdicts a journal replay of the same run restores
+	// without re-verifying. Both are deterministic and exact-match: an
+	// escalation drift is a solver-behaviour change, a resumed drop
+	// means verdicts silently stopped reaching the crash-safety journal.
+	Escalations int `json:"escalations"`
+	Resumed     int `json:"resumed"`
+
 	// CounterKeys lists the counter columns literally present in a
 	// loaded baseline file (LoadVerifyReport fills it from the raw
 	// JSON). The comparator uses it to fail when a baseline predates a
@@ -82,11 +93,47 @@ func VerifyBench(cfg *Config) string {
 	sb.WriteString("Verify: corpus verification perf baseline (BENCH_verify.json)\n\n")
 
 	ts := suite.ParseAll()
+
+	// Journal the run, then replay it: the replay's resumed count proves
+	// every deterministic verdict made it to the crash-safety journal.
+	// The replay itself is nearly free — restored verdicts skip the
+	// solver entirely.
+	resumed := 0
+	jdir, jerr := os.MkdirTemp("", "alive-bench-journal-")
+	if jerr != nil {
+		cfg.Failures = append(cfg.Failures, fmt.Sprintf("verify: journal tempdir: %v", jerr))
+	}
+	var journal *verify.Journal
+	jpath := filepath.Join(jdir, "run.ndjson")
+	if jerr == nil {
+		defer os.RemoveAll(jdir)
+		journal, jerr = verify.CreateJournal(jpath, cfg.verifyOpts())
+		if jerr != nil {
+			cfg.Failures = append(cfg.Failures, fmt.Sprintf("verify: journal: %v", jerr))
+		}
+	}
+
 	results, stats := verify.RunCorpus(context.Background(), ts, verify.CorpusOptions{
 		Verify:  cfg.verifyOpts(),
 		Workers: cfg.Jobs,
+		Journal: journal,
 	})
 	sum := verify.Summarize(results, stats)
+
+	if journal != nil {
+		journal.Close()
+		if replay, rerr := verify.OpenJournal(jpath, cfg.verifyOpts()); rerr != nil {
+			cfg.Failures = append(cfg.Failures, fmt.Sprintf("verify: journal replay: %v", rerr))
+		} else {
+			_, rstats := verify.RunCorpus(context.Background(), ts, verify.CorpusOptions{
+				Verify:  cfg.verifyOpts(),
+				Workers: cfg.Jobs,
+				Journal: replay,
+			})
+			replay.Close()
+			resumed = rstats.Resumed
+		}
+	}
 
 	rep := &VerifyReport{
 		SchemaVersion: VerifyReportSchema,
@@ -102,6 +149,8 @@ func VerifyBench(cfg *Config) string {
 		Unknown:       stats.Unknown,
 		Queries:       stats.Queries,
 		Counters:      stats.Counters,
+		Escalations:   stats.Escalations,
+		Resumed:       resumed,
 		WallMS:        stats.Duration.Milliseconds(),
 		PeakHeapBytes: int64(stats.PeakHeapBytes),
 	}
@@ -218,6 +267,8 @@ func CompareVerifyReports(base, cur *VerifyReport, tol float64) (fails, notes []
 		{"rejected", base.Rejected, cur.Rejected},
 		{"unknown", base.Unknown, cur.Unknown},
 		{"queries", base.Queries, cur.Queries},
+		{"escalations", base.Escalations, cur.Escalations},
+		{"resumed", base.Resumed, cur.Resumed},
 	}
 	for _, e := range exact {
 		if e.old != e.new_ {

@@ -20,6 +20,8 @@ func sampleReport() *VerifyReport {
 		Valid:         229,
 		Invalid:       8,
 		Queries:       508,
+		Escalations:   3,
+		Resumed:       237,
 		WallMS:        15000,
 		PeakHeapBytes: 24 << 20,
 	}
@@ -121,6 +123,26 @@ func TestCompareVerifyReportsVerdictMustMatch(t *testing.T) {
 	fails, _ := CompareVerifyReports(base, cur, 0.25)
 	if len(fails) < 2 { // both valid and invalid moved
 		t.Fatalf("verdict drift not flagged: %v", fails)
+	}
+}
+
+func TestCompareVerifyReportsResumedMustMatch(t *testing.T) {
+	// A resumed-count drop means verdicts stopped reaching the journal —
+	// a robustness regression the perf gate must catch exactly.
+	base, cur := sampleReport(), sampleReport()
+	cur.Resumed -= 5
+	fails, _ := CompareVerifyReports(base, cur, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "resumed") {
+		t.Fatalf("resumed drift not flagged: %v", fails)
+	}
+}
+
+func TestCompareVerifyReportsEscalationsMustMatch(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Escalations++
+	fails, _ := CompareVerifyReports(base, cur, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "escalations") {
+		t.Fatalf("escalation drift not flagged: %v", fails)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"alive/internal/bv"
+	"alive/internal/faultinject"
 	"alive/internal/sat"
 	"alive/internal/smt"
 )
@@ -68,11 +69,15 @@ func (bl *Blaster) checkStop() {
 		return
 	}
 	bl.stopOps++
-	if bl.stopOps >= stopCheckInterval {
-		bl.stopOps = 0
-		if bl.Stop.Stopped() {
-			panic(ErrStopped)
-		}
+	// Chaos builds poll every lowering so injected faults land (and are
+	// observed) even on formulas far smaller than the poll interval.
+	if bl.stopOps < stopCheckInterval && !faultinject.Enabled {
+		return
+	}
+	bl.stopOps = 0
+	faultinject.Fire(faultinject.SiteBitblast, bl.Stop)
+	if bl.Stop.Stopped() {
+		panic(ErrStopped)
 	}
 }
 

@@ -1,6 +1,9 @@
 package cnf
 
-import "alive/internal/sat"
+import (
+	"alive/internal/faultinject"
+	"alive/internal/sat"
+)
 
 // Options selects and bounds the preprocessing passes. The zero value
 // enables everything with default budgets.
@@ -122,6 +125,10 @@ func Preprocess(f *Formula, opts Options) *Result {
 	}
 	p.saturate()
 	for round := 0; round < rounds && f.ok && !p.halted(); round++ {
+		faultinject.Fire(faultinject.SitePreprocess, p.stop)
+		if p.halted() {
+			break
+		}
 		res.Stats.Rounds++
 		changed := int64(0)
 		if !opts.NoSubsume {

@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := RandomPlan(seed, 8).Faults()
+		b := RandomPlan(seed, 8).Faults()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n%v\n%v", seed, a, b)
+		}
+		if len(a) != 8 {
+			t.Fatalf("seed %d: %d faults, want 8", seed, len(a))
+		}
+	}
+	if reflect.DeepEqual(RandomPlan(1, 8).Faults(), RandomPlan(2, 8).Faults()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRandomPlanRespectsCapabilities(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		for _, f := range RandomPlan(seed, 6).Faults() {
+			if f.Site == SiteParser {
+				t.Fatalf("seed %d: random plan scheduled the parser site", seed)
+			}
+			if (f.Kind == KindStop || f.Kind == KindDeadline) && !StopCapable(f.Site) {
+				t.Fatalf("seed %d: %v scheduled at stop-incapable site", seed, f)
+			}
+			if f.Hit < 1 || f.Hit > maxHit(f.Site) {
+				t.Fatalf("seed %d: hit %d out of range for %s", seed, f.Hit, f.Site)
+			}
+			if f.Kind == KindDelay && f.Delay <= 0 {
+				t.Fatalf("seed %d: delay fault without a delay", seed)
+			}
+		}
+	}
+}
+
+func TestAsInjected(t *testing.T) {
+	if _, ok := AsInjected("boom"); ok {
+		t.Fatal("plain panic value classified as injected")
+	}
+	i, ok := AsInjected(Injected{Site: SiteTyping, OOM: true})
+	if !ok || !i.OOM || i.Site != SiteTyping {
+		t.Fatalf("AsInjected = %v, %v", i, ok)
+	}
+}
+
+// stopRecorder implements Stopper for plan-mechanics tests.
+type stopRecorder struct{ stops, deadlines int }
+
+func (s *stopRecorder) InjectStop()     { s.stops++ }
+func (s *stopRecorder) InjectDeadline() { s.deadlines++ }
+
+func TestPlanFiresAtScheduledHit(t *testing.T) {
+	p := NewPlan([]Fault{
+		{Site: SiteBitblast, Kind: KindStop, Hit: 3},
+		{Site: SiteBitblast, Kind: KindDeadline, Hit: 5},
+	})
+	rec := &stopRecorder{}
+	for i := 0; i < 10; i++ {
+		p.fire(SiteBitblast, rec)
+	}
+	if rec.stops != 1 || rec.deadlines != 1 {
+		t.Fatalf("stops=%d deadlines=%d, want 1/1", rec.stops, rec.deadlines)
+	}
+	fired := p.Fired()
+	if len(fired) != 2 || fired[0].Hit != 3 || fired[1].Hit != 5 {
+		t.Fatalf("fired = %v", fired)
+	}
+	// Other sites are untouched.
+	p.fire(SiteTyping, nil)
+	if len(p.Fired()) != 2 {
+		t.Fatal("unscheduled site fired a fault")
+	}
+}
+
+func TestPlanPanicKinds(t *testing.T) {
+	p := NewPlan([]Fault{{Site: SiteVCGen, Kind: KindOOM, Hit: 1}})
+	defer func() {
+		i, ok := AsInjected(recover())
+		if !ok || !i.OOM || i.Site != SiteVCGen {
+			t.Fatalf("recovered %v, %v", i, ok)
+		}
+	}()
+	p.fire(SiteVCGen, nil)
+	t.Fatal("OOM fault did not panic")
+}

@@ -1,0 +1,10 @@
+//go:build !chaos
+
+package faultinject
+
+// Enabled reports whether this binary was built with the chaos tag.
+const Enabled = false
+
+// Fire is the release-build injection point: an empty function the
+// compiler inlines away, so instrumented hot paths carry zero cost.
+func Fire(Site, Stopper) {}

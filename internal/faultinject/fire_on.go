@@ -1,0 +1,15 @@
+//go:build chaos
+
+package faultinject
+
+// Enabled reports whether this binary was built with the chaos tag.
+const Enabled = true
+
+// Fire executes the injection site: if a plan is armed and schedules a
+// fault for this execution of the site, the fault fires (panic, stop
+// flip, deadline flip, simulated allocation failure, or delay).
+func Fire(site Site, s Stopper) {
+	if p := active.Load(); p != nil {
+		p.fire(site, s)
+	}
+}

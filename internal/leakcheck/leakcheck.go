@@ -1,0 +1,94 @@
+// Package leakcheck is a zero-dependency goroutine-leak detector for
+// tests. It snapshots every goroutine stack with runtime.Stack(true)
+// and reports goroutines still executing (or created by) this module's
+// code after the tests finish — the invariant the corpus driver, the
+// governor watchers, and the memory sampler all promise: no goroutine
+// outlives its RunCorpus/VerifyContext call.
+//
+// Wire it up per package:
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }
+//
+// or assert inside a single test with Check.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix marks stacks that belong to this module. A goroutine
+// counts as ours when any frame (including its "created by" line) is in
+// an alive/ package.
+const modulePrefix = "alive/"
+
+// Check polls until no module goroutines remain or wait elapses, then
+// returns an error listing the leaked stacks. A short wait (a second or
+// two) absorbs goroutines that are mid-exit when the caller checks —
+// a worker that has left its loop but not yet returned is winding
+// down, not leaked.
+func Check(wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		leaked := leakedStacks()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("leaked %d goroutine(s) running %s code:\n\n%s",
+				len(leaked), modulePrefix, strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Main runs the package's tests and then fails the process if module
+// goroutines leaked. Use from TestMain; the return value goes to
+// os.Exit.
+func Main(m *testing.M) int {
+	code := m.Run()
+	if err := Check(2 * time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "leakcheck:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// leakedStacks returns the stack stanzas of module goroutines other
+// than the caller's.
+func leakedStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stanzas := strings.Split(strings.TrimRight(string(buf), "\n"), "\n\n")
+	var leaked []string
+	for i, st := range stanzas {
+		if i == 0 {
+			// First stanza is the goroutine calling Check.
+			continue
+		}
+		if !strings.Contains(st, modulePrefix+"internal/") && !strings.Contains(st, "created by "+modulePrefix) {
+			continue
+		}
+		// Parked testing-framework goroutines (a parent test blocked in
+		// tRunner while subtests ran, fuzz workers) mention module test
+		// functions but are the framework's to reap, not ours.
+		if strings.Contains(st, "testing.") {
+			continue
+		}
+		leaked = append(leaked, st)
+	}
+	return leaked
+}

@@ -1,0 +1,43 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckCleanPasses(t *testing.T) {
+	if err := Check(time.Second); err != nil {
+		t.Fatalf("clean state reported a leak: %v", err)
+	}
+}
+
+func TestCheckCatchesLeak(t *testing.T) {
+	block := make(chan struct{})
+	exited := make(chan struct{})
+	go leakyWorker(block, exited)
+
+	err := Check(50 * time.Millisecond)
+	if err == nil {
+		close(block)
+		<-exited
+		t.Fatal("Check missed a blocked module goroutine")
+	}
+	if !strings.Contains(err.Error(), "leakyWorker") {
+		t.Errorf("leak report does not name the leaked function:\n%v", err)
+	}
+
+	close(block)
+	<-exited
+	if err := Check(time.Second); err != nil {
+		t.Fatalf("leak still reported after the goroutine exited: %v", err)
+	}
+}
+
+// leakyWorker stands in for a worker goroutine that failed to wind
+// down; it lives in this package, so its stack carries the module
+// prefix leakedStacks looks for.
+func leakyWorker(block, exited chan struct{}) {
+	<-block
+	close(exited)
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"alive/internal/faultinject"
 	"alive/internal/ir"
 )
 
@@ -18,6 +19,7 @@ func Parse(src string) (ts []*ir.Transform, err error) {
 			ts, err = nil, fmt.Errorf("parser: internal error: %v", r)
 		}
 	}()
+	faultinject.Fire(faultinject.SiteParser, nil)
 	lx := newLexer(stripBOM(src))
 	toks, err := lx.tokens()
 	if err != nil {

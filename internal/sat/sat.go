@@ -6,7 +6,11 @@
 // bitvector layer.
 package sat
 
-import "fmt"
+import (
+	"fmt"
+
+	"alive/internal/faultinject"
+)
 
 // Lit is a literal: variable v (1-based) encoded as v<<1, negated as
 // v<<1|1. The zero Lit is invalid.
@@ -576,6 +580,7 @@ func (s *Solver) search(conflictBudget int64, maxLearnts int) Status {
 	for {
 		if s.Stop != nil && s.propagations >= s.nextStopPoll {
 			s.nextStopPoll = s.propagations + stopPollInterval
+			faultinject.Fire(faultinject.SitePropagate, s.Stop)
 			if s.Stop.Stopped() {
 				s.backtrackTo(0)
 				return Unknown
@@ -629,6 +634,11 @@ func (s *Solver) search(conflictBudget int64, maxLearnts int) Status {
 				s.uncheckedEnqueue(a, nil)
 				continue
 			}
+		}
+		faultinject.Fire(faultinject.SiteDecide, s.Stop)
+		if s.Stop.Stopped() {
+			s.backtrackTo(0)
+			return Unknown
 		}
 		l := s.pickBranchLit()
 		if l == 0 {

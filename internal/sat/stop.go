@@ -2,20 +2,51 @@ package sat
 
 import "sync/atomic"
 
+// StopCause classifies who tripped a StopFlag, so the verifier can
+// surface the right structured Unknown reason: a plain cancellation, a
+// memory-governor abort, or an injected fault. The first cause recorded
+// wins; later trips keep the flag raised but do not overwrite it.
+type StopCause int32
+
+// Stop causes.
+const (
+	// StopNone: the flag has not tripped (or tripped with no cause,
+	// which Stop never does).
+	StopNone StopCause = iota
+	// StopExternal: a plain Stop() call — context cancellation, a
+	// deadline governor, a signal handler.
+	StopExternal
+	// StopOOM: the corpus memory governor aborted this verification to
+	// keep the live heap under its budget.
+	StopOOM
+	// StopInjected: a fault-injection KindStop fault flipped the flag.
+	StopInjected
+	// StopInjectedDeadline: a fault-injection KindDeadline fault
+	// simulated a deadline expiry.
+	StopInjectedDeadline
+)
+
 // StopFlag is a cooperative cancellation signal shared between a
 // controlling goroutine and the solving stack. A controller calls Stop
-// (from a deadline timer, a context watcher, or a signal handler); the
-// solver polls Stopped at propagation-count intervals and abandons the
-// search with an Unknown result. The zero value is ready to use, a nil
-// *StopFlag never reports stopped, and all methods are safe for
-// concurrent use.
+// (from a deadline timer, a context watcher, a signal handler, or the
+// corpus memory governor); the solver polls Stopped at
+// propagation-count intervals and abandons the search with an Unknown
+// result. The zero value is ready to use, a nil *StopFlag never reports
+// stopped, and all methods are safe for concurrent use.
 type StopFlag struct {
+	cause   atomic.Int32
 	stopped atomic.Bool
 }
 
 // Stop requests that any solver sharing the flag abandon its search.
-func (f *StopFlag) Stop() {
+func (f *StopFlag) Stop() { f.StopWith(StopExternal) }
+
+// StopWith trips the flag recording why. The cause is written before
+// the flag is raised and the first cause sticks, so a reader that
+// observes Stopped always sees a stable, first-wins Cause.
+func (f *StopFlag) StopWith(c StopCause) {
 	if f != nil {
+		f.cause.CompareAndSwap(int32(StopNone), int32(c))
 		f.stopped.Store(true)
 	}
 }
@@ -24,6 +55,22 @@ func (f *StopFlag) Stop() {
 func (f *StopFlag) Stopped() bool {
 	return f != nil && f.stopped.Load()
 }
+
+// Cause returns who tripped the flag (StopNone when untripped).
+func (f *StopFlag) Cause() StopCause {
+	if f == nil {
+		return StopNone
+	}
+	return StopCause(f.cause.Load())
+}
+
+// InjectStop implements faultinject.Stopper: a KindStop fault trips the
+// flag classified as an injected fault.
+func (f *StopFlag) InjectStop() { f.StopWith(StopInjected) }
+
+// InjectDeadline implements faultinject.Stopper: a KindDeadline fault
+// trips the flag classified as a deadline expiry.
+func (f *StopFlag) InjectDeadline() { f.StopWith(StopInjectedDeadline) }
 
 // stopPollInterval is the number of propagations between polls of the
 // stop flag: frequent enough that even pathological instances notice a

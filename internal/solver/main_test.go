@@ -1,0 +1,14 @@
+package solver
+
+import (
+	"os"
+	"testing"
+
+	"alive/internal/leakcheck"
+)
+
+// TestMain fails the package if any solver goroutine leaks past the
+// tests.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

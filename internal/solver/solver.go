@@ -10,6 +10,7 @@ import (
 	"alive/internal/bitblast"
 	"alive/internal/bv"
 	"alive/internal/cnf"
+	"alive/internal/faultinject"
 	"alive/internal/sat"
 	"alive/internal/smt"
 	"alive/internal/telemetry"
@@ -167,6 +168,7 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 		s.Stats.Folded++
 		return Result{Status: Unsat, Rounds: 1}
 	}
+	faultinject.Fire(faultinject.SitePresolve, s.Stop)
 	if s.Stop.Stopped() {
 		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
 	}
@@ -449,6 +451,7 @@ func (s *Solver) CheckExistsForall(b *smt.Builder, body *smt.Term, forallVars []
 
 	totalConflicts := int64(0)
 	for round := 1; round <= maxRounds; round++ {
+		faultinject.Fire(faultinject.SiteCEGIS, s.Stop)
 		if s.Stop.Stopped() {
 			return Result{Status: Unknown, Cause: CauseStopped, Conflicts: totalConflicts, Rounds: round}
 		}

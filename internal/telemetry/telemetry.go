@@ -21,6 +21,8 @@ package telemetry
 import (
 	"sync"
 	"time"
+
+	"alive/internal/faultinject"
 )
 
 // Attr is one span annotation. Values must be JSON-encodable; spans use
@@ -175,6 +177,7 @@ func (s *Span) End() {
 	if s == nil || s.ended {
 		return
 	}
+	faultinject.Fire(faultinject.SiteTelemetry, nil)
 	s.ended = true
 	end := s.tr.clock()
 	ev := Event{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"alive/internal/faultinject"
 	"alive/internal/ir"
 )
 
@@ -12,6 +13,7 @@ import (
 // success; an error means the transformation is ill-typed or no feasible
 // assignment exists within the width bound.
 func Infer(t *ir.Transform, opts Options) ([]*Assignment, error) {
+	faultinject.Fire(faultinject.SiteTyping, nil)
 	opts = opts.withDefaults()
 	s := newSystem()
 

@@ -12,6 +12,7 @@ package vcgen
 import (
 	"fmt"
 
+	"alive/internal/faultinject"
 	"alive/internal/ir"
 	"alive/internal/smt"
 	"alive/internal/typing"
@@ -107,6 +108,7 @@ func flattenPred(p ir.Pred) []ir.Pred {
 // Encode builds the verification-condition encoding of t under the type
 // assignment asg, using builder b.
 func Encode(b *smt.Builder, t *ir.Transform, asg *typing.Assignment) (*Encoding, error) {
+	faultinject.Fire(faultinject.SiteVCGen, nil)
 	c := &context{b: b, asg: asg, t: t, cache: map[ir.Value]InstrEnc{}}
 	if hasMemory(t) {
 		c.mem = newMemState(c)

@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"sync"
 	"time"
 
+	"alive/internal/faultinject"
 	"alive/internal/ir"
+	"alive/internal/sat"
 	"alive/internal/telemetry"
 )
 
@@ -27,17 +30,36 @@ type CorpusOptions struct {
 	// buffered until its predecessors finish). It runs on worker
 	// goroutines under a lock: keep it cheap or copy out.
 	OnResult func(index int, res Result)
+	// Journal, when non-nil, makes the run crash-safe: transformations
+	// whose hash is already journaled are restored without re-verifying
+	// (Result.Resumed), and every fresh deterministic verdict is
+	// appended and fsync'd as it completes. Open with CreateJournal (new
+	// run) or OpenJournal (resume).
+	Journal *Journal
 }
 
 // CorpusStats aggregates a corpus run.
 type CorpusStats struct {
 	Total     int // transformations submitted
-	Completed int // transformations actually verified (not skipped)
+	Completed int // transformations actually verified (not skipped or resumed)
 	Valid     int
 	Invalid   int
 	Unknown   int // Unknown verdicts, including panics and skips
 	Rejected  int
 	Panics    int // Unknown verdicts with ReasonPanic
+	// Cancelled counts Unknown verdicts with ReasonCancelled — work the
+	// run never decided because it was interrupted, as opposed to
+	// queries the solver genuinely gave up on.
+	Cancelled int
+	// Resumed counts verdicts restored from the journal instead of
+	// re-verified.
+	Resumed int
+	// MemoryAborts counts verifications the memory governor stopped to
+	// keep the live heap under Verify.MaxHeapBytes.
+	MemoryAborts int
+	// Escalations totals conflict-budget ladder retries across the
+	// corpus.
+	Escalations int
 	// Interrupted is set when the context was cancelled or its deadline
 	// expired before every transformation completed; the result slice
 	// still has an entry per input (skipped ones carry ReasonCancelled).
@@ -47,18 +69,26 @@ type CorpusStats struct {
 	// corpus; Counters aggregates every per-transform counter set.
 	Queries  int
 	Counters telemetry.Counters
-	// PeakHeapBytes is the largest live-heap size observed by a ~250ms
-	// sampler while the corpus ran. It is a lower bound on the true peak
-	// (spikes between samples are missed) but is stable enough to track
-	// memory regressions across commits.
+	// PeakHeapBytes is the largest live-heap size observed by the
+	// memory sampler while the corpus ran. It is a lower bound on the
+	// true peak (spikes between samples are missed) but is stable
+	// enough to track memory regressions across commits.
 	PeakHeapBytes uint64
+	// JournalError is the first journal append failure, if any; the
+	// verdicts themselves are unaffected.
+	JournalError error
 }
+
+// memSampleInterval is how often the corpus memory sampler probes the
+// live heap — package-level so tests can tighten it.
+var memSampleInterval = 250 * time.Millisecond
 
 // RunCorpus verifies a corpus on a bounded worker pool. It is the
 // fault-tolerant batch driver the paper's workflow needs: one
 // pathological transformation can time out (TransformTimeout), crash
-// (panic isolation in VerifyContext), or be cancelled (ctx) without
-// taking down the run; every other verdict is still produced.
+// (panic isolation in VerifyContext plus a worker-level backstop),
+// exhaust memory (the MaxHeapBytes governor), or be cancelled (ctx)
+// without taking down the run; every other verdict is still produced.
 //
 // Results are deterministic: results[i] is always transform ts[i]'s
 // outcome, regardless of completion order, and OnResult streams them in
@@ -92,11 +122,38 @@ func RunCorpus(ctx context.Context, ts []*ir.Transform, opts CorpusOptions) ([]R
 		}
 	}
 	complete := func(i int, r Result) {
+		if opts.Journal != nil && !r.Resumed {
+			opts.Journal.Append(ts[i], r)
+		}
 		mu.Lock()
 		defer mu.Unlock()
+		if done[i] {
+			// Idempotent: a worker-level recover after a normal
+			// completion (a fault injected in a deferred finisher) must
+			// not overwrite the verdict already streamed.
+			return
+		}
 		results[i] = r
 		done[i] = true
 		flush()
+	}
+
+	// Resume: restore journaled verdicts up front so the feed skips
+	// them; the contiguous restored prefix streams immediately.
+	resumed := 0
+	skip := make([]bool, len(ts))
+	if opts.Journal != nil {
+		for i, t := range ts {
+			if rec, ok := opts.Journal.Lookup(t); ok {
+				results[i] = restoreResult(t, rec)
+				done[i] = true
+				skip[i] = true
+				resumed++
+			}
+		}
+		mu.Lock()
+		flush()
+		mu.Unlock()
 	}
 
 	vopts := opts.Verify
@@ -104,22 +161,78 @@ func RunCorpus(ctx context.Context, ts []*ir.Transform, opts CorpusOptions) ([]R
 		vopts.Timeout = opts.TransformTimeout
 	}
 
-	// Peak-heap sampler: a coarse (~250ms) background probe of the live
-	// heap. Cheap enough to run unconditionally and good enough to flag
-	// memory regressions in the perf baseline.
+	// In-flight registry for the memory governor: verifications register
+	// their stop flag on start (in dispatch order — seq is the "heaviest"
+	// proxy: the longest-running verification has had the most time to
+	// build solver state) and deregister on completion.
+	var (
+		imu         sync.Mutex
+		inflightSeq int64
+		inflight    = map[int64]*sat.StopFlag{}
+		memAborts   int
+	)
+	if vopts.MaxHeapBytes > 0 {
+		vopts.onStart = func(_ *ir.Transform, flag *sat.StopFlag) func() {
+			imu.Lock()
+			inflightSeq++
+			id := inflightSeq
+			inflight[id] = flag
+			imu.Unlock()
+			return func() {
+				imu.Lock()
+				delete(inflight, id)
+				imu.Unlock()
+			}
+		}
+	}
+
+	// Memory sampler/governor: a coarse background probe of the live
+	// heap. It always tracks the peak for the perf baseline; with a
+	// budget set it also governs — when the live set stays over budget
+	// even after a forced GC, it trips the earliest-started in-flight
+	// verification's stop flag with StopOOM, converting a would-be
+	// process OOM-kill into one structured Unknown (out-of-memory).
 	var peakHeap uint64
 	samplerDone := make(chan struct{})
 	samplerStopped := make(chan struct{})
 	go func() {
 		defer close(samplerStopped)
-		tick := time.NewTicker(250 * time.Millisecond)
+		tick := time.NewTicker(memSampleInterval)
 		defer tick.Stop()
 		var ms runtime.MemStats
-		sample := func() {
+		sample := func() uint64 {
 			runtime.ReadMemStats(&ms)
 			if ms.HeapAlloc > peakHeap {
 				peakHeap = ms.HeapAlloc
 			}
+			return ms.HeapAlloc
+		}
+		govern := func() {
+			if vopts.MaxHeapBytes == 0 || sample() <= vopts.MaxHeapBytes {
+				return
+			}
+			// Over budget: give the collector one chance to prove the
+			// pressure is garbage, not live state, before aborting work.
+			runtime.GC()
+			if sample() <= vopts.MaxHeapBytes {
+				return
+			}
+			imu.Lock()
+			var victim *sat.StopFlag
+			var victimID int64
+			for id, f := range inflight {
+				if f.Stopped() {
+					continue
+				}
+				if victim == nil || id < victimID {
+					victim, victimID = f, id
+				}
+			}
+			if victim != nil {
+				victim.StopWith(sat.StopOOM)
+				memAborts++
+			}
+			imu.Unlock()
 		}
 		sample()
 		for {
@@ -128,7 +241,7 @@ func RunCorpus(ctx context.Context, ts []*ir.Transform, opts CorpusOptions) ([]R
 				sample()
 				return
 			case <-tick.C:
-				sample()
+				govern()
 			}
 		}
 	}()
@@ -147,16 +260,45 @@ func RunCorpus(ctx context.Context, ts []*ir.Transform, opts CorpusOptions) ([]R
 				wopts.Track = wopts.Trace.NewTrack(fmt.Sprintf("worker-%d", worker))
 			}
 			for i := range jobs {
-				// Label the goroutine so CPU-profile samples attribute to
-				// the transformation being verified.
-				pprof.Do(ctx, pprof.Labels("transform", ts[i].Name), func(ctx context.Context) {
-					complete(i, VerifyContext(ctx, ts[i], wopts))
-				})
+				// Worker-level backstop: VerifyContext contains panics
+				// from the solving stack, but a fault in the worker loop
+				// itself (the corpus-worker injection site, or a panic
+				// escaping a deferred span finisher) must cost only this
+				// transformation, never the pool.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							rr := Result{Transform: ts[i], Verdict: Unknown, GaveUpAssignment: -1}
+							if inj, ok := faultinject.AsInjected(r); ok {
+								if inj.OOM {
+									rr.Reason = ReasonOOM
+								} else {
+									rr.Reason = ReasonInjected
+								}
+								rr.Err = fmt.Errorf("%s", inj)
+							} else {
+								rr.Reason = ReasonPanic
+								rr.Err = fmt.Errorf("corpus worker panic: %v", r)
+								rr.PanicStack = string(debug.Stack())
+							}
+							complete(i, rr)
+						}
+					}()
+					faultinject.Fire(faultinject.SiteCorpusWorker, nil)
+					// Label the goroutine so CPU-profile samples attribute
+					// to the transformation being verified.
+					pprof.Do(ctx, pprof.Labels("transform", ts[i].Name), func(ctx context.Context) {
+						complete(i, VerifyContext(ctx, ts[i], wopts))
+					})
+				}()
 			}
 		}(w)
 	}
 feed:
 	for i := range ts {
+		if skip[i] {
+			continue
+		}
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -175,7 +317,7 @@ feed:
 	if ctx.Err() == context.DeadlineExceeded {
 		skipReason = ReasonDeadline
 	}
-	stats := CorpusStats{Total: len(ts)}
+	stats := CorpusStats{Total: len(ts), Resumed: resumed}
 	mu.Lock()
 	for i := range results {
 		if !done[i] {
@@ -186,7 +328,7 @@ feed:
 				GaveUpAssignment: -1,
 			}
 			done[i] = true
-		} else {
+		} else if !results[i].Resumed {
 			stats.Completed++
 		}
 	}
@@ -203,15 +345,25 @@ feed:
 			stats.Rejected++
 		default:
 			stats.Unknown++
-			if r.Reason == ReasonPanic {
+			switch r.Reason {
+			case ReasonPanic:
 				stats.Panics++
+			case ReasonCancelled:
+				stats.Cancelled++
 			}
 		}
 		stats.Queries += r.Queries
+		stats.Escalations += r.Escalations
 		stats.Counters.Add(r.Counters)
 	}
+	imu.Lock()
+	stats.MemoryAborts = memAborts
+	imu.Unlock()
 	stats.Interrupted = ctx.Err() != nil
 	stats.Duration = time.Since(start)
 	stats.PeakHeapBytes = peakHeap
+	if opts.Journal != nil {
+		stats.JournalError = opts.Journal.Err()
+	}
 	return results, stats
 }

@@ -37,6 +37,13 @@ const (
 	// ReasonPanic: a panic inside typing/vcgen/smt/sat was recovered;
 	// Result.PanicStack carries the stack trace.
 	ReasonPanic
+	// ReasonOOM: the corpus memory governor aborted this verification to
+	// keep the live heap under CorpusOptions MaxHeapBytes, or a simulated
+	// allocation failure was injected.
+	ReasonOOM
+	// ReasonInjected: a fault-injection site fired (chaos builds only);
+	// the verdict is Unknown by construction, never a wrong Valid/Invalid.
+	ReasonInjected
 )
 
 func (r UnknownReason) String() string {
@@ -55,6 +62,10 @@ func (r UnknownReason) String() string {
 		return "encoding-unsupported"
 	case ReasonPanic:
 		return "internal-panic"
+	case ReasonOOM:
+		return "out-of-memory"
+	case ReasonInjected:
+		return "injected-fault"
 	}
 	return "unknown-reason"
 }
@@ -130,11 +141,21 @@ func (g *governor) trip(why UnknownReason) {
 // stopped reports whether the governor tripped.
 func (g *governor) stopped() bool { return g.flag.Stopped() }
 
-// reason returns what tripped the governor (ReasonCancelled as a safe
-// default for a tripped flag with no recorded reason).
+// reason returns what tripped the governor. The governor's own watcher
+// records why before tripping; when the flag was tripped from outside
+// (memory governor, fault injection) the stop cause classifies it, with
+// ReasonCancelled as the safe default for a plain external Stop.
 func (g *governor) reason() UnknownReason {
 	if r := UnknownReason(g.why.Load()); r != ReasonNone {
 		return r
+	}
+	switch g.flag.Cause() {
+	case sat.StopOOM:
+		return ReasonOOM
+	case sat.StopInjected:
+		return ReasonInjected
+	case sat.StopInjectedDeadline:
+		return ReasonDeadline
 	}
 	return ReasonCancelled
 }

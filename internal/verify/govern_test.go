@@ -160,6 +160,8 @@ func TestUnknownReasonStrings(t *testing.T) {
 		ReasonCEGISRounds:    "cegis-rounds",
 		ReasonEncoding:       "encoding-unsupported",
 		ReasonPanic:          "internal-panic",
+		ReasonOOM:            "out-of-memory",
+		ReasonInjected:       "injected-fault",
 	}
 	for r, s := range want {
 		if r.String() != s {

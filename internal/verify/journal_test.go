@@ -1,0 +1,201 @@
+package verify
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"alive/internal/ir"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	opts := Options{Widths: []int{4}}
+	ts := []*ir.Transform{
+		simpleValid(t, "v0"),
+		parseNamed(t, "bug", "%r = lshr %x, 1\n=>\n%r = ashr %x, 1\n"),
+		simpleValid(t, "v1"),
+	}
+
+	j, err := CreateJournal(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, stats := RunCorpus(context.Background(), ts, CorpusOptions{Verify: opts, Journal: j})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 0 || stats.Completed != 3 || stats.JournalError != nil {
+		t.Fatalf("first run stats = %+v", stats)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("journal has %d records, want 3", j.Len())
+	}
+
+	j2, err := OpenJournal(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var order []int
+	second, stats2 := RunCorpus(context.Background(), ts, CorpusOptions{
+		Verify:   opts,
+		Journal:  j2,
+		OnResult: func(i int, r Result) { order = append(order, i) },
+	})
+	if stats2.Resumed != 3 || stats2.Completed != 0 {
+		t.Fatalf("resume stats = %+v, want everything resumed", stats2)
+	}
+	for i := range ts {
+		if order[i] != i {
+			t.Fatalf("resumed OnResult order %v not the input order", order)
+		}
+		if !second[i].Resumed {
+			t.Errorf("%s: not marked resumed", ts[i].Name)
+		}
+		if second[i].Verdict != first[i].Verdict {
+			t.Errorf("%s: resumed verdict %v != original %v", ts[i].Name, second[i].Verdict, first[i].Verdict)
+		}
+		if second[i].Queries != first[i].Queries {
+			t.Errorf("%s: resumed queries %d != original %d", ts[i].Name, second[i].Queries, first[i].Queries)
+		}
+	}
+	if stats2.Queries != stats.Queries {
+		t.Errorf("resumed total queries %d != original %d", stats2.Queries, stats.Queries)
+	}
+}
+
+func TestJournalPartialResume(t *testing.T) {
+	// A journal holding only some verdicts re-verifies exactly the rest.
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	opts := Options{Widths: []int{4}}
+	ts := []*ir.Transform{simpleValid(t, "v0"), simpleValid(t, "v1"), simpleValid(t, "v2")}
+
+	j, err := CreateJournal(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(ts[1], Verify(ts[1], opts))
+	j.Close()
+
+	j2, err := OpenJournal(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	results, stats := RunCorpus(context.Background(), ts, CorpusOptions{Verify: opts, Journal: j2})
+	if stats.Resumed != 1 || stats.Completed != 2 {
+		t.Fatalf("stats = %+v, want 1 resumed + 2 verified", stats)
+	}
+	if !results[1].Resumed || results[0].Resumed || results[2].Resumed {
+		t.Fatalf("wrong entries resumed: %v %v %v", results[0].Resumed, results[1].Resumed, results[2].Resumed)
+	}
+	for i, r := range results {
+		if r.Verdict != Valid {
+			t.Fatalf("results[%d] = %v, want valid", i, r.Verdict)
+		}
+	}
+	if j2.Len() != 3 {
+		t.Fatalf("journal grew to %d records, want 3", j2.Len())
+	}
+}
+
+func TestJournalSkipsNondeterministicVerdicts(t *testing.T) {
+	// Budget-shaped Unknowns must be re-verified on resume, so they are
+	// never journaled.
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	opts := Options{Widths: []int{32}, DivMulMaxWidth: -1, MaxAssignments: 1, Timeout: 50 * time.Millisecond}
+	hard := parseNamed(t, "hard", hardTransform)
+
+	j, err := CreateJournal(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	results, _ := RunCorpus(context.Background(), []*ir.Transform{hard}, CorpusOptions{Verify: opts, Journal: j})
+	if results[0].Verdict != Unknown {
+		t.Skipf("hard transform decided (%v) — cannot exercise the skip", results[0].Verdict)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("non-deterministic Unknown was journaled: %d records", j.Len())
+	}
+	if _, ok := j.Lookup(hard); ok {
+		t.Fatal("Lookup found an unjournalable verdict")
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	opts := Options{Widths: []int{4}}
+	ts := []*ir.Transform{simpleValid(t, "v0"), simpleValid(t, "v1")}
+
+	j, err := CreateJournal(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(ts[0], Verify(ts[0], opts))
+	j.Close()
+
+	// Simulate a crash mid-append: a torn, unterminated record tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"hash":"deadbeef","verd`)
+	f.Close()
+
+	j2, err := OpenJournal(path, opts)
+	if err != nil {
+		t.Fatalf("torn tail must not poison the journal: %v", err)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("restored %d records, want 1 (torn line dropped)", j2.Len())
+	}
+	// The next append must heal the file: terminate the torn line, then
+	// write a clean record.
+	j2.Append(ts[1], Verify(ts[1], opts))
+	if err := j2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := OpenJournal(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 2 {
+		t.Fatalf("after healing append: %d records, want 2", j3.Len())
+	}
+}
+
+func TestJournalRejectsMismatchedOptions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	j, err := CreateJournal(path, Options{Widths: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(simpleValid(t, "v0"), Verify(simpleValid(t, "v0"), Options{Widths: []int{4}}))
+	j.Close()
+
+	if _, err := OpenJournal(path, Options{Widths: []int{8}}); err == nil {
+		t.Fatal("journal written at widths=[4] resumed at widths=[8] without complaint")
+	}
+}
+
+func TestOpenJournalCreatesMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.ndjson")
+	j, err := OpenJournal(path, Options{Widths: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 0 {
+		t.Fatalf("fresh journal has %d records", j.Len())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal file not created: %v", err)
+	}
+}

@@ -1,0 +1,14 @@
+package verify
+
+import (
+	"os"
+	"testing"
+
+	"alive/internal/leakcheck"
+)
+
+// TestMain fails the package if any verification goroutine — corpus
+// workers, governor watchers, the memory sampler — outlives its call.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -1,0 +1,65 @@
+package verify
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"alive/internal/ir"
+)
+
+// TestMemoryGovernorAborts runs a corpus under an impossible (1-byte)
+// heap budget: every verification must be cooperatively aborted with a
+// structured out-of-memory Unknown — and the run itself must complete,
+// which is the whole point of the governor.
+func TestMemoryGovernorAborts(t *testing.T) {
+	old := memSampleInterval
+	memSampleInterval = time.Millisecond
+	defer func() { memSampleInterval = old }()
+
+	// Hold each verification in flight long enough for the sampler to
+	// notice it.
+	testHookAfterTyping = func(*ir.Transform) { time.Sleep(50 * time.Millisecond) }
+	defer func() { testHookAfterTyping = nil }()
+
+	ts := []*ir.Transform{
+		simpleValid(t, "m0"), simpleValid(t, "m1"),
+		simpleValid(t, "m2"), simpleValid(t, "m3"),
+	}
+	results, stats := RunCorpus(context.Background(), ts, CorpusOptions{
+		Verify:  Options{Widths: []int{4}, MaxHeapBytes: 1},
+		Workers: 2,
+	})
+	for i, r := range results {
+		if r.Verdict != Unknown || r.Reason != ReasonOOM {
+			t.Fatalf("results[%d] = %v/%v, want unknown/out-of-memory", i, r.Verdict, r.Reason)
+		}
+	}
+	if stats.MemoryAborts != len(ts) {
+		t.Fatalf("MemoryAborts = %d, want %d", stats.MemoryAborts, len(ts))
+	}
+	if stats.Interrupted {
+		t.Fatal("a governed run must not read as interrupted")
+	}
+}
+
+// TestMemoryGovernorHeadroom: with generous headroom the governor never
+// fires and verdicts are untouched.
+func TestMemoryGovernorHeadroom(t *testing.T) {
+	old := memSampleInterval
+	memSampleInterval = time.Millisecond
+	defer func() { memSampleInterval = old }()
+
+	ts := []*ir.Transform{simpleValid(t, "h0"), simpleValid(t, "h1")}
+	results, stats := RunCorpus(context.Background(), ts, CorpusOptions{
+		Verify: Options{Widths: []int{4}, MaxHeapBytes: 1 << 40},
+	})
+	if stats.MemoryAborts != 0 {
+		t.Fatalf("MemoryAborts = %d under a 1TiB budget", stats.MemoryAborts)
+	}
+	for i, r := range results {
+		if r.Verdict != Valid {
+			t.Fatalf("results[%d] = %v, want valid", i, r.Verdict)
+		}
+	}
+}

@@ -23,8 +23,10 @@ import (
 	"time"
 
 	"alive/internal/bv"
+	"alive/internal/faultinject"
 	"alive/internal/ir"
 	"alive/internal/lint"
+	"alive/internal/sat"
 	"alive/internal/smt"
 	"alive/internal/solver"
 	"alive/internal/telemetry"
@@ -162,6 +164,18 @@ type Options struct {
 	// RunCorpus assigns one per worker. Nil with Trace set allocates a
 	// fresh track per verification.
 	Track *telemetry.Track
+	// MaxHeapBytes is a soft live-heap budget (0 = unlimited). RunCorpus
+	// samples the heap and, when the live set stays over budget even
+	// after a forced GC, cooperatively aborts the heaviest in-flight
+	// verification with Unknown (out-of-memory) instead of letting the
+	// process be OOM-killed. Single Verify/VerifyContext calls ignore it.
+	MaxHeapBytes uint64
+
+	// onStart, when non-nil, is called at the start of each verification
+	// with its stop flag; the returned function (may be nil) runs when
+	// the verification finishes. RunCorpus uses this same-package seam to
+	// register in-flight verifications with the memory governor.
+	onStart func(t *ir.Transform, flag *sat.StopFlag) func()
 }
 
 // Result is the outcome of Verify.
@@ -195,6 +209,9 @@ type Result struct {
 	// Escalations counts conflict-budget ladder retries across all type
 	// assignments.
 	Escalations int
+	// Resumed is set when RunCorpus restored this verdict from a resume
+	// journal instead of re-verifying the transformation.
+	Resumed bool
 
 	// Counters aggregates the telemetry counters — SAT-core work
 	// (propagations, conflicts, decisions, restarts, learned clauses),
@@ -300,15 +317,31 @@ func VerifyContext(ctx context.Context, t *ir.Transform, opts Options) (res Resu
 	defer func() {
 		if r := recover(); r != nil {
 			res.Verdict = Unknown
+			res.Cex = nil
+			if inj, ok := faultinject.AsInjected(r); ok {
+				// Injected faults are part of the chaos contract, not
+				// pipeline bugs: classify precisely and skip the stack.
+				if inj.OOM {
+					res.Reason = ReasonOOM
+				} else {
+					res.Reason = ReasonInjected
+				}
+				res.Err = fmt.Errorf("%s", inj)
+				return
+			}
 			res.Reason = ReasonPanic
 			res.Err = fmt.Errorf("internal panic: %v", r)
 			res.PanicStack = string(debug.Stack())
-			res.Cex = nil
 		}
 	}()
 
 	g, release := newGovernor(ctx, opts.Timeout)
 	defer release()
+	if opts.onStart != nil {
+		if done := opts.onStart(t, &g.flag); done != nil {
+			defer done()
+		}
+	}
 
 	if opts.Lint {
 		lspan := span.Child("lint", "lint")
