@@ -1,0 +1,21 @@
+// Command alive-vet is the project's custom vet tool, run as
+//
+//	go build -o alive-vet ./cmd/alive-vet
+//	go vet -vettool=./alive-vet ./...
+//
+// It carries the checks in internal/analysis: stopflagpoll (unbounded
+// loops in solver hot paths must poll the StopFlag or be annotated
+// //alive:bounded) and spanend (telemetry spans must be ended or
+// handed off). See the internal/analysis package documentation for the
+// full contract.
+package main
+
+import (
+	"os"
+
+	"alive/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:]))
+}

@@ -88,6 +88,7 @@ func run() int {
 	lintFlag := flag.Bool("lint", false, "reject transformations with lint errors before proving")
 	presolve := flag.String("presolve", "on", "abstract-interpretation presolver before the SAT core (on|off)")
 	preprocess := flag.String("preprocess", "on", "SatELite-style CNF preprocessing between bit-blasting and the SAT core (on|off)")
+	inprocess := flag.String("inprocess", "on", "in-search clause-database analysis in the SAT core: vivification, learnt subsumption, clause GC (on|off)")
 	quiet := flag.Bool("quiet", false, "suppress counterexample details")
 	verbose := flag.Bool("v", false, "print per-transformation solver counters")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
@@ -118,6 +119,14 @@ func run() int {
 		opts.DisablePreprocess = true
 	default:
 		fmt.Fprintf(os.Stderr, "alive: -preprocess must be on or off, got %q\n", *preprocess)
+		return 2
+	}
+	switch *inprocess {
+	case "on":
+	case "off":
+		opts.DisableInprocess = true
+	default:
+		fmt.Fprintf(os.Stderr, "alive: -inprocess must be on or off, got %q\n", *inprocess)
 		return 2
 	}
 	if *widthsFlag != "" {
@@ -435,6 +444,8 @@ func printResult(name, file string, res alive.Result, quiet, verbose bool) {
 			c.Decided+c.Simplified, c.Checks, c.CNFVars, c.CNFClauses)
 		fmt.Printf("    preprocess: %d vars eliminated, %d subsumed, %d strengthened, %d blocked, %d probe units\n",
 			c.VarsEliminated, c.ClausesSubsumed, c.ClausesStrengthened, c.ClausesBlocked, c.ProbeUnits)
+		fmt.Printf("    inprocess: %d runs, %d core learnts, %d reductions, %d vivified (-%d lits), %d subsumed\n",
+			c.Inprocessings, c.LBDCore, c.DBReductions, c.ClausesVivified, c.VivifyShrunkLits, c.LearntsSubsumed)
 	}
 }
 

@@ -201,6 +201,7 @@ func (v Value) reduce() Value {
 		return v
 	}
 	w := v.Width
+	//alive:bounded — monotone tightening of finite ranges/bit masks; converges within the lattice height.
 	for {
 		if !v.KZ.And(v.KO).IsZero() || v.UHi.Ult(v.ULo) || v.SHi.Slt(v.SLo) {
 			return Bot(w)

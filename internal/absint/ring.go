@@ -1,0 +1,256 @@
+package absint
+
+import (
+	"sort"
+	"strconv"
+
+	"alive/internal/smt"
+)
+
+// Ring-normalization presolve: a second abstract domain alongside the
+// known-bits refinement, this one algebraic rather than bitwise. A
+// BitVec term built from +, -, *, unary minus, bitwise complement, and
+// shifts by constants denotes a polynomial function over the ring
+// Z/2^w: bvneg x = -x, bvnot x = -x-1, and x << c = x·2^c are all ring
+// identities, so any such term normalizes to a canonical sum of
+// monomials over its non-arithmetic subterms ("atoms"). Two terms with
+// the same normal form compute the same function for every valuation
+// of the atoms — which settles, with no SAT search at all, exactly the
+// value-equivalence obligations of Alive's reassociation transforms
+// (a + a*b = a*(b+1), x*(-y) = -(x*y), (x<<c)*y = (x*y)<<c, …) whose
+// width-8 multiplier circuits are the most conflict-expensive CNF the
+// corpus produces.
+//
+// Soundness: normalization applies only ring identities of Z/2^w, with
+// atoms treated as opaque universally-quantified unknowns. Equal normal
+// forms therefore imply the terms are equal under every assignment.
+// Unequal normal forms imply nothing (nonzero polynomials over Z/2^w
+// can vanish everywhere, e.g. 2^(w-1)·x·(x+1)), so the check only ever
+// answers "definitely equal" or "don't know" — it can discharge a
+// query, never misdecide one.
+
+// Normalization caps: polynomials wider than ringMaxTerms monomials or
+// deeper than ringMaxDegree factors bail out to "don't know", keeping
+// the presolve cost negligible next to a CDCL run. The reassociation
+// identities in the corpus are degree ≤ 2 with a handful of monomials;
+// the caps leave generous headroom.
+const (
+	ringMaxTerms  = 64
+	ringMaxDegree = 6
+	ringMaxNodes  = 2048
+)
+
+// monomial is a multiset of atom IDs (sorted, possibly repeated —
+// x·x stays degree two; Z/2^w is not Boolean) encoded as a string so it
+// can key a map. The empty string is the constant monomial.
+type monomial = string
+
+// poly is a polynomial in normal form: monomial → coefficient mod 2^w,
+// zero coefficients removed.
+type poly map[monomial]uint64
+
+// ringNorm normalizes terms of one width; width > 64 is rejected by
+// RingEqual before one is built.
+type ringNorm struct {
+	width int
+	mask  uint64
+	memo  map[*smt.Term]poly
+	ok    bool
+}
+
+// RingEqual reports whether the BitVec terms u and v (same width ≤ 64)
+// provably denote the same function by polynomial normalization over
+// Z/2^w. A false return means "not proved", not "different".
+func RingEqual(u, v *smt.Term) bool {
+	if u.IsBool() || u.Width != v.Width || u.Width > 64 {
+		return false
+	}
+	if u == v {
+		return true // hash-consing: structural equality is pointer equality
+	}
+	n := &ringNorm{
+		width: u.Width,
+		mask:  ^uint64(0) >> (64 - uint(u.Width)),
+		memo:  map[*smt.Term]poly{},
+		ok:    true,
+	}
+	pu := n.norm(u)
+	pv := n.norm(v)
+	return n.ok && polyEqual(pu, pv)
+}
+
+func polyEqual(a, b poly) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for m, c := range a {
+		if b[m] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// norm returns the normal form of t, memoized over the term DAG. On
+// blow-up it clears n.ok and returns nil; callers must check n.ok.
+func (n *ringNorm) norm(t *smt.Term) poly {
+	if p, hit := n.memo[t]; hit {
+		return p
+	}
+	if !n.ok {
+		return nil
+	}
+	if len(n.memo) >= ringMaxNodes {
+		n.ok = false
+		return nil
+	}
+	p := n.normRaw(t)
+	if !n.ok {
+		return nil
+	}
+	if len(p) > ringMaxTerms {
+		n.ok = false
+		return nil
+	}
+	n.memo[t] = p
+	return p
+}
+
+func (n *ringNorm) normRaw(t *smt.Term) poly {
+	// Ring operators decompose only at the ring's own width; a narrower
+	// or wider arithmetic subterm (feeding a zext, say) is opaque here.
+	if t.Width == n.width {
+		switch t.Kind {
+		case smt.KBVConst:
+			return n.constPoly(t.Val.Uint64())
+		case smt.KBVAdd:
+			return n.add(n.norm(t.Args[0]), n.norm(t.Args[1]))
+		case smt.KBVSub:
+			return n.add(n.norm(t.Args[0]), n.scale(n.norm(t.Args[1]), n.mask)) // -1 ≡ mask
+		case smt.KBVNeg:
+			return n.scale(n.norm(t.Args[0]), n.mask)
+		case smt.KBVNot:
+			// ~x = -x - 1 in two's complement.
+			return n.add(n.scale(n.norm(t.Args[0]), n.mask), n.constPoly(n.mask))
+		case smt.KBVMul:
+			return n.mul(n.norm(t.Args[0]), n.norm(t.Args[1]))
+		case smt.KBVShl:
+			if sh := t.Args[1]; sh.Kind == smt.KBVConst {
+				c := sh.Val.Uint64()
+				if c >= uint64(n.width) {
+					return poly{}
+				}
+				return n.scale(n.norm(t.Args[0]), uint64(1)<<c)
+			}
+		}
+	}
+	return n.atomPoly(t)
+}
+
+func (n *ringNorm) constPoly(c uint64) poly {
+	c &= n.mask
+	if c == 0 {
+		return poly{}
+	}
+	return poly{"": c}
+}
+
+// atomPoly represents an opaque subterm as the degree-one monomial of
+// its hash-consing ID.
+func (n *ringNorm) atomPoly(t *smt.Term) poly {
+	return poly{monomialKey([]uint64{t.ID()}): 1}
+}
+
+func monomialKey(ids []uint64) monomial {
+	var b []byte
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, '*')
+		}
+		b = strconv.AppendUint(b, id, 16)
+	}
+	return monomial(b)
+}
+
+func monomialIDs(m monomial) []uint64 {
+	if m == "" {
+		return nil
+	}
+	var ids []uint64
+	start := 0
+	for i := 0; i <= len(m); i++ {
+		if i == len(m) || m[i] == '*' {
+			id, _ := strconv.ParseUint(m[start:i], 16, 64)
+			ids = append(ids, id)
+			start = i + 1
+		}
+	}
+	return ids
+}
+
+func (n *ringNorm) add(a, b poly) poly {
+	if !n.ok {
+		return nil
+	}
+	out := make(poly, len(a)+len(b))
+	for m, c := range a {
+		out[m] = c
+	}
+	for m, c := range b {
+		s := (out[m] + c) & n.mask
+		if s == 0 {
+			delete(out, m)
+		} else {
+			out[m] = s
+		}
+	}
+	return out
+}
+
+func (n *ringNorm) scale(a poly, k uint64) poly {
+	if !n.ok {
+		return nil
+	}
+	k &= n.mask
+	if k == 0 {
+		return poly{}
+	}
+	out := make(poly, len(a))
+	for m, c := range a {
+		if s := (c * k) & n.mask; s != 0 {
+			out[m] = s
+		}
+	}
+	return out
+}
+
+func (n *ringNorm) mul(a, b poly) poly {
+	if !n.ok {
+		return nil
+	}
+	out := poly{}
+	for ma, ca := range a {
+		ia := monomialIDs(ma)
+		for mb, cb := range b {
+			ib := monomialIDs(mb)
+			if len(ia)+len(ib) > ringMaxDegree {
+				n.ok = false
+				return nil
+			}
+			merged := append(append([]uint64{}, ia...), ib...)
+			sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+			m := monomialKey(merged)
+			s := (out[m] + ca*cb) & n.mask
+			if s == 0 {
+				delete(out, m)
+			} else {
+				out[m] = s
+			}
+			if len(out) > ringMaxTerms {
+				n.ok = false
+				return nil
+			}
+		}
+	}
+	return out
+}

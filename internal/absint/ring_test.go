@@ -1,0 +1,169 @@
+package absint
+
+import (
+	"math/rand"
+	"testing"
+
+	"alive/internal/bv"
+	"alive/internal/smt"
+)
+
+// ringVars declares the three BitVec variables the identity tables
+// use. Both sides of each identity come from one builder, exactly as
+// the verifier constructs its conditions; the interesting cases are
+// the ones hash-consing does NOT collapse to the same pointer.
+func ringVars(b *smt.Builder, w int) (x, y, z *smt.Term) {
+	return b.Var("x", w), b.Var("y", w), b.Var("z", w)
+}
+
+func TestRingEqualIdentities(t *testing.T) {
+	b := smt.NewBuilder()
+	const w = 8
+	x, y, z := ringVars(b, w)
+	c3 := b.ConstUint(w, 3)
+	c5 := b.ConstUint(w, 5)
+
+	cases := []struct {
+		name string
+		u, v *smt.Term
+	}{
+		// The corpus reassociation transforms' value obligations.
+		{"add-mul-factor", b.Add(x, b.Mul(x, y)), b.Mul(x, b.Add(y, b.ConstUint(w, 1)))},
+		{"mul-neg-rhs", b.Mul(x, b.Neg(y)), b.Neg(b.Mul(x, y))},
+		{"mul-shl-hoist", b.Mul(b.Shl(x, c3), y), b.Shl(b.Mul(x, y), c3)},
+		{"mul-const-assoc", b.Mul(b.Mul(x, c3), c5), b.Mul(x, b.ConstUint(w, 15))},
+		{"distribute", b.Mul(b.Add(x, y), z), b.Add(b.Mul(x, z), b.Mul(y, z))},
+		{"sub-is-add-neg", b.Sub(x, y), b.Add(x, b.Neg(y))},
+		{"not-is-neg-minus-one", b.BVNot(x), b.Sub(b.Neg(x), b.ConstUint(w, 1))},
+		{"shl-is-mul-pow2", b.Shl(x, c3), b.Mul(x, b.ConstUint(w, 8))},
+		{"square-commute", b.Mul(b.Add(x, y), b.Add(x, y)), b.Add(b.Add(b.Mul(x, x), b.Mul(b.ConstUint(w, 2), b.Mul(x, y))), b.Mul(y, y))},
+		// Opaque atoms: udiv is not a ring op but matches as an atom.
+		{"atom-context", b.Add(b.Udiv(x, y), b.Mul(z, c3)), b.Add(b.Mul(c3, z), b.Udiv(x, y))},
+	}
+	for _, tc := range cases {
+		if !RingEqual(tc.u, tc.v) {
+			t.Errorf("%s: RingEqual(%s, %s) = false, want true", tc.name, tc.u, tc.v)
+		}
+	}
+}
+
+func TestRingEqualRejects(t *testing.T) {
+	b := smt.NewBuilder()
+	const w = 8
+	x, y, _ := ringVars(b, w)
+
+	cases := []struct {
+		name string
+		u, v *smt.Term
+	}{
+		{"different-poly", b.Mul(x, y), b.Add(x, y)},
+		{"off-by-const", b.Add(x, b.ConstUint(w, 1)), x},
+		{"udiv-not-ring", b.Udiv(b.Mul(x, y), y), x},
+		{"shl-var-amount", b.Mul(b.Shl(x, y), x), b.Shl(b.Mul(x, x), y)},
+		// x² ≠ x in Z/2^w — the ring is not Boolean.
+		{"square-not-idempotent", b.Mul(x, x), x},
+	}
+	for _, tc := range cases {
+		if RingEqual(tc.u, tc.v) {
+			t.Errorf("%s: RingEqual(%s, %s) = true, want false", tc.name, tc.u, tc.v)
+		}
+	}
+	if RingEqual(b.Var("p", 8), b.Var("q", 4)) {
+		t.Error("width mismatch accepted")
+	}
+	if RingEqual(b.BoolVar("b1"), b.BoolVar("b2")) {
+		t.Error("bool terms accepted")
+	}
+}
+
+func TestRingEqualWidth64Wraparound(t *testing.T) {
+	// Coefficient arithmetic at width 64 is uint64 wraparound; make sure
+	// the mask math holds at the boundary.
+	b := smt.NewBuilder()
+	x := b.Var("x", 64)
+	u := b.Mul(x, b.ConstUint(64, ^uint64(0))) // x * -1
+	v := b.Neg(x)
+	if !RingEqual(u, v) {
+		t.Errorf("width-64 neg identity not proved")
+	}
+	if RingEqual(b.Var("w1", 65), b.Var("w1", 65)) != false {
+		// Width > 64 must bail, even on pointer-equal terms.
+		t.Errorf("width > 64 not rejected")
+	}
+}
+
+func TestRingEqualBlowupBails(t *testing.T) {
+	// (x1+y1)(x2+y2)...(xk+yk) has 2^k monomials; past the degree cap
+	// the normalizer must answer "don't know", not hang or misdecide.
+	b := smt.NewBuilder()
+	const w = 8
+	prod := b.ConstUint(w, 1)
+	for i := 0; i < 10; i++ {
+		x := b.Var("x"+string(rune('a'+i)), w)
+		y := b.Var("y"+string(rune('a'+i)), w)
+		prod = b.Mul(prod, b.Add(x, y))
+	}
+	if RingEqual(prod, prod.Args[0]) {
+		t.Error("blow-up case decided equal")
+	}
+}
+
+// TestRingEqualSoundness is the property test backing the presolve's
+// correctness claim: whenever RingEqual proves two random arithmetic
+// terms equal, evaluation agrees on random models. (The converse —
+// completeness — is not claimed and not tested.)
+func TestRingEqualSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const w = 8
+	b := smt.NewBuilder()
+	vars := []*smt.Term{b.Var("x", w), b.Var("y", w), b.Var("z", w)}
+
+	var gen func(depth int) *smt.Term
+	gen = func(depth int) *smt.Term {
+		if depth == 0 || rng.Intn(4) == 0 {
+			if rng.Intn(3) == 0 {
+				return b.ConstUint(w, uint64(rng.Intn(256)))
+			}
+			return vars[rng.Intn(len(vars))]
+		}
+		l, r := gen(depth-1), gen(depth-1)
+		switch rng.Intn(7) {
+		case 0:
+			return b.Add(l, r)
+		case 1:
+			return b.Sub(l, r)
+		case 2:
+			return b.Mul(l, r)
+		case 3:
+			return b.Neg(l)
+		case 4:
+			return b.BVNot(l)
+		case 5:
+			return b.Shl(l, b.ConstUint(w, uint64(rng.Intn(10))))
+		default:
+			return b.Udiv(l, r) // opaque atom
+		}
+	}
+
+	proved := 0
+	for i := 0; i < 2000; i++ {
+		u, v := gen(4), gen(4)
+		if !RingEqual(u, v) {
+			continue
+		}
+		proved++
+		for trial := 0; trial < 16; trial++ {
+			m := smt.NewModel()
+			for _, vr := range vars {
+				m.BVs[vr.Name] = bv.New(w, uint64(rng.Intn(256)))
+			}
+			uv, vv := smt.Eval(u, m), smt.Eval(v, m)
+			if !uv.V.Eq(vv.V) {
+				t.Fatalf("RingEqual proved %s = %s but eval differs: %s vs %s", u, v, uv, vv)
+			}
+		}
+	}
+	if proved == 0 {
+		t.Error("property test never exercised a proved pair; generator too weak")
+	}
+}

@@ -409,6 +409,7 @@ func transferMul(t *smt.Term, a []Value) Value {
 // trailingKnownZeros counts consecutive known-zero bits from bit 0.
 func trailingKnownZeros(kz bv.Vec) int {
 	n := 0
+	//alive:bounded — walks at most Width bits.
 	for n < kz.Width() && kz.Bit(n) == 1 {
 		n++
 	}

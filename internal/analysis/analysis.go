@@ -1,0 +1,101 @@
+// Package analysis is the project's custom static-analysis suite: a
+// small, dependency-free reimplementation of the go/analysis "vet
+// tool" shape, driving project-specific analyzers that encode
+// invariants the general-purpose checkers cannot know:
+//
+//   - stopflagpoll: unbounded loops in the solver hot paths
+//     (internal/sat, internal/cnf, internal/bitblast, internal/absint)
+//     must poll the cooperative StopFlag (or a derived halt check) or
+//     carry an explicit //alive:bounded annotation, so no search or
+//     rewrite loop can ever ignore a deadline;
+//   - spanend: every telemetry span opened with Child/Start must reach
+//     an End() call (directly, deferred, or by escaping to a caller
+//     that ends it), so traces never silently drop open spans.
+//
+// The analyzers are purely syntactic (go/parser + go/ast, no type
+// information), which keeps the tool buildable with the standard
+// library alone; cmd/alive-vet wraps them in the `go vet -vettool`
+// unitchecker protocol, and CI runs them next to staticcheck.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Unit is one package's worth of parsed source, the granularity `go
+// vet` hands the tool.
+type Unit struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+}
+
+// Analyzer is one named check over a Unit.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo filters by import path; nil means every package.
+	AppliesTo func(importPath string) bool
+	Run       func(u *Unit) []Diagnostic
+}
+
+// Analyzers lists the suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{StopFlagPoll, SpanEnd}
+}
+
+// ParseUnit parses the named Go files into a Unit. Test files are
+// dropped: the invariants the suite checks are production hot-path and
+// tracing contracts, and test helpers (bounded setup loops,
+// deliberately leaked spans in the telemetry leak tests) would drown
+// the signal.
+func ParseUnit(importPath string, goFiles []string) (*Unit, error) {
+	u := &Unit{ImportPath: importPath, Fset: token.NewFileSet()}
+	for _, name := range goFiles {
+		if strings.HasSuffix(filepath.Base(name), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(u.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		u.Files = append(u.Files, f)
+	}
+	return u, nil
+}
+
+// Run applies every applicable analyzer to the unit and returns the
+// findings sorted by position.
+func Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range Analyzers() {
+		if a.AppliesTo != nil && !a.AppliesTo(u.ImportPath) {
+			continue
+		}
+		out = append(out, a.Run(u)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Offset < out[j].Pos.Offset
+	})
+	return out
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SpanEnd flags telemetry spans that are opened but never closed. A
+// span start is an assignment `x := recv.Start(name, cat)` or
+// `x := recv.Child(name, cat)` (both take exactly two arguments, which
+// distinguishes them from unrelated Start methods such as
+// exec.Cmd.Start). Within the enclosing function the span must either
+// reach an `x.End()` call — direct or deferred — or escape (be passed
+// to a call, returned, stored into a struct or slice, captured on the
+// right-hand side of another assignment), in which case closing it is
+// the new owner's job. A span that does neither is leaked: it never
+// flushes and leaves its trace permanently open.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "telemetry spans opened with Start/Child must be End()ed " +
+		"or escape to an owner that ends them",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, s := range spanStarts(fd.Body) {
+				if spanHandled(fd.Body, s) {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      u.Fset.Position(s.def.Pos()),
+					Analyzer: "spanend",
+					Message: "span " + s.name + " is started but never ended: " +
+						"call " + s.name + ".End() (or defer it), or hand the span off",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// spanStart records one `x := recv.Start/Child(a, b)` site.
+type spanStart struct {
+	name string
+	def  *ast.Ident
+}
+
+// spanStarts collects span-opening assignments anywhere in the
+// function body, including inside nested function literals (the
+// handled/escape scan below also covers the whole body, so a span
+// opened in a closure and ended there is matched correctly).
+func spanStarts(body *ast.BlockStmt) []spanStart {
+	var starts []spanStart
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Start" && sel.Sel.Name != "Child") {
+			return true
+		}
+		starts = append(starts, spanStart{name: id.Name, def: id})
+		return true
+	})
+	return starts
+}
+
+// spanHandled reports whether the span defined at s is ended or
+// escapes within the function body. Uses of the identifier are
+// classified by their parent node: `x.End` counts as ended; other
+// selector uses (`x.SetAttr`, `x.Child`) and nil-comparisons are
+// neutral; any remaining use — call argument, return value, assignment
+// right-hand side, composite-literal element, channel send — counts as
+// an escape.
+func spanHandled(body *ast.BlockStmt, s spanStart) bool {
+	handled := false
+	var walk func(n ast.Node, parent ast.Node)
+	walk = func(n ast.Node, parent ast.Node) {
+		if n == nil || handled {
+			return
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == s.name && id != s.def {
+			switch p := parent.(type) {
+			case *ast.SelectorExpr:
+				if p.X == id && p.Sel.Name == "End" {
+					handled = true
+				}
+				// Other method/field uses keep the span local: neutral.
+			case *ast.BinaryExpr:
+				// Nil checks and comparisons: neutral.
+			case *ast.AssignStmt:
+				for _, r := range p.Rhs {
+					if r == id {
+						handled = true // handed off to another variable/field
+					}
+				}
+			default:
+				handled = true // call arg, return, composite literal, send, ...
+			}
+			return
+		}
+		for _, c := range childNodes(n) {
+			walk(c, n)
+		}
+	}
+	walk(body, nil)
+	return handled
+}
+
+// childNodes returns n's direct AST children, giving walk the parent
+// pointer ast.Inspect does not expose.
+func childNodes(n ast.Node) []ast.Node {
+	var kids []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true // enter n itself
+		}
+		if c != nil {
+			kids = append(kids, c)
+		}
+		return false // do not descend: collect one level only
+	})
+	return kids
+}

@@ -24,7 +24,21 @@ import (
 // gained the exact-match robustness columns escalations (solver
 // escalations during the run) and resumed (verdicts restored from the
 // journal on replay; a drop means verdicts stopped being checkpointed).
-const VerifyReportSchema = 3
+// Version 4: the CDCL core gained an LBD-tiered learned-clause database
+// with in-search inprocessing — the counters block gained lbd_core,
+// db_reductions, inprocessings, clauses_vivified, vivify_shrunk_lits,
+// and learnts_subsumed, and two old columns changed meaning:
+// learned_clauses still counts learn events but the clauses themselves
+// are now retained by LBD tier rather than by activity-sorted halving,
+// and restarts/conflicts measure a search that is periodically
+// simplified (vivification, learnt subsumption, root-unit saturation)
+// at restart boundaries, so both are far below schema-3 values on the
+// same corpus. The presolver also gained the polynomial-normalization
+// domain (counter ring_refuted): disequalities settled as ring
+// identities of Z/2^w never reach the SAT core at all, which shrinks
+// cdcl_runs and every SAT-core column alongside the inprocessing
+// effect.
+const VerifyReportSchema = 4
 
 // VerifySlow is one entry of the report's slowest-transforms table.
 // Durations are machine-dependent and informational; the comparator

@@ -191,6 +191,48 @@ func TestCompareVerifyReportsMissingCounterColumn(t *testing.T) {
 	}
 }
 
+func TestCompareVerifyReportsSchema4Columns(t *testing.T) {
+	// The schema-4 counters — the clause-database inprocessing block and
+	// the ring presolve — are required columns like any other: a
+	// baseline missing one must fail the gate, not silently compare the
+	// zero value.
+	for _, col := range []string{
+		"lbd_core", "db_reductions", "inprocessings", "clauses_vivified",
+		"vivify_shrunk_lits", "learnts_subsumed", "ring_refuted",
+	} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "BENCH_verify.json")
+		if err := WriteVerifyReport(path, sampleReport()); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripped := strings.Replace(string(data), "\""+col+"\": 0,\n", "", 1)
+		if stripped == string(data) {
+			t.Fatalf("test setup: %s column not found in the written report", col)
+		}
+		if err := os.WriteFile(path, []byte(stripped), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		base, err := LoadVerifyReport(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fails, _ := CompareVerifyReports(base, sampleReport(), 0.25)
+		found := false
+		for _, f := range fails {
+			if strings.Contains(f, col) && strings.Contains(f, "missing") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: missing counter column not flagged: %v", col, fails)
+		}
+	}
+}
+
 func TestCompareVerifyReportsNearZeroSlack(t *testing.T) {
 	// A counter going 0 -> 10 must not fail: the absolute slack absorbs
 	// noise-scale motion near zero.

@@ -20,21 +20,17 @@ import "alive/internal/sat"
 // clause is a stored clause plus a 64-bit signature over its literals
 // (a bloom filter: sig(C) ⊆ sig(D) is necessary for C ⊆ D, so most
 // subsumption candidates are rejected without touching the literals).
+// The signature machinery itself — shared with the CDCL core's
+// inprocessing — lives in internal/sat (sat.LitSig, sat.ComputeSig).
 type clause struct {
 	lits    []sat.Lit
 	sig     uint64
 	deleted bool
 }
 
-func litSig(l sat.Lit) uint64 { return 1 << (uint32(l) % 64) }
+func litSig(l sat.Lit) uint64 { return sat.LitSig(l) }
 
-func computeSig(lits []sat.Lit) uint64 {
-	var s uint64
-	for _, l := range lits {
-		s |= litSig(l)
-	}
-	return s
-}
+func computeSig(lits []sat.Lit) uint64 { return sat.ComputeSig(lits) }
 
 // Formula is a clause database with root-level simplification on add:
 // duplicate literals collapse, tautologies are dropped, literals false

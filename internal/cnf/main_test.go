@@ -1,0 +1,15 @@
+package cnf
+
+import (
+	"os"
+	"testing"
+
+	"alive/internal/leakcheck"
+)
+
+// TestMain fails the package if any preprocessing goroutine leaks past
+// the tests (the stop-flag flippers in the mid-preprocess soundness
+// test included).
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -161,14 +161,7 @@ func (p *prep) spend(n int) { p.budget -= int64(n) }
 // cooperative cancellation requested.
 func (p *prep) halted() bool { return p.budget <= 0 || p.stop.Stopped() }
 
-func contains(lits []sat.Lit, l sat.Lit) bool {
-	for _, x := range lits {
-		if x == l {
-			return true
-		}
-	}
-	return false
-}
+func contains(lits []sat.Lit, l sat.Lit) bool { return sat.ContainsLit(lits, l) }
 
 // occList returns the live occurrence list of l, compacting out stale
 // entries in place.
@@ -204,6 +197,7 @@ func (p *prep) addClause(lits []sat.Lit) {
 // After saturation no live clause mentions a root-assigned variable.
 func (p *prep) saturate() {
 	f := p.f
+	//alive:bounded — each variable enters the unit queue at most once.
 	for len(f.unitQ) > 0 && f.ok {
 		l := f.unitQ[0]
 		f.unitQ = f.unitQ[1:]
@@ -329,28 +323,11 @@ func (p *prep) subsume() int64 {
 	return changed
 }
 
-// subsumes reports c ⊆ d.
-func subsumes(c, d []sat.Lit) bool {
-	for _, l := range c {
-		if !contains(d, l) {
-			return false
-		}
-	}
-	return true
-}
+// subsumes reports c ⊆ d (shared core in internal/sat).
+func subsumes(c, d []sat.Lit) bool { return sat.Subsumes(c, d) }
 
-// strengthens reports (c \ {l}) ∪ {¬l} ⊆ d.
-func strengthens(c []sat.Lit, l sat.Lit, d []sat.Lit) bool {
-	for _, x := range c {
-		if x == l {
-			x = x.Not()
-		}
-		if !contains(d, x) {
-			return false
-		}
-	}
-	return true
-}
+// strengthens reports (c \ {l}) ∪ {¬l} ⊆ d (shared core in internal/sat).
+func strengthens(c []sat.Lit, l sat.Lit, d []sat.Lit) bool { return sat.Strengthens(c, l, d) }
 
 // resolve returns the resolvent of a and b on variable v, or ok=false
 // when it is tautological.
@@ -627,6 +604,7 @@ func (p *prep) tempPropagate(l sat.Lit, mark []int8, trail *[]sat.Lit) bool {
 // every surviving clause.
 func (r *Result) Load(core *sat.Solver) {
 	f := r.f
+	//alive:bounded — grows the variable table to a fixed count.
 	for core.NumVars() < f.nvars {
 		core.NewVar()
 	}

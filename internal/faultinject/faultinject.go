@@ -51,6 +51,9 @@ const (
 	SitePropagate Site = "cdcl-propagate"
 	// SiteDecide fires before every CDCL branching decision.
 	SiteDecide Site = "cdcl-decide"
+	// SiteInprocess fires at the top of every in-search inprocessing run
+	// and before each vivification candidate.
+	SiteInprocess Site = "cdcl-inprocess"
 	// SiteCEGIS fires at the top of every CEGIS refinement round.
 	SiteCEGIS Site = "cegis-round"
 	// SiteTelemetry fires when a telemetry span is recorded into its
@@ -66,8 +69,8 @@ const (
 func Sites() []Site {
 	return []Site{
 		SiteParser, SiteTyping, SiteVCGen, SitePresolve, SiteBitblast,
-		SitePreprocess, SitePropagate, SiteDecide, SiteCEGIS,
-		SiteTelemetry, SiteCorpusWorker,
+		SitePreprocess, SitePropagate, SiteDecide, SiteInprocess,
+		SiteCEGIS, SiteTelemetry, SiteCorpusWorker,
 	}
 }
 
@@ -166,6 +169,7 @@ var stopCapable = map[Site]bool{
 	SitePreprocess: true,
 	SitePropagate:  true,
 	SiteDecide:     true,
+	SiteInprocess:  true,
 	SiteCEGIS:      true,
 }
 
@@ -216,7 +220,7 @@ func maxHit(s Site) int64 {
 		return 2048
 	case SiteTelemetry:
 		return 512
-	case SitePresolve, SiteBitblast, SitePreprocess, SiteCEGIS:
+	case SitePresolve, SiteBitblast, SitePreprocess, SiteInprocess, SiteCEGIS:
 		return 96
 	default:
 		return 24

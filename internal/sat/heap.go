@@ -23,6 +23,7 @@ func (h *varHeap) swap(i, j int) {
 }
 
 func (h *varHeap) up(i int) {
+	//alive:bounded — heap sift, O(log n).
 	for i > 0 {
 		p := (i - 1) / 2
 		if !h.less(i, p) {
@@ -35,6 +36,7 @@ func (h *varHeap) up(i int) {
 
 func (h *varHeap) down(i int) {
 	n := len(h.heap)
+	//alive:bounded — heap sift, O(log n).
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
@@ -54,6 +56,7 @@ func (h *varHeap) down(i int) {
 
 // insert adds v if absent.
 func (h *varHeap) insert(v int) {
+	//alive:bounded — grows the position table to a fixed index.
 	for len(h.pos) <= v {
 		h.pos = append(h.pos, -1)
 	}

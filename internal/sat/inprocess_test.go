@@ -1,0 +1,352 @@
+package sat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lit converts a DIMACS-style signed int to a Lit.
+func dimacs(v int) Lit {
+	if v < 0 {
+		return MkLit(-v, true)
+	}
+	return MkLit(v, false)
+}
+
+// randomInstance generates a random k-SAT instance near the phase
+// transition, hard enough to force conflicts, restarts, and therefore
+// inprocessing runs.
+func randomInstance(rng *rand.Rand) (int, [][]int) {
+	nvars := 20 + rng.Intn(40)
+	nclauses := int(float64(nvars) * (3.5 + rng.Float64()))
+	clauses := make([][]int, nclauses)
+	for i := range clauses {
+		k := 2 + rng.Intn(3)
+		c := make([]int, k)
+		for j := range c {
+			v := 1 + rng.Intn(nvars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c[j] = v
+		}
+		clauses[i] = c
+	}
+	return nvars, clauses
+}
+
+func buildSolver(nvars int, clauses [][]int) (*Solver, bool) {
+	s := New()
+	for s.NumVars() < nvars {
+		s.NewVar()
+	}
+	for _, c := range clauses {
+		lits := make([]Lit, len(c))
+		for j, v := range c {
+			lits[j] = dimacs(v)
+		}
+		if !s.AddClause(lits...) {
+			return s, false
+		}
+	}
+	return s, true
+}
+
+func modelSatisfies(s *Solver, clauses [][]int) bool {
+	for _, c := range clauses {
+		sat := false
+		for _, v := range c {
+			val := s.ValueOf(abs(v))
+			if v < 0 {
+				val = !val
+			}
+			if val {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestInprocessSoundnessRandom runs aggressive inprocessing (every
+// restart, varying budgets) against a reference solve with inprocessing
+// disabled: the status must agree and Sat models must satisfy the
+// original clauses exactly — every inprocessing rewrite preserves
+// logical equivalence, so there is no reconstruction step to hide bugs
+// behind.
+func TestInprocessSoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	for iter := 0; iter < iters; iter++ {
+		nvars, clauses := randomInstance(rng)
+
+		ref, ok := buildSolver(nvars, clauses)
+		var want Status
+		if !ok {
+			want = Unsat
+		} else {
+			ref.DisableInprocess = true
+			want = ref.Solve()
+		}
+
+		s, ok := buildSolver(nvars, clauses)
+		if !ok {
+			continue // trivially unsat either way
+		}
+		s.InprocessConflicts = 1
+		if iter%3 == 0 {
+			s.InprocessBudget = int64(1 + rng.Intn(500))
+		}
+		got := s.Solve()
+		if got != want {
+			t.Fatalf("iter %d: inprocessing status %v, reference %v (clauses %v)", iter, got, want, clauses)
+		}
+		if got == Sat && !modelSatisfies(s, clauses) {
+			t.Fatalf("iter %d: model does not satisfy original clauses %v", iter, clauses)
+		}
+	}
+}
+
+// TestInprocessRuns asserts inprocessing actually fires on a hard
+// instance and the verdict is still right.
+func TestInprocessRuns(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7)
+	s.InprocessConflicts = 50
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(8,7) = %v, want unsat", st)
+	}
+	if s.Inprocessings() == 0 {
+		t.Fatal("expected at least one inprocessing run")
+	}
+	if s.DBReductions() == 0 {
+		t.Fatal("expected at least one DB reduction on PHP(8,7)")
+	}
+}
+
+// TestInprocessDisabled asserts the -inprocess=off path really is off.
+func TestInprocessDisabled(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7)
+	s.DisableInprocess = true
+	s.InprocessConflicts = 1
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(8,7) = %v, want unsat", st)
+	}
+	if s.Inprocessings() != 0 || s.ClausesVivified() != 0 || s.LearntsSubsumed() != 0 {
+		t.Fatalf("disabled inprocessing still ran: runs=%d vivified=%d subsumed=%d",
+			s.Inprocessings(), s.ClausesVivified(), s.LearntsSubsumed())
+	}
+}
+
+// TestVivifyShrinksClause checks the distillation rule on a hand-built
+// case: with a → b in the database, the clause (b ∨ a ∨ c) vivifies to
+// (b ∨ c) — assuming ¬b propagates ¬a, proving a redundant.
+func TestVivifyShrinksClause(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, true), MkLit(b, false))                   // a → b
+	s.AddClause(MkLit(b, false), MkLit(a, false), MkLit(c, false)) // b ∨ a ∨ c
+	if !s.inprocess() {
+		t.Fatal("inprocess refuted a satisfiable formula")
+	}
+	if s.ClausesVivified() != 1 || s.VivifyShrunkLits() != 1 {
+		t.Fatalf("vivified=%d shrunk=%d, want 1/1", s.ClausesVivified(), s.VivifyShrunkLits())
+	}
+	var target *clause
+	for _, cl := range s.clauses {
+		if len(cl.lits) == 3 {
+			t.Fatalf("ternary clause survived vivification: %v", cl.lits)
+		}
+		if ContainsLit(cl.lits, MkLit(c, false)) {
+			target = cl
+		}
+	}
+	wantLits := []Lit{MkLit(b, false), MkLit(c, false)}
+	if target == nil || len(target.lits) != 2 || target.lits[0] != wantLits[0] || target.lits[1] != wantLits[1] {
+		t.Fatalf("vivified clause = %v, want %v", target, wantLits)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("post-vivification solve = %v, want sat", st)
+	}
+}
+
+// TestSubsumeNewLearnts checks backward subsumption and self-subsuming
+// strengthening of a new learnt against the database.
+func TestSubsumeNewLearnts(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	A, B, C := MkLit(a, false), MkLit(b, false), MkLit(c, false)
+	s.AddClause(A, B, C)       // subsumed by the learnt {a, b}
+	s.AddClause(A.Not(), B, C) // strengthened to {b, c} (resolve on a)
+	lc := &clause{lits: []Lit{A, B}, learnt: true}
+	s.learnts = append(s.learnts, lc)
+	s.attach(lc)
+	s.newLearnts = append(s.newLearnts, lc)
+	s.ipTicks = 1 << 20
+	if !s.subsumeNewLearnts() {
+		t.Fatal("subsumption refuted a satisfiable formula")
+	}
+	if s.LearntsSubsumed() != 1 {
+		t.Fatalf("learnts_subsumed = %d, want 1", s.LearntsSubsumed())
+	}
+	s.compactDB()
+	if len(s.clauses) != 1 {
+		t.Fatalf("%d problem clauses survive, want 1", len(s.clauses))
+	}
+	got := s.clauses[0].lits
+	if len(got) != 2 || got[0] != B || got[1] != C {
+		t.Fatalf("strengthened clause = %v, want [%v %v]", got, B, C)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("post-subsumption solve = %v, want sat", st)
+	}
+}
+
+// TestStopFlagMidInprocess flips the stop flag before and at random
+// points during solves that inprocess at every restart, then swaps in a
+// fresh flag and re-solves the same solver: the halt must be sound — the
+// rewritten database is logically equivalent to the original clauses,
+// so the resumed status matches a reference solve and Sat models
+// satisfy the original clauses exactly. Mirrors
+// internal/cnf TestStopFlagMidPreprocess for the in-search analyses.
+func TestStopFlagMidInprocess(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	iters := 150
+	if testing.Short() {
+		iters = 30
+	}
+	for iter := 0; iter < iters; iter++ {
+		nvars, clauses := randomInstance(rng)
+
+		ref, ok := buildSolver(nvars, clauses)
+		var want Status
+		if !ok {
+			want = Unsat
+		} else {
+			ref.DisableInprocess = true
+			want = ref.Solve()
+		}
+
+		s, ok := buildSolver(nvars, clauses)
+		if !ok {
+			continue
+		}
+		s.InprocessConflicts = 1
+		var flag StopFlag
+		s.Stop = &flag
+		var wg sync.WaitGroup
+		switch iter % 3 {
+		case 0:
+			// Pre-tripped: Solve must return Unknown immediately.
+			flag.Stop()
+		case 1:
+			// Concurrent flip racing the search: lands anywhere,
+			// including mid-vivification.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(time.Duration(rng.Intn(80)) * time.Microsecond)
+				flag.Stop()
+			}()
+		case 2:
+			// Tiny tick budget: every run halts mid-analysis
+			// deterministically.
+			s.InprocessBudget = int64(1 + rng.Intn(50))
+		}
+		st := s.Solve()
+		wg.Wait()
+		if iter%3 != 2 && st == Unknown && !s.Interrupted() {
+			t.Fatalf("iter %d: unexpected budget Unknown", iter)
+		}
+
+		// Resume on the same (possibly mid-rewritten) solver with a fresh
+		// flag: the database must still mean the same formula.
+		s.Stop = &StopFlag{}
+		got := s.Solve()
+		if got != want {
+			t.Fatalf("iter %d: resumed status %v, reference %v (clauses %v)", iter, got, want, clauses)
+		}
+		if got == Sat && !modelSatisfies(s, clauses) {
+			t.Fatalf("iter %d: resumed model does not satisfy original clauses %v", iter, clauses)
+		}
+	}
+}
+
+// TestInprocessIncremental makes sure inprocessing keeps the solver
+// usable across incremental AddClause / Solve cycles and under
+// assumptions.
+func TestInprocessIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 40; iter++ {
+		nvars, clauses := randomInstance(rng)
+		s, ok := buildSolver(nvars, clauses)
+		if !ok {
+			continue
+		}
+		s.InprocessConflicts = 1
+		first := s.Solve()
+		// Add a few more clauses and re-solve; compare against a fresh
+		// reference over the full set.
+		extra := make([][]int, 3)
+		for i := range extra {
+			c := make([]int, 2)
+			for j := range c {
+				v := 1 + rng.Intn(nvars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+			}
+			extra[i] = c
+		}
+		all := append(append([][]int{}, clauses...), extra...)
+		ok = true
+		for _, c := range extra {
+			lits := make([]Lit, len(c))
+			for j, v := range c {
+				lits[j] = dimacs(v)
+			}
+			ok = s.AddClause(lits...) && ok
+		}
+		ref, refOK := buildSolver(nvars, all)
+		var want Status
+		if !refOK {
+			want = Unsat
+		} else {
+			ref.DisableInprocess = true
+			want = ref.Solve()
+		}
+		var got Status
+		if !ok {
+			got = Unsat
+		} else {
+			got = s.Solve()
+		}
+		if first == Unsat {
+			want = Unsat // clauses only ever get added
+		}
+		if got != want {
+			t.Fatalf("iter %d: incremental status %v, reference %v", iter, got, want)
+		}
+		if got == Sat && !modelSatisfies(s, all) {
+			t.Fatalf("iter %d: incremental model wrong", iter)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package sat
+
+import (
+	"os"
+	"testing"
+
+	"alive/internal/leakcheck"
+)
+
+// TestMain fails the package if any solver goroutine leaks past the
+// tests (stop-flag flippers in the inprocessing soundness tests
+// included).
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -8,6 +8,7 @@ package sat
 
 import (
 	"fmt"
+	"sort"
 
 	"alive/internal/faultinject"
 )
@@ -83,10 +84,35 @@ func (s Status) String() string {
 	return "unknown"
 }
 
+// Learned-clause tiers, in increasing order of worth. Problem clauses
+// carry tierLocal's zero value but are never reduced; for learnt
+// clauses the tier drives the three-tier database policy: core clauses
+// (LBD ≤ coreLBDCut) are kept forever, tier2 clauses (LBD ≤
+// tier2LBDCut) survive until they go unused for tier2Stale conflicts,
+// and local clauses are the reduction pool.
+const (
+	tierLocal int8 = iota
+	tierTwo
+	tierCore
+)
+
+const (
+	coreLBDCut  = 3
+	tier2LBDCut = 6
+	// tier2Stale demotes a tier2 clause to local after this many
+	// conflicts without participating in conflict analysis.
+	tier2Stale = 30000
+)
+
 type clause struct {
 	lits     []Lit
 	learnt   bool
+	deleted  bool // removed from the database; stale references skip it
+	tier     int8
+	lbd      int32 // literal block distance (learnt clauses only)
 	activity float64
+	sig      uint64 // subsumption signature; maintained during inprocessing
+	touched  int64  // conflict count at last use in conflict analysis
 }
 
 type watcher struct {
@@ -125,9 +151,78 @@ type Solver struct {
 	restarts     int64
 	learned      int64
 
+	// lbdStamp/lbdGen implement the per-level stamp set behind
+	// computeLBD: stamping a level with the current generation counts
+	// each decision level once without clearing between calls.
+	lbdStamp []int64
+	lbdGen   int64
+
+	// nextReduce is the conflict count that triggers the next
+	// learned-clause database reduction; the interval grows linearly
+	// with each reduction (glucose-style).
+	nextReduce int64
+
+	// LBD-driven restart state (glucose-style): a ring of the most
+	// recent learnt LBDs against the running mean of all learnt LBDs —
+	// when recent conflicts produce markedly worse (higher-LBD) clauses
+	// than the historical average, the current branch is judged
+	// unproductive and the search restarts. trailEma tracks the mean
+	// trail size at conflicts; a conflict with a much larger trail than
+	// usual suggests the solver is close to a model, and the restart is
+	// blocked (the ring is cleared) so it can finish.
+	lbdRing    [lbdRingSize]int32
+	lbdRingSum int64
+	lbdRingLen int
+	lbdRingPos int
+	sumLBD     int64 // total LBD over all learnt clauses this solve
+	trailEma   float64
+
+	// Inprocessing state (inprocess.go): schedule, the queue of learnts
+	// not yet screened for subsumption, round-robin vivification
+	// cursors, and the per-run tick budget.
+	nextInprocess int64
+	newLearnts    []*clause
+	vivClauseCur  int
+	vivLearntCur  int
+	ipTicks       int64
+
+	// Inprocessing and clause-database counters.
+	lbdCore          int64
+	dbReductions     int64
+	inprocessings    int64
+	clausesVivified  int64
+	vivifyShrunkLits int64
+	learntsSubsumed  int64
+
 	// MaxConflicts bounds the search; <= 0 means unbounded. When the bound
 	// is hit Solve returns Unknown.
 	MaxConflicts int64
+
+	// DisableInprocess turns off in-search static analysis of the clause
+	// database (vivification, learnt subsumption, root saturation with
+	// garbage collection). The LBD-tiered reduction policy stays on — it
+	// replaces the old size/activity heuristic unconditionally.
+	DisableInprocess bool
+
+	// InprocessConflicts is the number of conflicts between inprocessing
+	// runs (<= 0 means the default). Tests shrink it to force
+	// inprocessing on small instances; since runs only happen at restart
+	// boundaries, values below the restart base interval shrink that
+	// interval too, so the forced schedule is honored even on instances
+	// that would otherwise never restart.
+	InprocessConflicts int64
+
+	// InprocessBudget is the tick budget of one inprocessing run (<= 0
+	// means the default); roughly one tick per literal visited. Budget
+	// exhaustion stops the run early, which is always sound — every
+	// rewrite preserves logical equivalence.
+	InprocessBudget int64
+
+	// OnInprocess, when non-nil, is called at the start of every
+	// inprocessing run; the returned function (may be nil) runs when the
+	// run finishes. The solver façade uses it to record "inprocess"
+	// telemetry spans without the SAT core importing telemetry.
+	OnInprocess func() func()
 
 	// Stop, when non-nil, is polled every stopPollInterval propagations;
 	// once it reports stopped, Solve abandons the search and returns
@@ -183,6 +278,29 @@ func (s *Solver) Restarts() int64 { return s.restarts }
 // Learned returns the number of conflict-derived clauses (including
 // learned units).
 func (s *Solver) Learned() int64 { return s.learned }
+
+// LBDCore returns the number of learnt clauses that entered the core
+// tier (LBD ≤ coreLBDCut at learn time or by later improvement).
+func (s *Solver) LBDCore() int64 { return s.lbdCore }
+
+// DBReductions returns the number of learned-clause database
+// reductions performed.
+func (s *Solver) DBReductions() int64 { return s.dbReductions }
+
+// Inprocessings returns the number of inprocessing runs taken at
+// restart boundaries.
+func (s *Solver) Inprocessings() int64 { return s.inprocessings }
+
+// ClausesVivified returns the number of clauses shrunk by vivification.
+func (s *Solver) ClausesVivified() int64 { return s.clausesVivified }
+
+// VivifyShrunkLits returns the total number of literals vivification
+// removed.
+func (s *Solver) VivifyShrunkLits() int64 { return s.vivifyShrunkLits }
+
+// LearntsSubsumed returns the number of database clauses deleted by
+// backward subsumption against newly learnt clauses.
+func (s *Solver) LearntsSubsumed() int64 { return s.learntsSubsumed }
 
 // Interrupted reports whether the Stop flag has tripped — after an
 // Unknown result it distinguishes cancellation from conflict-budget
@@ -268,6 +386,7 @@ func (s *Solver) uncheckedEnqueue(l Lit, reason *clause) {
 // propagate runs unit propagation; it returns the conflicting clause or
 // nil.
 func (s *Solver) propagate() *clause {
+	//alive:bounded — the propagation queue is the trail, at most nvars entries per call.
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -330,6 +449,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	idx := len(s.trail) - 1
 	var toClear []int
 
+	//alive:bounded — first-UIP resolution consumes one trail literal per iteration.
 	for {
 		s.bumpClause(confl)
 		for _, q := range confl.lits {
@@ -349,6 +469,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 			}
 		}
 		// Find the next seen literal on the trail.
+		//alive:bounded — walks down the trail; a seen literal always exists above the asserting point.
 		for !s.vars[s.trail[idx].Var()].seen {
 			idx--
 		}
@@ -363,11 +484,13 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	}
 	learnt[0] = p.Not()
 
-	// Recursive minimization: drop literals implied by the rest.
+	// Recursive minimization: drop literals whose reason chains bottom
+	// out in other clause literals or root facts (self-subsuming
+	// resolution applied exhaustively to the fresh learnt).
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		v := learnt[i].Var()
-		if s.vars[v].reason == nil || !s.litRedundant(learnt[i]) {
+		if s.vars[v].reason == nil || !s.litRedundant(learnt[i], &toClear) {
 			learnt[j] = learnt[i]
 			j++
 		}
@@ -393,17 +516,38 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	return learnt, btLevel
 }
 
-// litRedundant reports whether l is implied by the seen literals (simple
-// non-recursive approximation of MiniSat's ccmin: every antecedent literal
-// must itself be seen or at level 0).
-func (s *Solver) litRedundant(l Lit) bool {
-	r := s.vars[l.Var()].reason
-	for _, q := range r.lits {
-		if q.Var() == l.Var() {
-			continue
-		}
-		if !s.vars[q.Var()].seen && s.level(q.Var()) > 0 {
-			return false
+// litRedundant reports whether l is implied by the seen literals: its
+// reason chain, followed transitively, reaches only clause literals
+// (seen) and root-level facts. Variables proven redundant along the way
+// are marked seen and appended to *toClear — memoization that makes the
+// whole minimization linear in the visited reasons; on failure the
+// marks added by this call are rolled back so an unprovable antecedent
+// is not mistaken for a redundant one later.
+func (s *Solver) litRedundant(l Lit, toClear *[]int) bool {
+	top := len(*toClear)
+	stack := []Lit{l}
+	//alive:bounded — each variable is marked seen at most once, so the reason-chain walk visits each trail variable once.
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r := s.vars[p.Var()].reason
+		for _, q := range r.lits {
+			v := q.Var()
+			if v == p.Var() || s.vars[v].seen || s.level(v) == 0 {
+				continue
+			}
+			if s.vars[v].reason == nil {
+				// A decision outside the clause: l is not redundant. Undo
+				// the speculative marks from this call.
+				for _, u := range (*toClear)[top:] {
+					s.vars[u].seen = false
+				}
+				*toClear = (*toClear)[:top]
+				return false
+			}
+			s.vars[v].seen = true
+			*toClear = append(*toClear, v)
+			stack = append(stack, q)
 		}
 	}
 	return true
@@ -436,9 +580,66 @@ func (s *Solver) bumpVar(v int) {
 	s.order.update(v)
 }
 
+// computeLBD returns the literal block distance of lits under the
+// current assignment: the number of distinct nonzero decision levels.
+// Valid only while every literal is assigned (at the conflict, before
+// backtracking).
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	s.lbdGen++
+	n := int32(0)
+	for _, l := range lits {
+		lv := s.level(l.Var())
+		if lv == 0 {
+			continue
+		}
+		//alive:bounded — grows the stamp table to the current decision level.
+		for lv >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, 0)
+		}
+		if s.lbdStamp[lv] != s.lbdGen {
+			s.lbdStamp[lv] = s.lbdGen
+			n++
+		}
+	}
+	return n
+}
+
+// tierOf maps an LBD to its database tier.
+func tierOf(lbd int32) int8 {
+	switch {
+	case lbd <= coreLBDCut:
+		return tierCore
+	case lbd <= tier2LBDCut:
+		return tierTwo
+	}
+	return tierLocal
+}
+
+// setLBD records a (new or improved) LBD on a learnt clause, promoting
+// its tier when the LBD crosses a cut.
+func (s *Solver) setLBD(c *clause, lbd int32) {
+	c.lbd = lbd
+	if t := tierOf(lbd); t > c.tier {
+		if t == tierCore {
+			s.lbdCore++
+		}
+		c.tier = t
+	}
+}
+
+// bumpClause marks a learnt clause as used in conflict analysis: its
+// activity rises (local-tier tie-break), its LBD is recomputed under
+// the current assignment and kept if improved (dynamic LBD updating on
+// propagation — the clause is a reason or the conflict, so all its
+// literals are assigned), and its touch stamp refreshes so tier2 aging
+// sees it as live.
 func (s *Solver) bumpClause(c *clause) {
 	if !c.learnt {
 		return
+	}
+	c.touched = s.conflicts
+	if lbd := s.computeLBD(c.lits); lbd < c.lbd {
+		s.setLBD(c, lbd)
 	}
 	c.activity += s.clauseInc
 	if c.activity > 1e20 {
@@ -454,9 +655,61 @@ const (
 	clauseDecay = 1 / 0.999
 )
 
+// LBD-driven restart policy (glucose-style). A restart fires when the
+// mean LBD of the last lbdRingSize learnt clauses exceeds restartK
+// times the mean over the whole solve — recent conflicts are producing
+// clauses markedly worse than the solver's historical quality, so the
+// current branch is abandoned. A restart is blocked (ring cleared)
+// when the conflicting trail is blockR times larger than the running
+// mean trail size: an unusually deep trail suggests an almost-complete
+// model that a restart would throw away.
+const (
+	lbdRingSize  = 50
+	restartK     = 0.8
+	blockR       = 1.4
+	trailEmaRate = 1.0 / 5000
+)
+
+// noteLBD feeds one learnt clause's LBD and the size of the trail at
+// the conflict into the restart policy state.
+func (s *Solver) noteLBD(lbd int32, trailSize int) {
+	s.sumLBD += int64(lbd)
+	if s.lbdRingLen == lbdRingSize {
+		s.lbdRingSum -= int64(s.lbdRing[s.lbdRingPos])
+	} else {
+		s.lbdRingLen++
+	}
+	s.lbdRing[s.lbdRingPos] = lbd
+	s.lbdRingSum += int64(lbd)
+	s.lbdRingPos = (s.lbdRingPos + 1) % lbdRingSize
+	if s.trailEma == 0 {
+		s.trailEma = float64(trailSize)
+	} else {
+		s.trailEma += (float64(trailSize) - s.trailEma) * trailEmaRate
+	}
+	if s.lbdRingLen == lbdRingSize && float64(trailSize) > blockR*s.trailEma {
+		s.lbdRingLen, s.lbdRingSum, s.lbdRingPos = 0, 0, 0 // block the restart
+	}
+}
+
+// restartPending reports whether the LBD policy asks for a restart,
+// clearing the ring so the decision is made on fresh conflicts next
+// time.
+func (s *Solver) restartPending() bool {
+	if s.lbdRingLen < lbdRingSize || s.conflicts == 0 {
+		return false
+	}
+	if float64(s.lbdRingSum)/float64(s.lbdRingLen)*restartK <= float64(s.sumLBD)/float64(s.conflicts) {
+		return false
+	}
+	s.lbdRingLen, s.lbdRingSum, s.lbdRingPos = 0, 0, 0
+	return true
+}
+
 // pickBranchLit selects the unassigned variable with the highest activity,
 // using its saved phase.
 func (s *Solver) pickBranchLit() Lit {
+	//alive:bounded — drains the order heap, at most nvars pops per call.
 	for {
 		v, ok := s.order.removeMax()
 		if !ok {
@@ -469,30 +722,51 @@ func (s *Solver) pickBranchLit() Lit {
 	}
 }
 
-// reduceDB removes the least active half of the learnt clauses (keeping
-// binary clauses and current reasons).
+// Database reduction schedule: the first reduction runs after
+// reduceBase conflicts, and each reduction pushes the next one
+// reduceBase + reduceBump×(reductions so far) conflicts out.
+const (
+	reduceBase = 2000
+	reduceBump = 300
+)
+
+// reduceDB enforces the three-tier learned-clause policy: core clauses
+// are permanent, tier2 clauses unused for tier2Stale conflicts demote
+// to local, and the worst half of the local tier — highest LBD first,
+// least active as the tie-break — is removed. Binary clauses and
+// current reasons always survive.
 func (s *Solver) reduceDB() {
 	if len(s.learnts) == 0 {
 		return
 	}
-	// Selection by median of activities (approximate: nth element via sort).
-	acts := make([]float64, len(s.learnts))
-	for i, c := range s.learnts {
-		acts[i] = c.activity
-	}
-	pivot := quickSelect(acts, len(acts)/2)
+	s.dbReductions++
 	locked := map[*clause]bool{}
 	for _, l := range s.trail {
 		if r := s.vars[l.Var()].reason; r != nil {
 			locked[r] = true
 		}
 	}
+	var local []*clause
+	for _, c := range s.learnts {
+		if c.tier == tierTwo && s.conflicts-c.touched > tier2Stale {
+			c.tier = tierLocal
+		}
+		if c.tier == tierLocal && len(c.lits) > 2 && !locked[c] {
+			local = append(local, c)
+		}
+	}
+	// Deterministic badness order: higher LBD first, then lower
+	// activity; SliceStable keeps insertion order on full ties so
+	// corpus counters stay reproducible run to run.
+	sortClausesByBadness(local)
+	for _, c := range local[:len(local)/2] {
+		c.deleted = true
+		s.detach(c)
+	}
 	kept := s.learnts[:0]
 	for _, c := range s.learnts {
-		if len(c.lits) == 2 || locked[c] || c.activity >= pivot {
+		if !c.deleted {
 			kept = append(kept, c)
-		} else {
-			s.detach(c)
 		}
 	}
 	s.learnts = kept
@@ -540,8 +814,16 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 	restartNum := int64(0)
 	baseInterval := int64(100)
-	maxLearnts := len(s.clauses)/3 + 100
+	if !s.DisableInprocess && s.InprocessConflicts > 0 && s.InprocessConflicts < baseInterval {
+		baseInterval = s.InprocessConflicts
+	}
 	startConflicts := s.conflicts
+	if s.nextReduce == 0 {
+		s.nextReduce = reduceBase
+	}
+	if s.nextInprocess == 0 {
+		s.nextInprocess = s.inprocessInterval()
+	}
 
 	for {
 		restartNum++
@@ -549,7 +831,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.restarts++
 		}
 		budget := luby(restartNum) * baseInterval
-		st := s.search(budget, maxLearnts)
+		st := s.search(budget)
 		if st == Sat {
 			// Snapshot the model before the deferred backtrack clears it.
 			if cap(s.model) < len(s.vars) {
@@ -569,13 +851,25 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if s.MaxConflicts > 0 && s.conflicts-startConflicts >= s.MaxConflicts {
 			return Unknown
 		}
-		maxLearnts += maxLearnts / 10
+		// Restart boundary: the trail is back at level 0, which is where
+		// in-search static analysis of the clause database is sound and
+		// cheap. A root-level refutation during inprocessing ends the
+		// solve outright.
+		if !s.DisableInprocess && s.conflicts >= s.nextInprocess {
+			if !s.inprocess() {
+				return Unsat
+			}
+			if s.Stop.Stopped() {
+				return Unknown
+			}
+			s.nextInprocess = s.conflicts + s.inprocessInterval()
+		}
 	}
 }
 
 // search runs CDCL until a result, a restart (returns Unknown after
 // conflictBudget conflicts), or exhaustion.
-func (s *Solver) search(conflictBudget int64, maxLearnts int) Status {
+func (s *Solver) search(conflictBudget int64) Status {
 	conflictsHere := int64(0)
 	for {
 		if s.Stop != nil && s.propagations >= s.nextStopPoll {
@@ -596,12 +890,20 @@ func (s *Solver) search(conflictBudget int64, maxLearnts int) Status {
 			}
 			learnt, btLevel := s.analyze(confl)
 			s.learned++
+			// LBD must be read before backtracking unassigns the
+			// asserting literal's variable.
+			lbd := s.computeLBD(learnt)
+			s.noteLBD(lbd, len(s.trail))
 			s.backtrackTo(btLevel)
 			if len(learnt) == 1 && btLevel == 0 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true}
+				c := &clause{lits: learnt, learnt: true, touched: s.conflicts, lbd: lbd + 1}
+				s.setLBD(c, lbd)
 				s.learnts = append(s.learnts, c)
+				if !s.DisableInprocess && len(s.newLearnts) < maxNewLearnts {
+					s.newLearnts = append(s.newLearnts, c)
+				}
 				s.attach(c)
 				s.bumpClause(c)
 				if s.value(learnt[0]) == Unassigned {
@@ -612,12 +914,13 @@ func (s *Solver) search(conflictBudget int64, maxLearnts int) Status {
 			s.clauseInc *= clauseDecay
 			continue
 		}
-		if conflictsHere >= conflictBudget {
+		if conflictsHere >= conflictBudget || s.restartPending() {
 			s.backtrackTo(0)
 			return Unknown
 		}
-		if len(s.learnts) > maxLearnts+len(s.trail) {
+		if s.conflicts >= s.nextReduce {
 			s.reduceDB()
+			s.nextReduce = s.conflicts + reduceBase + reduceBump*s.dbReductions
 		}
 		// Enqueue pending assumptions as decisions.
 		if s.decisionLevel() < len(s.assumptions) {
@@ -693,32 +996,13 @@ func (s *Solver) Model() []bool {
 	return m
 }
 
-// quickSelect returns the k-th smallest element of a (a is scrambled).
-func quickSelect(a []float64, k int) float64 {
-	lo, hi := 0, len(a)-1
-	for lo < hi {
-		p := a[(lo+hi)/2]
-		i, j := lo, hi
-		for i <= j {
-			for a[i] < p {
-				i++
-			}
-			for a[j] > p {
-				j--
-			}
-			if i <= j {
-				a[i], a[j] = a[j], a[i]
-				i++
-				j--
-			}
+// sortClausesByBadness orders candidates for removal: highest LBD
+// first, lowest activity as the tie-break.
+func sortClausesByBadness(cs []*clause) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		if cs[i].lbd != cs[j].lbd {
+			return cs[i].lbd > cs[j].lbd
 		}
-		if k <= j {
-			hi = j
-		} else if k >= i {
-			lo = i
-		} else {
-			break
-		}
-	}
-	return a[k]
+		return cs[i].activity < cs[j].activity
+	})
 }

@@ -92,6 +92,15 @@ type Solver struct {
 	// clauses, probing), and reloaded (the -preprocess=off escape hatch
 	// and the baseline leg of the preprocess bench experiment).
 	DisablePreprocess bool
+	// DisableInprocess turns the SAT core's in-search static analysis off:
+	// no vivification, learnt subsumption, or root-level clause garbage
+	// collection at restart boundaries (the -inprocess=off escape hatch
+	// and the baseline leg of the inprocess bench experiment).
+	DisableInprocess bool
+	// InprocessConflicts overrides the conflicts-between-inprocessings
+	// schedule of the SAT core (<= 0 means the default). Tests and fuzzers
+	// shrink it to force inprocessing on small instances.
+	InprocessConflicts int64
 	// Stats accumulates the telemetry counters — presolver outcomes, SAT
 	// core work, CNF sizes, CEGIS rounds — across every query this
 	// Solver answers. Always on; plain int64 adds, no sink required.
@@ -141,11 +150,13 @@ func conjuncts(t *smt.Term) []*smt.Term {
 // Unless DisablePresolve is set, an abstract-interpretation presolve
 // runs first: the formula is rewritten through pointwise-equivalent
 // singleton substitutions (absint.Simplify) — if it collapses to a
-// constant, no CDCL run happens — and the surviving formula's top-level
-// conjuncts are fed to a refinement analysis whose contradiction check
-// can still discharge the query. Refinement facts that reach the CNF
-// are seeded as unit-clause hints; being consequences of the formula
-// they never change its model set.
+// constant, no CDCL run happens — then a polynomial-normalization
+// check (absint.RingEqual) refutes top-level disequalities whose sides
+// are the same function of the ring Z/2^w, and the surviving formula's
+// top-level conjuncts are fed to a refinement analysis whose
+// contradiction check can still discharge the query. Refinement facts
+// that reach the CNF are seeded as unit-clause hints; being
+// consequences of the formula they never change its model set.
 //
 // Unless DisablePreprocess is set, the bit-blasted clauses are then
 // staged in a cnf.Formula and statically simplified (subsumption,
@@ -201,6 +212,25 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 			s.Stats.Simplified++
 			blastTerm = simplified
 		}
+		// Second presolve domain, algebraic instead of bitwise: a
+		// top-level conjunct ¬(u = v) whose sides normalize to the same
+		// polynomial over Z/2^w denies a ring identity, so the whole
+		// conjunction is unsatisfiable. This discharges the value-equality
+		// obligations of the reassociation transforms (a+a·b = a·(b+1),
+		// x·(-y) = -(x·y), …) whose multiplier circuits are the most
+		// conflict-expensive CNF the corpus produces.
+		for _, cj := range conjuncts(blastTerm) {
+			if cj.Kind != smt.KNot {
+				continue
+			}
+			if eq := cj.Args[0]; eq.Kind == smt.KEq && absint.RingEqual(eq.Args[0], eq.Args[1]) {
+				s.Stats.Decided++
+				s.Stats.RingRefuted++
+				pspan.SetAttr("outcome", "ring-refuted")
+				pspan.End()
+				return Result{Status: Unsat, Rounds: 1}
+			}
+		}
 		refined = absint.Refined(conjuncts(blastTerm)...)
 		if refined.Contradiction() {
 			// The conjuncts are mutually inconsistent in the abstract
@@ -223,6 +253,8 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 	core := sat.New()
 	core.MaxConflicts = s.MaxConflicts
 	core.Stop = s.Stop
+	core.DisableInprocess = s.DisableInprocess
+	core.InprocessConflicts = s.InprocessConflicts
 	// The bit-blaster lowers into the CDCL core directly, or — when the
 	// preprocessor is on — into a staged clause database that is
 	// statically simplified and then loaded into the core.
@@ -291,6 +323,15 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 
 	s.Stats.CDCLRuns++
 	cspan := qspan.Child("cdcl", "sat")
+	if cspan != nil {
+		// Each inprocessing run nests as a child span under the CDCL span,
+		// so Chrome traces show where in the search the static analysis
+		// ran and what it cost.
+		core.OnInprocess = func() func() {
+			ispan := cspan.Child("inprocess", "inprocess")
+			return func() { ispan.End() }
+		}
+	}
 	st := core.Solve()
 	s.Stats.CNFVars += int64(core.NumVars())
 	s.Stats.CNFClauses += int64(core.NumClauses())
@@ -299,6 +340,12 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 	s.Stats.Decisions += core.Decisions()
 	s.Stats.Restarts += core.Restarts()
 	s.Stats.LearnedClauses += core.Learned()
+	s.Stats.LBDCore += core.LBDCore()
+	s.Stats.DBReductions += core.DBReductions()
+	s.Stats.Inprocessings += core.Inprocessings()
+	s.Stats.ClausesVivified += core.ClausesVivified()
+	s.Stats.VivifyShrunkLits += core.VivifyShrunkLits()
+	s.Stats.LearntsSubsumed += core.LearntsSubsumed()
 	if cspan != nil {
 		cspan.SetAttr("status", st.String())
 		cspan.SetInt("propagations", core.Propagations())
@@ -306,6 +353,12 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 		cspan.SetInt("decisions", core.Decisions())
 		cspan.SetInt("restarts", core.Restarts())
 		cspan.SetInt("learned_clauses", core.Learned())
+		cspan.SetInt("lbd_core", core.LBDCore())
+		cspan.SetInt("db_reductions", core.DBReductions())
+		cspan.SetInt("inprocessings", core.Inprocessings())
+		cspan.SetInt("clauses_vivified", core.ClausesVivified())
+		cspan.SetInt("vivify_shrunk_lits", core.VivifyShrunkLits())
+		cspan.SetInt("learnts_subsumed", core.LearntsSubsumed())
 		cspan.End()
 	}
 	res := Result{Status: st, Conflicts: core.Conflicts(), Clauses: core.NumClauses(), Rounds: 1}

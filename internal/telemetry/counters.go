@@ -28,6 +28,11 @@ type Counters struct {
 	// Simplified queries reached CDCL but on an abstractly shrunk
 	// formula.
 	Simplified int64 `json:"simplified"`
+	// RingRefuted queries were discharged by the polynomial presolve: a
+	// top-level disequality whose sides normalize to the same polynomial
+	// over Z/2^w is unsatisfiable, so no CDCL run happens. Every
+	// RingRefuted query is also counted in Decided.
+	RingRefuted int64 `json:"ring_refuted"`
 	// CDCLRuns is the number of queries that reached the SAT core.
 	CDCLRuns int64 `json:"cdcl_runs"`
 	// HintLits is the number of unit-clause literals seeded into the SAT
@@ -51,6 +56,24 @@ type Counters struct {
 	// (after preprocessing, when it is enabled).
 	CNFVars    int64 `json:"cnf_vars"`
 	CNFClauses int64 `json:"cnf_clauses"`
+
+	// In-search static analysis of the clause database (internal/sat
+	// inprocessing), summed over every CDCL run.
+
+	// LBDCore counts learnt clauses that entered the core tier (LBD ≤ 3
+	// at learn time or by later improvement).
+	LBDCore int64 `json:"lbd_core"`
+	// DBReductions counts learned-clause database reductions.
+	DBReductions int64 `json:"db_reductions"`
+	// Inprocessings counts inprocessing runs at restart boundaries.
+	Inprocessings int64 `json:"inprocessings"`
+	// ClausesVivified counts clauses shrunk by in-search vivification.
+	ClausesVivified int64 `json:"clauses_vivified"`
+	// VivifyShrunkLits counts literals removed by vivification.
+	VivifyShrunkLits int64 `json:"vivify_shrunk_lits"`
+	// LearntsSubsumed counts database clauses deleted by backward
+	// subsumption against newly learnt clauses.
+	LearntsSubsumed int64 `json:"learnts_subsumed"`
 
 	// CNF preprocessor totals (internal/cnf), summed over every query
 	// that reached the clause database.
@@ -84,6 +107,7 @@ var counterFields = []struct {
 	{"folded", func(c *Counters) *int64 { return &c.Folded }},
 	{"decided", func(c *Counters) *int64 { return &c.Decided }},
 	{"simplified", func(c *Counters) *int64 { return &c.Simplified }},
+	{"ring_refuted", func(c *Counters) *int64 { return &c.RingRefuted }},
 	{"cdcl_runs", func(c *Counters) *int64 { return &c.CDCLRuns }},
 	{"hint_lits", func(c *Counters) *int64 { return &c.HintLits }},
 	{"term_nodes_before", func(c *Counters) *int64 { return &c.TermNodesBefore }},
@@ -95,6 +119,12 @@ var counterFields = []struct {
 	{"learned_clauses", func(c *Counters) *int64 { return &c.LearnedClauses }},
 	{"cnf_vars", func(c *Counters) *int64 { return &c.CNFVars }},
 	{"cnf_clauses", func(c *Counters) *int64 { return &c.CNFClauses }},
+	{"lbd_core", func(c *Counters) *int64 { return &c.LBDCore }},
+	{"db_reductions", func(c *Counters) *int64 { return &c.DBReductions }},
+	{"inprocessings", func(c *Counters) *int64 { return &c.Inprocessings }},
+	{"clauses_vivified", func(c *Counters) *int64 { return &c.ClausesVivified }},
+	{"vivify_shrunk_lits", func(c *Counters) *int64 { return &c.VivifyShrunkLits }},
+	{"learnts_subsumed", func(c *Counters) *int64 { return &c.LearntsSubsumed }},
 	{"vars_eliminated", func(c *Counters) *int64 { return &c.VarsEliminated }},
 	{"clauses_subsumed", func(c *Counters) *int64 { return &c.ClausesSubsumed }},
 	{"clauses_strengthened", func(c *Counters) *int64 { return &c.ClausesStrengthened }},

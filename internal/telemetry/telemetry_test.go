@@ -156,8 +156,8 @@ func TestCountersAddSubEach(t *testing.T) {
 	}
 	var names []string
 	a.Each(func(name string, v int64) { names = append(names, name) })
-	if len(names) != 21 {
-		t.Fatalf("Each visited %d fields, want 21", len(names))
+	if len(names) != 28 {
+		t.Fatalf("Each visited %d fields, want 28", len(names))
 	}
 	if names[0] != "checks" || names[len(names)-1] != "cegis_rounds" {
 		t.Fatalf("Each order changed: %v", names)

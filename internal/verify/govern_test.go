@@ -124,9 +124,11 @@ func TestPanicIsolation(t *testing.T) {
 }
 
 func TestEscalationLadder(t *testing.T) {
-	// A 1-conflict starting budget cannot prove this 32-bit identity; the
-	// ladder must climb until it does.
-	tr := parseOne(t, "%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x\n")
+	// A 1-conflict starting budget cannot prove this 32-bit identity —
+	// (x&y)+(x|y) = x+y mixes bitwise atoms into the adders' carry
+	// chains, so neither the ring presolve nor preprocessor probing can
+	// discharge it and the SAT search really runs.
+	tr := parseOne(t, "%1 = and %x, %y\n%2 = or %x, %y\n%r = add %1, %2\n=>\n%r = add %x, %y\n")
 	res := VerifyContext(context.Background(), tr, Options{
 		Widths:       []int{32},
 		MaxConflicts: 1,
@@ -141,7 +143,7 @@ func TestEscalationLadder(t *testing.T) {
 }
 
 func TestNoEscalationWithoutDeadline(t *testing.T) {
-	tr := parseOne(t, "%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x\n")
+	tr := parseOne(t, "%1 = and %x, %y\n%2 = or %x, %y\n%r = add %1, %2\n=>\n%r = add %x, %y\n")
 	res := VerifyContext(context.Background(), tr, Options{Widths: []int{32}, MaxConflicts: 1})
 	if res.Verdict != Unknown || res.Reason != ReasonConflictBudget {
 		t.Fatalf("got %v/%v, want unknown/conflict-budget", res.Verdict, res.Reason)

@@ -1,0 +1,111 @@
+package verify_test
+
+import (
+	"testing"
+
+	"alive/internal/parser"
+	"alive/internal/smt"
+	"alive/internal/solver"
+	"alive/internal/suite"
+	"alive/internal/typing"
+	"alive/internal/vcgen"
+)
+
+// inprocessHeavySeeds names the conflict-heaviest corpus transforms
+// from the perf baseline (BENCH_verify.json): their queries restart
+// often enough to exercise every inprocessing pass even at default
+// schedules, and with InprocessConflicts forced low they exercise it
+// hundreds of times per solve.
+var inprocessHeavySeeds = map[string]bool{
+	"MulDivRem:udiv-udiv-const":   true,
+	"MulDivRem:srem-of-nsw-mul":   true,
+	"AddSub:add-mul-factor":       true,
+	"MulDivRem:sdiv-of-nsw-mul":   true,
+	"MulDivRem:mul-nuw-nuw-const": true,
+	"Shifts:shl-mul-combine":      true,
+	"MulDivRem:mul-shl-hoist":     true,
+	"MulDivRem:urem-narrow-zext":  true,
+	"MulDivRem:mul-neg-rhs":       true,
+	"AddSub:sub-from-zero-mul":    true,
+}
+
+// FuzzInprocess differentially checks the SAT core's in-search static
+// analysis on real verification-condition encodings: for each VC-shaped
+// formula the solver is run with inprocessing forced to fire at every
+// restart and with inprocessing disabled. Decided statuses must agree
+// (every inprocessing rewrite — vivification, learnt subsumption, root
+// clause GC — preserves logical equivalence), and every Sat model must
+// satisfy the formula under concrete evaluation with no reconstruction
+// step in between.
+func FuzzInprocess(f *testing.F) {
+	for i, e := range suite.All() {
+		if inprocessHeavySeeds[e.Name] || i%7 == 0 {
+			f.Add(e.Text)
+		}
+	}
+	f.Add("%r = mul i8 %x, 8\n=>\n%r = shl i8 %x, 3\n")
+	f.Add("Pre: isPowerOf2(C1)\n%r = udiv %x, C1\n=>\n%r = lshr %x, log2(C1)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := parser.ParseOne(src)
+		if err != nil {
+			return
+		}
+		asgs, err := typing.Infer(tr, typing.Options{Widths: []int{1, 4}, MaxAssignments: 2})
+		if err != nil {
+			return
+		}
+		for _, asg := range asgs {
+			b := smt.NewBuilder()
+			enc, err := vcgen.Encode(b, tr, asg)
+			if err != nil {
+				continue
+			}
+			se, te := enc.Src[tr.Root], enc.Tgt[tr.Root]
+			conjs := append(append([]*smt.Term{}, enc.PreParts...), enc.SideCons...)
+			var bodies []*smt.Term
+			addBody := func(extra *smt.Term) {
+				parts := append(conjs[:len(conjs):len(conjs)], extra)
+				bodies = append(bodies, b.And(parts...))
+			}
+			if se.Val != nil && te.Val != nil {
+				addBody(b.Not(b.Eq(se.Val, te.Val)))
+				addBody(b.Eq(se.Val, te.Val))
+			}
+			if se.Def != nil && te.Def != nil {
+				addBody(b.And(se.Def, b.Not(te.Def)))
+			}
+			for _, body := range bodies {
+				run := func(disable bool) solver.Result {
+					s := solver.Solver{
+						MaxConflicts:     20000,
+						DisableInprocess: disable,
+						// Far below the default schedule, so even small VC
+						// formulas hit vivification and subsumption; not so
+						// low that restart-per-conflict drowns the -race
+						// seed pass in inprocessing runs.
+						InprocessConflicts: 50,
+					}
+					return s.Check(b, body)
+				}
+				on, off := run(false), run(true)
+				if on.Status == solver.Unknown || off.Status == solver.Unknown {
+					continue
+				}
+				if on.Status != off.Status {
+					t.Fatalf("status %v with inprocessing, %v without, for body of:\n%s", on.Status, off.Status, src)
+				}
+				for _, leg := range []struct {
+					name string
+					res  solver.Result
+				}{{"inprocessed", on}, {"direct", off}} {
+					if leg.res.Status != solver.Sat {
+						continue
+					}
+					if v := smt.Eval(body, leg.res.Model); !v.B {
+						t.Fatalf("%s model does not satisfy the formula for:\n%s", leg.name, src)
+					}
+				}
+			}
+		}
+	})
+}

@@ -51,7 +51,7 @@ func contains(outer, inner telemetry.Event) bool {
 // and checks that every pipeline phase produced a span nested inside
 // the transform span.
 func TestPipelineSpans(t *testing.T) {
-	tr := parseOne(t, "Name: span-probe\n%1 = add %x, C1\n%r = sub %1, C1\n=>\n%r = %x\n")
+	tr := parseOne(t, "Name: span-probe\n%1 = and %x, %y\n%2 = or %x, %y\n%r = add %1, %2\n=>\n%r = add %x, %y\n")
 	tracer := telemetry.New()
 	res := VerifyContext(context.Background(), tr, Options{
 		Widths: []int{8},
@@ -211,7 +211,7 @@ func TestCorpusSpansParallel(t *testing.T) {
 // and checks the reason string lands on the transform span.
 func TestUnknownReasonSpanAnnotations(t *testing.T) {
 	simple := "%r = add %x, 0\n=>\n%r = %x\n"
-	hard32 := "%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x\n"
+	hard32 := "%1 = and %x, %y\n%2 = or %x, %y\n%r = add %1, %2\n=>\n%r = add %x, %y\n"
 	// Valid refinement (source undef absorbs any target choice) whose
 	// CEGIS needs more than the single round the hook allows.
 	undefCEGIS := "%r = add undef, %x\n=>\n%r = undef\n"
@@ -364,7 +364,7 @@ func TestSummaryAndNDJSON(t *testing.T) {
 // TestResultCountersWithoutTracer checks satellite requirement 6: the
 // counters flow through Result with no tracer attached.
 func TestResultCountersWithoutTracer(t *testing.T) {
-	tr := parseOne(t, "%1 = add %x, %y\n%r = sub %1, %y\n=>\n%r = %x\n")
+	tr := parseOne(t, "%1 = and %x, %y\n%2 = or %x, %y\n%r = add %1, %2\n=>\n%r = add %x, %y\n")
 	res := Verify(tr, Options{Widths: []int{8}})
 	if res.Verdict != Valid {
 		t.Fatalf("verdict = %v", res.Verdict)

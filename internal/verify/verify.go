@@ -154,6 +154,14 @@ type Options struct {
 	// layer (the -preprocess=off escape hatch): bit-blasted clauses go
 	// straight to CDCL search without static simplification.
 	DisablePreprocess bool
+	// DisableInprocess turns off the SAT core's in-search static
+	// analysis (the -inprocess=off escape hatch): no vivification,
+	// learnt subsumption, or clause garbage collection during search.
+	DisableInprocess bool
+	// InprocessConflicts overrides the SAT core's conflicts-between-
+	// inprocessings schedule (<= 0 means the default). Tests and
+	// fuzzers shrink it to force inprocessing on small instances.
+	InprocessConflicts int64
 	// Trace, when non-nil, records hierarchical spans for every pipeline
 	// phase (lint, typing, vcgen, presolve, bitblast, CDCL, CEGIS) into
 	// the tracer; export with Tracer.WriteChromeTrace. Nil (the default)
@@ -547,10 +555,12 @@ func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflic
 	vspan.SetInt("conditions", int64(len(conds)))
 	vspan.End()
 	sol := solver.Solver{
-		MaxConflicts:      maxConflicts,
-		Stop:              &g.flag,
-		DisablePresolve:   opts.DisablePresolve,
-		DisablePreprocess: opts.DisablePreprocess,
+		MaxConflicts:       maxConflicts,
+		Stop:               &g.flag,
+		DisablePresolve:    opts.DisablePresolve,
+		DisablePreprocess:  opts.DisablePreprocess,
+		DisableInprocess:   opts.DisableInprocess,
+		InprocessConflicts: opts.InprocessConflicts,
 	}
 	if testHookSolver != nil {
 		testHookSolver(&sol)
