@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	alive-bench [-j N] [-artifacts DIR] -experiment table3|fig5|fig8|fig9|patches|attrs|lint|presolve|preprocess|inprocess|verify|compiletime|runtime|driver|all
+//	alive-bench [-j N] [-artifacts DIR] -experiment table3|fig5|fig8|fig9|patches|attrs|lint|presolve|preprocess|inprocess|incremental|verify|compiletime|runtime|driver|all
 //
 // The "verify" experiment is the perf baseline: it verifies the whole
 // corpus, prints the telemetry digest, and with -artifacts writes the
@@ -29,7 +29,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, lint, presolve, preprocess, inprocess, verify, compiletime, runtime, driver, all)")
+	exp := flag.String("experiment", "all", "which experiment to run (table3, fig5, fig8, fig9, patches, attrs, lint, presolve, preprocess, inprocess, incremental, verify, compiletime, runtime, driver, all)")
 	widths := flag.String("widths", "4,8", "verification widths for corpus experiments")
 	jobs := flag.Int("j", 0, "corpus-driver workers (0 = GOMAXPROCS)")
 	artifacts := flag.String("artifacts", "", "directory for machine-readable JSON reports (empty = none)")
@@ -50,12 +50,13 @@ func run() int {
 		"presolve":    bench.Presolve,
 		"preprocess":  bench.Preprocess,
 		"inprocess":   bench.Inprocess,
+		"incremental": bench.Incremental,
 		"verify":      bench.VerifyBench,
 		"compiletime": bench.CompileTime,
 		"runtime":     bench.RunTime,
 		"driver":      bench.Driver,
 	}
-	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "lint", "presolve", "preprocess", "inprocess", "verify", "fig9", "compiletime", "runtime", "driver"}
+	order := []string{"table3", "fig5", "fig8", "patches", "attrs", "lint", "presolve", "preprocess", "inprocess", "incremental", "verify", "fig9", "compiletime", "runtime", "driver"}
 
 	cfg, err := bench.NewConfig(*widths)
 	if err != nil {

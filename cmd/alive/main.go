@@ -20,6 +20,9 @@
 //	-gencpp            emit InstCombine-style C++ for valid transformations
 //	-lint              run the static analyzer first; lint errors reject a
 //	                   transformation without attempting a proof
+//	-incremental off   disable assumption-based incremental solving: every
+//	                   query gets a fresh SAT core instead of reusing one
+//	                   session per type assignment (default on)
 //	-quiet             print only the per-transformation verdict lines
 //	-v                 print per-transformation solver counters
 //	-trace out.json    write a Chrome trace_event file of the run, loadable
@@ -89,6 +92,7 @@ func run() int {
 	presolve := flag.String("presolve", "on", "abstract-interpretation presolver before the SAT core (on|off)")
 	preprocess := flag.String("preprocess", "on", "SatELite-style CNF preprocessing between bit-blasting and the SAT core (on|off)")
 	inprocess := flag.String("inprocess", "on", "in-search clause-database analysis in the SAT core: vivification, learnt subsumption, clause GC (on|off)")
+	incremental := flag.String("incremental", "on", "assumption-based incremental solving: one SAT core per type assignment, queries as assumption flips (on|off)")
 	quiet := flag.Bool("quiet", false, "suppress counterexample details")
 	verbose := flag.Bool("v", false, "print per-transformation solver counters")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
@@ -127,6 +131,14 @@ func run() int {
 		opts.DisableInprocess = true
 	default:
 		fmt.Fprintf(os.Stderr, "alive: -inprocess must be on or off, got %q\n", *inprocess)
+		return 2
+	}
+	switch *incremental {
+	case "on":
+	case "off":
+		opts.DisableIncremental = true
+	default:
+		fmt.Fprintf(os.Stderr, "alive: -incremental must be on or off, got %q\n", *incremental)
 		return 2
 	}
 	if *widthsFlag != "" {
@@ -446,6 +458,10 @@ func printResult(name, file string, res alive.Result, quiet, verbose bool) {
 			c.VarsEliminated, c.ClausesSubsumed, c.ClausesStrengthened, c.ClausesBlocked, c.ProbeUnits)
 		fmt.Printf("    inprocess: %d runs, %d core learnts, %d reductions, %d vivified (-%d lits), %d subsumed\n",
 			c.Inprocessings, c.LBDCore, c.DBReductions, c.ClausesVivified, c.VivifyShrunkLits, c.LearntsSubsumed)
+		if c.IncrementalSolves > 0 {
+			fmt.Printf("    incremental: %d session solves, %d assumption lits, %d encodings reused, %d learnts retained\n",
+				c.IncrementalSolves, c.AssumptionLits, c.EncodingsReused, c.LearntsRetained)
+		}
 	}
 }
 

@@ -38,7 +38,19 @@ import (
 // identities of Z/2^w never reach the SAT core at all, which shrinks
 // cdcl_runs and every SAT-core column alongside the inprocessing
 // effect.
-const VerifyReportSchema = 4
+// Version 5: assumption-based incremental solving landed and is on by
+// default — the counters block gained incremental_solves (CDCL runs
+// answered by a persistent per-type-assignment session),
+// assumption_lits (activation literals allocated, one per query),
+// encodings_reused (Tseitin cache hits across the queries of a
+// session), and learnts_retained (learnt clauses carried into warm
+// session solves). Two old columns changed meaning under sessions:
+// cnf_vars and cnf_clauses are now per-query *deltas* of the shared
+// clause database (the variables and clauses each query added), not
+// fresh-formula sizes, so both are far below schema-4 values; and
+// conflicts/propagations measure searches that start with the previous
+// queries' learnt clauses already in the database.
+const VerifyReportSchema = 5
 
 // VerifySlow is one entry of the report's slowest-transforms table.
 // Durations are machine-dependent and informational; the comparator
@@ -332,13 +344,21 @@ func CompareVerifyReports(base, cur *VerifyReport, tol float64) (fails, notes []
 	}
 
 	if base.WallMS > 0 {
-		notes = append(notes, fmt.Sprintf("wall clock %dms vs baseline %dms (informational)", cur.WallMS, base.WallMS))
+		notes = append(notes, fmt.Sprintf("wall clock %dms vs baseline %dms (%s, informational)",
+			cur.WallMS, base.WallMS, pctDelta(cur.WallMS, base.WallMS)))
 	}
 	if base.PeakHeapBytes > 0 {
-		notes = append(notes, fmt.Sprintf("peak heap %.1f MiB vs baseline %.1f MiB (informational)",
-			float64(cur.PeakHeapBytes)/(1<<20), float64(base.PeakHeapBytes)/(1<<20)))
+		notes = append(notes, fmt.Sprintf("peak heap %.1f MiB vs baseline %.1f MiB (%s, informational)",
+			float64(cur.PeakHeapBytes)/(1<<20), float64(base.PeakHeapBytes)/(1<<20),
+			pctDelta(cur.PeakHeapBytes, base.PeakHeapBytes)))
 	}
 	return fails, notes
+}
+
+// pctDelta renders cur relative to a nonzero baseline as a signed
+// percentage, e.g. "+12.3%" or "-4.0%".
+func pctDelta(cur, base int64) string {
+	return fmt.Sprintf("%+.1f%%", 100*(float64(cur)-float64(base))/float64(base))
 }
 
 func baselineWidthsEqual(a, b []int) bool {

@@ -58,6 +58,12 @@ type Blaster struct {
 	// Gates counts the Tseitin gate variables introduced (for the
 	// simplification ablation).
 	Gates int
+
+	// Hits counts memoization hits in Lit/Bits: lowerings answered from
+	// the term caches instead of emitting a fresh encoding. Within one
+	// query this measures DAG sharing; across the queries of an
+	// incremental session it measures encodings reused between queries.
+	Hits int64
 }
 
 // checkStop polls the stop flag once per stopCheckInterval cache-miss
@@ -382,6 +388,7 @@ func (bl *Blaster) Bits(t *smt.Term) []sat.Lit {
 		panic("bitblast: Bits of Bool term")
 	}
 	if out, ok := bl.bvCache[t]; ok {
+		bl.Hits++
 		return out
 	}
 	bl.checkStop()
@@ -511,6 +518,7 @@ func (bl *Blaster) Lit(t *smt.Term) sat.Lit {
 		panic("bitblast: Lit of BitVec term")
 	}
 	if l, ok := bl.boolCache[t]; ok {
+		bl.Hits++
 		return l
 	}
 	bl.checkStop()
@@ -589,6 +597,35 @@ func (bl *Blaster) CachedLit(t *smt.Term) (sat.Lit, bool) {
 func (bl *Blaster) CachedBits(t *smt.Term) ([]sat.Lit, bool) {
 	bits, ok := bl.bvCache[t]
 	return bits, ok
+}
+
+// EachInterfaceVar calls fn for every variable a future lowering over
+// this Blaster may hand out again: the constant-true variable, every
+// named problem variable, and every memoized encoding output (cache
+// entries are returned verbatim on a hit, so clauses added by later
+// queries can mention exactly these variables — internal gate variables
+// of an encoding are referenced only by the clauses emitted alongside
+// them). An incremental session freezes exactly this set before each
+// preprocessing round. Iteration order is unspecified; callers must be
+// order-insensitive (freezing is).
+func (bl *Blaster) EachInterfaceVar(fn func(v int)) {
+	fn(bl.lTrue.Var())
+	for _, l := range bl.boolCache {
+		fn(l.Var())
+	}
+	for _, bits := range bl.bvCache {
+		for _, l := range bits {
+			fn(l.Var())
+		}
+	}
+	for _, l := range bl.boolVars {
+		fn(l.Var())
+	}
+	for _, bits := range bl.bvVars {
+		for _, l := range bits {
+			fn(l.Var())
+		}
+	}
 }
 
 // BVVarValue reads the model value of a BitVec variable after a Sat

@@ -26,6 +26,10 @@ type clause struct {
 	lits    []sat.Lit
 	sig     uint64
 	deleted bool
+	// dirty marks a clause already loaded into a CDCL core that was
+	// since strengthened (self-subsuming resolution): LoadDelta re-sends
+	// the shorter version, the stale core copy being merely redundant.
+	dirty bool
 }
 
 func litSig(l sat.Lit) uint64 { return sat.LitSig(l) }
@@ -50,18 +54,70 @@ type Formula struct {
 	// the preprocessor; AddClause only filters against value).
 	unitQ []sat.Lit
 	ok    bool
+
+	// Incremental-session state. A Formula used as a persistent session
+	// (solver.Session) is preprocessed and loaded into the same CDCL
+	// core many times; the fields below make that sound:
+	//
+	//   frozen — interface variables (named inputs, memoized encoding
+	//   outputs, activation literals) that future AddClause calls may
+	//   mention again. They must survive variable elimination, and
+	//   blocked-clause elimination must not pick them as witnesses, so
+	//   that (a) eliminating them never becomes unsound when later
+	//   clauses arrive and (b) a core model is exact on them without
+	//   reconstruction.
+	//
+	//   elim — variables removed by elimination, persistent across
+	//   preprocessing calls. A later clause mentioning one is a
+	//   session-protocol bug and panics in AddClause.
+	//
+	//   inCore — variables occurring in clauses already loaded into the
+	//   core. Loaded clauses cannot be retracted, so such variables are
+	//   no longer eligible for elimination either.
+	//
+	//   trailOut/sentUnits, sentClauses, dirtyIdx — cursors for
+	//   LoadDelta: which root units and clauses the core has already
+	//   received, plus loaded clauses strengthened since they were sent.
+	frozen      []bool
+	elim        []bool
+	inCore      []bool
+	ext         []extEntry
+	trailOut    []sat.Lit
+	sentUnits   int
+	sentClauses int
+	dirtyIdx    []int
 }
 
 // NewFormula returns an empty formula.
 func NewFormula() *Formula {
-	return &Formula{value: make([]int8, 1), ok: true}
+	return &Formula{
+		value:  make([]int8, 1),
+		frozen: make([]bool, 1),
+		elim:   make([]bool, 1),
+		inCore: make([]bool, 1),
+		ok:     true,
+	}
 }
 
 // NewVar allocates a fresh 1-based variable.
 func (f *Formula) NewVar() int {
 	f.nvars++
 	f.value = append(f.value, 0)
+	f.frozen = append(f.frozen, false)
+	f.elim = append(f.elim, false)
+	f.inCore = append(f.inCore, false)
 	return f.nvars
+}
+
+// Freeze marks v as an interface variable: it survives variable
+// elimination and never serves as a blocked-clause witness, so clauses
+// added after this preprocessing round may mention it again and core
+// models stay exact on it. Freezing is idempotent.
+func (f *Formula) Freeze(v int) {
+	if f.elim[v] {
+		panic("cnf: Freeze on an eliminated variable")
+	}
+	f.frozen[v] = true
 }
 
 // NumVars returns the number of allocated variables.
@@ -112,6 +168,7 @@ func (f *Formula) assign(l sat.Lit) bool {
 		f.value[l.Var()] = 1
 	}
 	f.unitQ = append(f.unitQ, l)
+	f.trailOut = append(f.trailOut, l)
 	return true
 }
 
@@ -125,6 +182,11 @@ func (f *Formula) AddClause(lits ...sat.Lit) bool {
 	out := make([]sat.Lit, 0, len(lits))
 	var seen uint64
 	for _, l := range lits {
+		if f.elim[l.Var()] {
+			// Only non-frozen variables are eliminated, and by the
+			// session protocol no later clause may mention one.
+			panic("cnf: AddClause mentions an eliminated variable")
+		}
 		switch f.litValue(l) {
 		case 1:
 			return true // satisfied at root
@@ -168,6 +230,52 @@ func (f *Formula) delete(c *clause) {
 	if !c.deleted {
 		c.deleted = true
 		f.live--
+	}
+}
+
+// markDirty queues the loaded clause at index ci for re-sending: it was
+// strengthened after the core received it.
+func (f *Formula) markDirty(ci int) {
+	c := f.clauses[ci]
+	if !c.dirty {
+		c.dirty = true
+		f.dirtyIdx = append(f.dirtyIdx, ci)
+	}
+}
+
+// LoadDelta streams everything the CDCL core has not seen yet into it:
+// new variables, root units assigned since the last load, strengthened
+// versions of already-loaded clauses, and clauses added since the last
+// load. Clauses the preprocessor deleted after loading are left in the
+// core — subsumed and satisfied copies are redundant there, and the
+// elimination passes are restricted (inCore, frozen) so they never
+// remove a loaded clause's constraint. Variables of loaded clauses are
+// marked ineligible for future elimination.
+func (f *Formula) LoadDelta(core *sat.Solver) {
+	//alive:bounded — grows the variable table to a fixed count.
+	for core.NumVars() < f.nvars {
+		core.NewVar()
+	}
+	for ; f.sentUnits < len(f.trailOut); f.sentUnits++ {
+		core.AddClause(f.trailOut[f.sentUnits])
+	}
+	for _, ci := range f.dirtyIdx {
+		c := f.clauses[ci]
+		c.dirty = false
+		if !c.deleted {
+			core.AddClause(c.lits...)
+		}
+	}
+	f.dirtyIdx = f.dirtyIdx[:0]
+	for ; f.sentClauses < len(f.clauses); f.sentClauses++ {
+		c := f.clauses[f.sentClauses]
+		if c.deleted {
+			continue
+		}
+		core.AddClause(c.lits...)
+		for _, l := range c.lits {
+			f.inCore[l.Var()] = true
+		}
 	}
 }
 

@@ -83,13 +83,13 @@ type prep struct {
 	f *Formula
 	// occ[int(lit)] lists indices into f.clauses of clauses containing
 	// lit; entries go stale when clauses are deleted or strengthened and
-	// are dropped lazily by occList.
+	// are dropped lazily by occList. Eliminated-variable marks and the
+	// reconstruction stack live on the Formula so they persist across
+	// the repeated Preprocess calls of an incremental session.
 	occ    [][]int
-	elim   []bool // variables removed by elimination
 	budget int64
 	stop   *sat.StopFlag
 	stats  *Stats
-	ext    []extEntry
 }
 
 // Preprocess runs the pass pipeline to a fixpoint (or until the budget
@@ -110,7 +110,6 @@ func Preprocess(f *Formula, opts Options) *Result {
 	p := &prep{
 		f:      f,
 		occ:    make([][]int, 2*(f.nvars+1)),
-		elim:   make([]bool, f.nvars+1),
 		budget: budget,
 		stop:   opts.Stop,
 		stats:  &res.Stats,
@@ -149,7 +148,7 @@ func Preprocess(f *Formula, opts Options) *Result {
 	}
 	res.Stats.ClausesOut = f.live
 	res.Stats.BudgetSpent = budget - p.budget
-	res.ext = p.ext
+	res.ext = f.ext
 	res.Unsat = !f.ok
 	return res
 }
@@ -315,6 +314,9 @@ func (p *prep) subsume() int64 {
 					}
 					p.saturate()
 				} else {
+					if di < f.sentClauses {
+						f.markDirty(di)
+					}
 					queue = append(queue, di)
 				}
 			}
@@ -370,7 +372,7 @@ func (p *prep) eliminate() int64 {
 				break
 			}
 		}
-		if f.value[v] != 0 || p.elim[v] {
+		if f.value[v] != 0 || f.elim[v] || f.frozen[v] || f.inCore[v] {
 			continue
 		}
 		lp, ln := sat.MkLit(v, false), sat.MkLit(v, true)
@@ -414,9 +416,9 @@ func (p *prep) eliminate() int64 {
 		witness := unit.Not()
 		for _, si := range side {
 			cl := append([]sat.Lit(nil), f.clauses[si].lits...)
-			p.ext = append(p.ext, extEntry{witness: witness, clause: cl})
+			f.ext = append(f.ext, extEntry{witness: witness, clause: cl})
 		}
-		p.ext = append(p.ext, extEntry{witness: unit, clause: []sat.Lit{unit}})
+		f.ext = append(f.ext, extEntry{witness: unit, clause: []sat.Lit{unit}})
 		for _, ci := range pos {
 			f.delete(f.clauses[ci])
 		}
@@ -425,7 +427,7 @@ func (p *prep) eliminate() int64 {
 		}
 		p.occ[lp] = nil
 		p.occ[ln] = nil
-		p.elim[v] = true
+		f.elim[v] = true
 		p.stats.VarsEliminated++
 		changed++
 		for _, r := range resolvents {
@@ -445,7 +447,10 @@ func (p *prep) eliminate() int64 {
 func (p *prep) blocked() int64 {
 	f := p.f
 	changed := int64(0)
-	for ci := 0; ci < len(f.clauses); ci++ {
+	// Loaded clauses (index below sentClauses) stay: they cannot be
+	// retracted from the CDCL core, so removing them here would leave
+	// the core over-constrained relative to the formula's model class.
+	for ci := f.sentClauses; ci < len(f.clauses); ci++ {
 		if !f.ok || p.halted() {
 			break
 		}
@@ -454,6 +459,13 @@ func (p *prep) blocked() int64 {
 			continue
 		}
 		for _, l := range c.lits {
+			// A frozen witness would be unsound twice over: future
+			// clauses may resolve against l, and the witness flip in
+			// model reconstruction would perturb an interface variable
+			// the caller reads directly.
+			if f.frozen[l.Var()] {
+				continue
+			}
 			isBlocked := true
 			for _, di := range p.occList(l.Not()) {
 				d := f.clauses[di]
@@ -465,7 +477,7 @@ func (p *prep) blocked() int64 {
 			}
 			if isBlocked {
 				cl := append([]sat.Lit(nil), c.lits...)
-				p.ext = append(p.ext, extEntry{witness: l, clause: cl})
+				f.ext = append(f.ext, extEntry{witness: l, clause: cl})
 				f.delete(c)
 				p.stats.ClausesBlocked++
 				changed++
@@ -506,7 +518,7 @@ func (p *prep) probe() int64 {
 				break
 			}
 		}
-		if f.value[v] != 0 || p.elim[v] {
+		if f.value[v] != 0 || f.elim[v] {
 			continue
 		}
 		if len(p.occ[sat.MkLit(v, false)]) == 0 && len(p.occ[sat.MkLit(v, true)]) == 0 {

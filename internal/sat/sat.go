@@ -175,6 +175,7 @@ type Solver struct {
 	lbdRingLen int
 	lbdRingPos int
 	sumLBD     int64 // total LBD over all learnt clauses this solve
+	solveBase  int64 // s.conflicts at Solve entry, denominator base for sumLBD
 	trailEma   float64
 
 	// Inprocessing state (inprocess.go): schedule, the queue of learnts
@@ -263,6 +264,11 @@ func (s *Solver) NumVars() int { return len(s.vars) - 1 }
 // NumClauses returns the number of problem (non-learnt) clauses.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
 
+// NumLearnts returns the number of learnt clauses currently retained in
+// the database. Across incremental Solve calls this is the knowledge
+// carried from one query to the next.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
 // Conflicts returns the number of conflicts encountered so far.
 func (s *Solver) Conflicts() int64 { return s.conflicts }
 
@@ -306,6 +312,13 @@ func (s *Solver) LearntsSubsumed() int64 { return s.learntsSubsumed }
 // Unknown result it distinguishes cancellation from conflict-budget
 // exhaustion.
 func (s *Solver) Interrupted() bool { return s.Stop.Stopped() }
+
+// Ok reports whether the clause database is still consistent at the
+// root. False means an AddClause or a root-level conflict refuted the
+// clause set outright, with no assumptions involved; an incremental
+// caller whose base is satisfiable by construction treats that as an
+// internal error.
+func (s *Solver) Ok() bool { return s.ok }
 
 func (s *Solver) value(l Lit) Value {
 	v := s.vars[l.Var()].value
@@ -692,14 +705,27 @@ func (s *Solver) noteLBD(lbd int32, trailSize int) {
 	}
 }
 
+// ResetRestartStats clears the LBD-quality running averages that drive
+// the restart policy. An incremental caller invokes it at query
+// boundaries so the quality baseline describes the query being solved,
+// not the session's whole history — within one query's sub-solves the
+// state is left to accumulate, exactly like a fresh solver's single
+// Solve call on that query.
+func (s *Solver) ResetRestartStats() {
+	s.sumLBD = 0
+	s.solveBase = s.conflicts
+	s.lbdRingLen, s.lbdRingSum, s.lbdRingPos = 0, 0, 0
+	s.trailEma = 0
+}
+
 // restartPending reports whether the LBD policy asks for a restart,
 // clearing the ring so the decision is made on fresh conflicts next
 // time.
 func (s *Solver) restartPending() bool {
-	if s.lbdRingLen < lbdRingSize || s.conflicts == 0 {
+	if s.lbdRingLen < lbdRingSize || s.conflicts == s.solveBase {
 		return false
 	}
-	if float64(s.lbdRingSum)/float64(s.lbdRingLen)*restartK <= float64(s.sumLBD)/float64(s.conflicts) {
+	if float64(s.lbdRingSum)/float64(s.lbdRingLen)*restartK <= float64(s.sumLBD)/float64(s.conflicts-s.solveBase) {
 		return false
 	}
 	s.lbdRingLen, s.lbdRingSum, s.lbdRingPos = 0, 0, 0
@@ -983,6 +1009,121 @@ func (s *Solver) buildConflictFromAssumption(a Lit) {
 // subset of the assumptions that is jointly unsatisfiable with the
 // clauses (empty when the clause set itself is unsat).
 func (s *Solver) ConflictSubset() []Lit { return s.conflictSet }
+
+// ProbeUnder runs failed-literal probing under an assumption context:
+// the context literals are pushed as decisions and propagated, then
+// every still-unassigned variable is probed in both phases. A probe
+// whose propagation conflicts proves its literal implied-false under
+// the context, so the caller may add the guarded clause
+// (¬ctx ∨ ¬lit) and have it propagate at assumption level in later
+// solves — the incremental analogue of the failed-literal pass a fresh
+// preprocessor runs with the query root asserted as a unit. feasible
+// is false when propagation alone refutes the context (the caller may
+// then add ¬ctx outright). The trail is fully restored; no clauses are
+// learned and the conflict counter is untouched, so probing trades
+// propagation effort for search conflicts, never the reverse.
+func (s *Solver) ProbeUnder(ctx []Lit) (failed []Lit, feasible bool) {
+	if !s.ok {
+		return nil, false
+	}
+	// Probing assigns most of the variable space both ways, which would
+	// trash the saved phases that make consecutive warm solves cheap;
+	// snapshot and restore them so probing is invisible to the
+	// branching heuristic. Registered before the backtrack defer so it
+	// runs after the trail is unwound.
+	phases := make([]bool, len(s.vars))
+	for i := range s.vars {
+		phases[i] = s.vars[i].phase
+	}
+	defer func() {
+		for i := range s.vars {
+			s.vars[i].phase = phases[i]
+		}
+	}()
+	defer s.backtrackTo(0)
+	for _, a := range ctx {
+		switch s.value(a) {
+		case True:
+			continue
+		case False:
+			return nil, false
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(a, nil)
+		if s.propagate() != nil {
+			return nil, false
+		}
+	}
+	ctxLevel := s.decisionLevel()
+	for pass := 0; pass < 4; pass++ {
+		progress := false
+		for v := 1; v < len(s.vars); v++ {
+			if s.vars[v].value != Unassigned {
+				continue
+			}
+			// Literals the first (negative) phase probe implied, kept for
+			// lifting: anything the second phase also implies holds under
+			// the context regardless of v.
+			var first []Lit
+			for pi, l := range [2]Lit{MkLit(v, false), MkLit(v, true)} {
+				// An earlier failed literal's propagation may have assigned
+				// this variable at the context level in the meantime.
+				if s.value(l) != Unassigned {
+					break
+				}
+				base := len(s.trail)
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.uncheckedEnqueue(l, nil)
+				confl := s.propagate()
+				var lifted []Lit
+				if confl == nil {
+					if pi == 0 {
+						first = append(first, s.trail[base+1:]...)
+					} else {
+						for _, u := range first {
+							if s.value(u) == True {
+								lifted = append(lifted, u)
+							}
+						}
+					}
+				}
+				s.backtrackTo(ctxLevel)
+				if confl != nil {
+					failed = append(failed, l)
+					progress = true
+					// Assert the implication at the context level so later
+					// probes (and their propagations) build on it.
+					s.uncheckedEnqueue(l.Not(), nil)
+					if s.propagate() != nil {
+						return failed, false
+					}
+					continue
+				}
+				// A lifted literal u is implied by both v and ¬v, so it is
+				// implied by the context alone; report it as the failed
+				// literal ¬u and assert it like one.
+				for _, u := range lifted {
+					if s.value(u) != Unassigned {
+						continue
+					}
+					failed = append(failed, u.Not())
+					progress = true
+					s.uncheckedEnqueue(u, nil)
+					if s.propagate() != nil {
+						return failed, false
+					}
+				}
+			}
+		}
+		// Each failed literal strengthens the context, so earlier
+		// variables may fail on a re-probe; iterate to a bounded
+		// fixpoint, like a fresh preprocessor's probing loop.
+		if !progress {
+			break
+		}
+	}
+	return failed, true
+}
 
 // ValueOf returns the model value of variable v from the most recent Sat
 // result.

@@ -1,0 +1,616 @@
+// Incremental solving: a Solver with Incremental set keeps one CDCL
+// core, one bit-blaster, and one staged CNF formula alive across every
+// Check it answers, in the MiniSat assumption-interface tradition (Eén &
+// Sörensson). Each query's verification condition is lowered to its
+// Tseitin root literal r and solved with Solve(r) — the root is never
+// asserted, only assumed. The Tseitin definitions themselves are
+// unguarded — each defines a gate as a function of its inputs and is
+// globally true — so everything the search derives is implied by the
+// clause database alone, independent of any assumption: learned
+// clauses, variable activities, saved phases, and LBD-core clauses all
+// stay sound and carry from one query to the next. Retiring a query is
+// implicit — the next Solve simply assumes a different root — which
+// turns CEGIS refinement rounds into pure assumption flips over a
+// shared, memoized encoding. The one per-query ingredient that is NOT
+// globally true, the presolver's refinement hints, is staged guarded as
+// (¬r ∨ hint): a hint is a semantic consequence of that query's formula
+// being true, so it may only bite in models where r holds.
+//
+// Soundness under preprocessing hinges on frozen variables: before each
+// incremental preprocessing round the session freezes every interface
+// variable — named problem variables and memoized encoding outputs
+// (which include every assumed root) — which are exactly the variables
+// a later query's clauses may mention. Variable elimination and
+// blocked-clause witnesses are restricted to non-frozen
+// (forever-anonymous) variables, so the simplifications stay sound when
+// new clauses arrive and core models are exact on every variable the
+// verifier reads, with no reconstruction replay.
+package solver
+
+import (
+	"alive/internal/absint"
+	"alive/internal/bitblast"
+	"alive/internal/cnf"
+	"alive/internal/faultinject"
+	"alive/internal/sat"
+	"alive/internal/smt"
+	"alive/internal/telemetry"
+)
+
+// session is the persistent incremental-solving state of a Solver. It
+// is created lazily by the first Check and bound to that Check's
+// smt.Builder (hash-consed term pointers key the encoding caches, so
+// terms from another builder would silently miss); a Check with a
+// different builder discards it and starts over.
+type session struct {
+	b    *smt.Builder
+	core *sat.Solver
+	form *cnf.Formula // nil when preprocessing is disabled
+	bl   *bitblast.Blaster
+	db   bitblast.ClauseDB
+
+	solves      int64 // queries answered by this session
+	lastVars    int64 // core var count after the previous load
+	lastClauses int64 // core clause count after the previous load
+}
+
+// guardedDB wraps a clause database so every clause added through it is
+// weakened with ¬guard: the clauses only bite in models where the guard
+// literal holds. The session routes each query's presolve hint units
+// through this wrapper with the query's root literal as the guard —
+// hints are consequences of that one query's formula, not global
+// truths, so staging them unguarded would corrupt later queries.
+type guardedDB struct {
+	db    bitblast.ClauseDB
+	guard sat.Lit
+}
+
+func (g guardedDB) NewVar() int { return g.db.NewVar() }
+
+func (g guardedDB) AddClause(lits ...sat.Lit) bool {
+	return g.db.AddClause(append([]sat.Lit{g.guard.Not()}, lits...)...)
+}
+
+func (g guardedDB) NumVars() int    { return g.db.NumVars() }
+func (g guardedDB) NumClauses() int { return g.db.NumClauses() }
+
+func (s *Solver) initSession(b *smt.Builder) {
+	core := sat.New()
+	core.Stop = s.Stop
+	core.DisableInprocess = s.DisableInprocess
+	core.InprocessConflicts = s.InprocessConflicts
+	se := &session{b: b, core: core}
+	var db bitblast.ClauseDB = core
+	if !s.DisablePreprocess {
+		se.form = cnf.NewFormula()
+		db = se.form
+	}
+	se.db = db
+	se.bl = bitblast.New(db)
+	se.bl.Stop = s.Stop
+	s.sess = se
+}
+
+// lowerStopped lowers formula into bl and returns its literal,
+// converting the bit-blaster's ErrStopped panic into stopped=true; any
+// other panic propagates. A partial lowering leaves only unguarded
+// Tseitin definitions behind, each individually satisfiable, so the
+// session stays consistent.
+func lowerStopped(bl *bitblast.Blaster, formula *smt.Term) (l sat.Lit, stopped bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == bitblast.ErrStopped {
+				stopped = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return bl.Lit(formula), false
+}
+
+// termSize counts the distinct DAG nodes under t, memoized across
+// calls via sizes (shared nodes are counted once per root they appear
+// under, which is fine for ranking).
+func termSize(t *smt.Term, sizes map[*smt.Term]int) int {
+	if n, ok := sizes[t]; ok {
+		return n
+	}
+	n := 1
+	for _, a := range t.Args {
+		n += termSize(a, sizes)
+	}
+	sizes[t] = n
+	return n
+}
+
+// hasDivRem reports whether a division or remainder appears anywhere
+// in the term DAG rooted at t (memoized per call on the hash-consed
+// nodes).
+func hasDivRem(t *smt.Term) bool {
+	return hasDivRemMemo(t, map[*smt.Term]bool{})
+}
+
+func hasDivRemMemo(t *smt.Term, seen map[*smt.Term]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t.Kind {
+	case smt.KBVUdiv, smt.KBVSdiv, smt.KBVUrem, smt.KBVSrem:
+		return true
+	}
+	for _, a := range t.Args {
+		if hasDivRemMemo(a, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstDivRem returns the first division or remainder node in the DAG
+// rooted at t — only signed ones when signedOnly is set — or nil.
+func firstDivRem(t *smt.Term, signedOnly bool, seen map[*smt.Term]bool) *smt.Term {
+	if seen[t] {
+		return nil
+	}
+	seen[t] = true
+	switch t.Kind {
+	case smt.KBVSdiv, smt.KBVSrem:
+		return t
+	case smt.KBVUdiv, smt.KBVUrem:
+		if !signedOnly {
+			return t
+		}
+	}
+	for _, a := range t.Args {
+		if n := firstDivRem(a, signedOnly, seen); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// slicePlan builds the assumption sets the session will solve for one
+// query. When the caller marked the query as a miter, a formula with a
+// sliceable disequality ψ ∧ a ≠ b becomes one
+// sub-query per bit of the chosen disequality, [ψ, a_i ≠ b_i]: a ≠ b
+// holds iff some bit differs, so the query is Sat iff some sub-query
+// is Sat, and a model of any sub-query is a model of the whole
+// formula. Every other formula is one monolithic [root] assumption
+// set. Slicing is where the session earns its keep on equivalence
+// proofs, and which disequality to slice depends on the circuit:
+//
+//   - Adder/multiplier/shift miters slice the miter itself,
+//     least-significant bit first — bit i's cone is a fraction of the
+//     whole, and the equivalence lemmas CDCL learns about shared
+//     internal nodes while proving bit i are already in the clause
+//     database when bit i+1 is assumed.
+//   - Division and remainder circuits get no such gradient from the
+//     output side (a quotient/remainder bit's cone is most of the
+//     subtract chain), but their queries carry divisor-nonzero side
+//     conditions ¬(d = 0), and slicing the smallest disequality
+//     instead case-splits on which divisor bit is set — each sub-query
+//     pins a divisor magnitude, which localizes the long division,
+//     most-significant (near-trivial quotient) cases first. Signed
+//     division and remainder refine this into a sign-aware split (see
+//     the comment at the split below): magnitude bits mean the
+//     opposite thing for negative divisors.
+func slicePlan(b *smt.Builder, bl *bitblast.Blaster, blastTerm *smt.Term, vcLit sat.Lit, miter bool) (plan [][]sat.Lit, stopped bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == bitblast.ErrStopped {
+				stopped = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if !miter {
+		return [][]sat.Lit{{vcLit}}, false
+	}
+	cs := conjuncts(blastTerm)
+	sizes := map[*smt.Term]int{}
+	small, large := -1, -1
+	for i, c := range cs {
+		if c.Kind != smt.KNot {
+			continue
+		}
+		eq := c.Args[0]
+		if eq.Kind != smt.KEq || eq.Args[0].IsBool() || eq.Args[0].Width < 2 {
+			continue
+		}
+		sz := termSize(eq, sizes)
+		if small == -1 || sz <= sizes[cs[small].Args[0]] {
+			small = i
+		}
+		if large == -1 || sz > sizes[cs[large].Args[0]] {
+			large = i
+		}
+	}
+	if large == -1 {
+		return [][]sat.Lit{{vcLit}}, false
+	}
+	divrem := hasDivRem(blastTerm)
+	chosen := large
+	if divrem {
+		chosen = small
+	}
+	rest := make([]*smt.Term, 0, len(cs)-1)
+	for i, c := range cs {
+		if i != chosen {
+			rest = append(rest, c)
+		}
+	}
+	ctx := b.True()
+	if len(rest) > 0 {
+		ctx = b.And(rest...)
+	}
+	ctxLit := bl.Lit(ctx)
+
+	// When the division is signed, a plain bit split of d ≠ 0 pins the
+	// divisor's magnitude only for positive d: every negative divisor
+	// shares the set sign bit, so half the space lands in one sub-query
+	// and the abs-value datapath stays unconstrained there. Splitting
+	// sign-first fixes that — positive cases pin a set bit of d (= a set
+	// bit of |d|), negative cases pin a CLEAR bit of d (= a set bit of
+	// ¬d ≈ |d|), and d = -1, the one negative value with no clear bit,
+	// gets its own fully-pinned case. The cases overlap (several bits
+	// may qualify) but their union is exactly d ≠ 0, which keeps the
+	// Sat-iff-some-sub-query-Sat invariant; the split replaces the
+	// removed disequality, so it is only sound when the compared-against
+	// side really is the constant zero.
+	if divrem {
+		if sd := firstDivRem(blastTerm, true, map[*smt.Term]bool{}); sd != nil {
+			eq := cs[chosen].Args[0]
+			div, rhs := eq.Args[0], eq.Args[1]
+			if div.Kind == smt.KBVConst {
+				div, rhs = rhs, div
+			}
+			w := div.Width
+			if w >= 3 && rhs.Kind == smt.KBVConst && rhs.Val.IsZero() {
+				one := b.ConstUint(1, 1)
+				zero := b.ConstUint(1, 0)
+				bit := func(i int, set bool) sat.Lit {
+					v := zero
+					if set {
+						v = one
+					}
+					return bl.Lit(b.Eq(b.Extract(div, i, i), v))
+				}
+				sign := bit(w-1, true)
+				plan = make([][]sat.Lit, 0, 2*w-1)
+				for i := w - 2; i >= 0; i-- {
+					plan = append(plan, []sat.Lit{ctxLit, sign.Not(), bit(i, true)})
+				}
+				for i := w - 2; i >= 0; i-- {
+					plan = append(plan, []sat.Lit{ctxLit, sign, bit(i, false)})
+				}
+				minusOne := []sat.Lit{ctxLit, sign}
+				for i := 0; i < w-1; i++ {
+					minusOne = append(minusOne, bit(i, true))
+				}
+				plan = append(plan, minusOne)
+				return plan, false
+			}
+		}
+	}
+	diffs := bitDiffs(b, bl, cs[chosen].Args[0], divrem)
+	if len(diffs) == 0 {
+		// Every bit folded to "never differs": the disequality — and so
+		// the formula — is unsatisfiable outright. One contradictory
+		// sub-query keeps the solve loop's shape (it fails at the
+		// assumption with zero conflicts).
+		return [][]sat.Lit{{ctxLit, bl.Lit(b.False())}}, false
+	}
+	plan = make([][]sat.Lit, 0, len(diffs))
+	for _, d := range diffs {
+		plan = append(plan, []sat.Lit{ctxLit, d})
+	}
+	return plan, false
+}
+
+// bitDiffs lowers one ¬(a_i = b_i) literal per bit of the disequality
+// eq, most-significant first when msbFirst is set, skipping bits the
+// builder folds to "never differs".
+func bitDiffs(b *smt.Builder, bl *bitblast.Blaster, eq *smt.Term, msbFirst bool) []sat.Lit {
+	lhs, rhs := eq.Args[0], eq.Args[1]
+	lits := make([]sat.Lit, 0, lhs.Width)
+	for n := 0; n < lhs.Width; n++ {
+		i := n
+		if msbFirst {
+			i = lhs.Width - 1 - n
+		}
+		d := b.Not(b.Eq(b.Extract(lhs, i, i), b.Extract(rhs, i, i)))
+		if d == b.False() {
+			continue
+		}
+		lits = append(lits, bl.Lit(d))
+	}
+	return lits
+}
+
+// checkIncremental is the session-based back half of Check: presolve
+// already ran (blastTerm is the surviving formula), and instead of
+// building a fresh solver the query is encoded into the session's
+// shared databases and its root literal is solved under assumption.
+func (s *Solver) checkIncremental(qspan *telemetry.Span, b *smt.Builder, formula, blastTerm *smt.Term, refined *absint.Analysis) Result {
+	if s.sess == nil || s.sess.b != b {
+		s.initSession(b)
+	}
+	se := s.sess
+	warm := se.solves > 0
+
+	faultinject.Fire(faultinject.SiteIncremental, s.Stop)
+	if s.Stop.Stopped() {
+		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
+	}
+
+	core, form, bl := se.core, se.form, se.bl
+
+	bspan := qspan.Child("bitblast", "bitblast")
+	hintsBefore := s.Stats.HintLits
+	hitsBefore := bl.Hits
+	vcLit, stopped := lowerStopped(bl, blastTerm)
+	if stopped {
+		bspan.End()
+		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
+	}
+	if refined != nil {
+		s.seedHints(guardedDB{db: se.db, guard: vcLit}, bl, refined)
+	}
+	// Sub-query models satisfy the whole formula (a differing bit makes
+	// a ≠ b true), so the full-equivalence Tseitin gates force vcLit
+	// true in them and the (¬vcLit ∨ hint) clauses stay sound for every
+	// entry of the plan, not just the monolithic one.
+	plan, planStopped := slicePlan(b, bl, blastTerm, vcLit, s.Miter)
+	if planStopped {
+		bspan.End()
+		return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
+	}
+	if warm {
+		s.Stats.EncodingsReused += bl.Hits - hitsBefore
+	}
+	if bspan != nil {
+		bst := bl.EncodeStats()
+		bspan.SetInt("cnf_vars", int64(se.db.NumVars()))
+		bspan.SetInt("cnf_clauses", int64(se.db.NumClauses()))
+		bspan.SetInt("gates", int64(bst.Gates))
+		bspan.SetInt("bool_terms", int64(bst.BoolTerms))
+		bspan.SetInt("bv_terms", int64(bst.BVTerms))
+		bspan.SetInt("hint_lits", s.Stats.HintLits-hintsBefore)
+		bspan.SetInt("encoding_hits", bl.Hits-hitsBefore)
+		bspan.End()
+	}
+
+	if form != nil {
+		// Interface variables — named inputs and memoized encoding
+		// outputs, including every root literal a query may assume — must
+		// survive elimination because future clauses may mention them;
+		// everything else is anonymous forever and fair game. Freezing is
+		// idempotent, so re-freezing the accumulated set each round is
+		// just a cache walk.
+		bl.EachInterfaceVar(form.Freeze)
+		form.Freeze(vcLit.Var())
+		ppspan := qspan.Child("preprocess", "preprocess")
+		pre := cnf.Preprocess(form, cnf.Options{Stop: s.Stop})
+		pst := pre.Stats
+		s.Stats.VarsEliminated += pst.VarsEliminated
+		s.Stats.ClausesSubsumed += pst.ClausesSubsumed
+		s.Stats.ClausesStrengthened += pst.ClausesStrengthened
+		s.Stats.ClausesBlocked += pst.ClausesBlocked
+		s.Stats.ProbeUnits += pst.ProbeUnits
+		if ppspan != nil {
+			ppspan.SetInt("clauses_in", int64(pst.ClausesIn))
+			ppspan.SetInt("clauses_out", int64(pst.ClausesOut))
+			ppspan.SetInt("rounds", pst.Rounds)
+			ppspan.SetInt("vars_eliminated", pst.VarsEliminated)
+			ppspan.SetInt("clauses_subsumed", pst.ClausesSubsumed)
+			ppspan.SetInt("clauses_strengthened", pst.ClausesStrengthened)
+			ppspan.SetInt("clauses_blocked", pst.ClausesBlocked)
+			ppspan.SetInt("probe_units", pst.ProbeUnits)
+			ppspan.End()
+		}
+		if pre.Unsat {
+			// The base database is satisfiable by construction (compute
+			// every gate from its inputs; guarded hints then hold because a
+			// hint is implied wherever its guard computes true), so a root
+			// refutation can only mean an unsound rewrite; fail loudly
+			// rather than corrupt verdicts. verify's panic isolation turns
+			// this into a structured Unknown.
+			panic("solver: incremental session base formula became unsatisfiable")
+		}
+		if s.Stop.Stopped() {
+			return Result{Status: Unknown, Cause: CauseStopped, Rounds: 1}
+		}
+		form.LoadDelta(core)
+	}
+
+	// Query boundary: restart-policy quality averages describe one query
+	// in a fresh solver; give the warm core the same baseline.
+	core.ResetRestartStats()
+	s.Stats.CDCLRuns++
+	s.Stats.CNFVars += int64(core.NumVars()) - se.lastVars
+	s.Stats.CNFClauses += int64(core.NumClauses()) - se.lastClauses
+	se.lastVars = int64(core.NumVars())
+	se.lastClauses = int64(core.NumClauses())
+
+	cspan := qspan.Child("cdcl", "sat")
+	if cspan != nil {
+		core.OnInprocess = func() func() {
+			ispan := cspan.Child("inprocess", "inprocess")
+			return func() { ispan.End() }
+		}
+	} else {
+		core.OnInprocess = nil
+	}
+
+	// Solve the plan: a bit-sliced plan is Unsat only if every sub-query
+	// is, and ends at the first Sat (its model satisfies the whole
+	// formula) or Unknown. Slices run in plan order under the query-wide
+	// conflict budget (which matches the fresh solver's): each refuted
+	// slice leaves its learnts — including the guarded (¬ctx ∨ ¬d_i)
+	// summary — behind for its neighbours, so later slices start from an
+	// already-constrained search space.
+	var delta coreDelta
+	st := Unsat
+	remaining := s.MaxConflicts
+	solveOne := func(assumps []sat.Lit, cap int64) Status {
+		if se.solves > 0 {
+			s.Stats.LearntsRetained += int64(core.NumLearnts())
+		}
+		s.Stats.IncrementalSolves++
+		s.Stats.AssumptionLits += int64(len(assumps))
+		// Failed-literal probing under this solve's assumptions. A fresh
+		// solver's preprocessor runs probing with the query root asserted
+		// as a unit — the single biggest strength the session gives up by
+		// only ever assuming roots. Probing under the assumptions instead
+		// recovers each implied literal as a guarded clause
+		// (¬assumps ∨ u) the search then propagates at assumption level,
+		// and refutes outright — at zero conflicts — the queries
+		// fresh-mode preprocessing would kill before search. Bit-sliced
+		// plans skip it: their sub-queries lean on saved phases and
+		// learnt locality from the neighbouring slices, which broad
+		// probe-derived clauses perturb more than they help.
+		if len(plan) == 1 {
+			probed, feasible := core.ProbeUnder(assumps)
+			negCtx := make([]sat.Lit, len(assumps), len(assumps)+1)
+			for i, a := range assumps {
+				negCtx[i] = a.Not()
+			}
+			if !feasible {
+				core.AddClause(negCtx...)
+			} else {
+				for _, l := range probed {
+					core.AddClause(append(negCtx, l.Not())...)
+				}
+				s.Stats.ProbeUnits += int64(len(probed))
+			}
+		}
+		core.MaxConflicts = cap
+		before := coreCounters(core)
+		r := core.Solve(assumps...)
+		se.solves++
+		d := coreCounters(core)
+		d.sub(before)
+		delta.add(d)
+		if s.MaxConflicts > 0 {
+			remaining -= d.conflicts
+		}
+		if r == Unsat && !core.Ok() {
+			// Unsat must come from the assumptions, never from the always-
+			// satisfiable base; see the pre.Unsat comment above.
+			panic("solver: incremental session base formula became unsatisfiable")
+		}
+		return r
+	}
+	for i, assumps := range plan {
+		if s.Stop.Stopped() {
+			st = Unknown
+			break
+		}
+		if s.MaxConflicts > 0 && remaining <= 0 && i > 0 {
+			st = Unknown
+			break
+		}
+		st = solveOne(assumps, remaining)
+		if st != Unsat {
+			break
+		}
+	}
+	delta.addTo(&s.Stats)
+	if cspan != nil {
+		cspan.SetAttr("status", st.String())
+		cspan.SetInt("assumption_solves", int64(len(plan)))
+		cspan.SetInt("propagations", delta.propagations)
+		cspan.SetInt("conflicts", delta.conflicts)
+		cspan.SetInt("decisions", delta.decisions)
+		cspan.SetInt("restarts", delta.restarts)
+		cspan.SetInt("learned_clauses", delta.learned)
+		cspan.SetInt("learnts_retained", int64(core.NumLearnts()))
+		cspan.End()
+	}
+
+	res := Result{Status: st, Conflicts: delta.conflicts, Clauses: core.NumClauses(), Rounds: 1}
+	switch st {
+	case Sat:
+		// Frozen variables are exact in the core model — elimination
+		// skipped them and blocked-clause witnesses exclude them — and
+		// every variable the verifier reads is frozen, so no
+		// reconstruction replay is needed.
+		res.Model = s.extractModel(bl, collectVars(formula), core.ValueOf)
+	case Unknown:
+		if s.Stop.Stopped() || core.Interrupted() {
+			res.Cause = CauseStopped
+		} else {
+			res.Cause = CauseConflictBudget
+		}
+	}
+	return res
+}
+
+// coreDelta snapshots the cumulative counters of a shared CDCL core so
+// each incremental solve can report only its own work.
+type coreDelta struct {
+	propagations, conflicts, decisions, restarts, learned int64
+	lbdCore, dbReductions, inprocessings                  int64
+	clausesVivified, vivifyShrunkLits, learntsSubsumed    int64
+}
+
+func coreCounters(core *sat.Solver) coreDelta {
+	return coreDelta{
+		propagations:     core.Propagations(),
+		conflicts:        core.Conflicts(),
+		decisions:        core.Decisions(),
+		restarts:         core.Restarts(),
+		learned:          core.Learned(),
+		lbdCore:          core.LBDCore(),
+		dbReductions:     core.DBReductions(),
+		inprocessings:    core.Inprocessings(),
+		clausesVivified:  core.ClausesVivified(),
+		vivifyShrunkLits: core.VivifyShrunkLits(),
+		learntsSubsumed:  core.LearntsSubsumed(),
+	}
+}
+
+func (d *coreDelta) add(o coreDelta) {
+	d.propagations += o.propagations
+	d.conflicts += o.conflicts
+	d.decisions += o.decisions
+	d.restarts += o.restarts
+	d.learned += o.learned
+	d.lbdCore += o.lbdCore
+	d.dbReductions += o.dbReductions
+	d.inprocessings += o.inprocessings
+	d.clausesVivified += o.clausesVivified
+	d.vivifyShrunkLits += o.vivifyShrunkLits
+	d.learntsSubsumed += o.learntsSubsumed
+}
+
+func (d *coreDelta) sub(o coreDelta) {
+	d.propagations -= o.propagations
+	d.conflicts -= o.conflicts
+	d.decisions -= o.decisions
+	d.restarts -= o.restarts
+	d.learned -= o.learned
+	d.lbdCore -= o.lbdCore
+	d.dbReductions -= o.dbReductions
+	d.inprocessings -= o.inprocessings
+	d.clausesVivified -= o.clausesVivified
+	d.vivifyShrunkLits -= o.vivifyShrunkLits
+	d.learntsSubsumed -= o.learntsSubsumed
+}
+
+func (d *coreDelta) addTo(c *telemetry.Counters) {
+	c.Propagations += d.propagations
+	c.Conflicts += d.conflicts
+	c.Decisions += d.decisions
+	c.Restarts += d.restarts
+	c.LearnedClauses += d.learned
+	c.LBDCore += d.lbdCore
+	c.DBReductions += d.dbReductions
+	c.Inprocessings += d.inprocessings
+	c.ClausesVivified += d.clausesVivified
+	c.VivifyShrunkLits += d.vivifyShrunkLits
+	c.LearntsSubsumed += d.learntsSubsumed
+}

@@ -101,6 +101,23 @@ type Solver struct {
 	// schedule of the SAT core (<= 0 means the default). Tests and fuzzers
 	// shrink it to force inprocessing on small instances.
 	InprocessConflicts int64
+	// Incremental switches Check/CheckExistsForall onto a persistent
+	// session (session.go): one CDCL core, bit-blaster, and staged CNF
+	// shared by every query this Solver answers, each lowered to its
+	// Tseitin root literal and solved under assumption. Learned
+	// clauses, phase saving, and memoized Tseitin encodings then carry
+	// across the query stream. All queries must use the same
+	// smt.Builder; a builder change restarts the session. The zero
+	// value (off) keeps the fresh-solver-per-query behavior.
+	Incremental bool
+	// Miter marks the next incremental queries as output-equivalence
+	// obligations, ψ ∧ src ≠ tgt: the session may then decompose the
+	// top-level disequality into per-bit sub-queries solved as
+	// assumption flips (see slicePlan). Equisatisfiable for any
+	// formula, but only worth it when refuting the disequality is the
+	// bulk of the proof, so the caller flips this per query. Ignored
+	// without Incremental.
+	Miter bool
 	// Stats accumulates the telemetry counters — presolver outcomes, SAT
 	// core work, CNF sizes, CEGIS rounds — across every query this
 	// Solver answers. Always on; plain int64 adds, no sink required.
@@ -110,6 +127,10 @@ type Solver struct {
 	// records cegis-round spans. Nil (the default) skips all span
 	// bookkeeping at nil-receiver cost.
 	Span *telemetry.Span
+
+	// sess is the lazily created incremental session (nil until the
+	// first Check with Incremental set).
+	sess *session
 }
 
 // collectVars gathers variable terms of a formula keyed by name.
@@ -248,6 +269,10 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 			}
 			pspan.End()
 		}
+	}
+
+	if s.Incremental {
+		return s.checkIncremental(qspan, b, formula, blastTerm, refined)
 	}
 
 	core := sat.New()

@@ -95,6 +95,24 @@ type Counters struct {
 
 	// CEGISRounds counts refinement rounds of the exists-forall engine.
 	CEGISRounds int64 `json:"cegis_rounds"`
+
+	// Incremental-session totals (internal/solver session.go), all zero
+	// when `-incremental=off`.
+
+	// IncrementalSolves counts CDCL runs answered by a persistent
+	// session's shared core (every session solve, warm or cold).
+	IncrementalSolves int64 `json:"incremental_solves"`
+	// AssumptionLits counts activation literals allocated — one per
+	// query a session answers, flipped to retire the query afterwards.
+	AssumptionLits int64 `json:"assumption_lits"`
+	// EncodingsReused counts Tseitin cache hits during the second and
+	// later queries of a session: subterm encodings shared with an
+	// earlier query of the same transform instead of re-lowered.
+	EncodingsReused int64 `json:"encodings_reused"`
+	// LearntsRetained totals, at the start of each warm session solve,
+	// the learnt clauses carried over from the session's earlier
+	// queries.
+	LearntsRetained int64 `json:"learnts_retained"`
 }
 
 // counterFields fixes the field order for Each (and therefore for span
@@ -131,6 +149,10 @@ var counterFields = []struct {
 	{"clauses_blocked", func(c *Counters) *int64 { return &c.ClausesBlocked }},
 	{"probe_units", func(c *Counters) *int64 { return &c.ProbeUnits }},
 	{"cegis_rounds", func(c *Counters) *int64 { return &c.CEGISRounds }},
+	{"incremental_solves", func(c *Counters) *int64 { return &c.IncrementalSolves }},
+	{"assumption_lits", func(c *Counters) *int64 { return &c.AssumptionLits }},
+	{"encodings_reused", func(c *Counters) *int64 { return &c.EncodingsReused }},
+	{"learnts_retained", func(c *Counters) *int64 { return &c.LearntsRetained }},
 }
 
 // Add accumulates o into c.

@@ -156,10 +156,10 @@ func TestCountersAddSubEach(t *testing.T) {
 	}
 	var names []string
 	a.Each(func(name string, v int64) { names = append(names, name) })
-	if len(names) != 28 {
-		t.Fatalf("Each visited %d fields, want 28", len(names))
+	if len(names) != 32 {
+		t.Fatalf("Each visited %d fields, want 32", len(names))
 	}
-	if names[0] != "checks" || names[len(names)-1] != "cegis_rounds" {
+	if names[0] != "checks" || names[len(names)-1] != "learnts_retained" {
 		t.Fatalf("Each order changed: %v", names)
 	}
 	if !(Counters{}).IsZero() || a.IsZero() {

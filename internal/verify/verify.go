@@ -162,6 +162,12 @@ type Options struct {
 	// inprocessings schedule (<= 0 means the default). Tests and
 	// fuzzers shrink it to force inprocessing on small instances.
 	InprocessConflicts int64
+	// DisableIncremental turns off incremental assumption-based solving
+	// (the -incremental=off escape hatch): each solver query gets a
+	// fresh CDCL core and bit-blaster instead of sharing one
+	// per-type-assignment session whose learned clauses, saved phases,
+	// and memoized encodings carry across the query stream.
+	DisableIncremental bool
 	// Trace, when non-nil, records hierarchical spans for every pipeline
 	// phase (lint, typing, vcgen, presolve, bitblast, CDCL, CEGIS) into
 	// the tracer; export with Tracer.WriteChromeTrace. Nil (the default)
@@ -561,6 +567,11 @@ func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflic
 		DisablePreprocess:  opts.DisablePreprocess,
 		DisableInprocess:   opts.DisableInprocess,
 		InprocessConflicts: opts.InprocessConflicts,
+		// One incremental session per type assignment: every condition
+		// and CEGIS round below shares this solver's core, so their VCs
+		// — built on one Builder and sharing most of their term DAG —
+		// become assumption flips over a common encoding.
+		Incremental: !opts.DisableIncremental,
 	}
 	if testHookSolver != nil {
 		testHookSolver(&sol)
@@ -574,6 +585,10 @@ func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflic
 		queries++
 		cspan := aspan.Child("check:"+condName(cond.kind), "condition")
 		sol.Span = cspan
+		// Value obligations are miters (ψ ∧ src ≠ tgt): the session may
+		// bit-slice the disequality into assumption-level sub-queries.
+		// Definedness and poison obligations have no such gradient.
+		sol.Miter = cond.kind == CexValueMismatch
 		before := sol.Stats
 		r := sol.CheckExistsForall(b, cond.body, enc.SrcUndefs)
 		sol.Span = nil
