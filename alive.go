@@ -41,6 +41,7 @@ import (
 	"alive/internal/codegen"
 	"alive/internal/ir"
 	"alive/internal/lint"
+	"alive/internal/metrics"
 	"alive/internal/parser"
 	"alive/internal/telemetry"
 	"alive/internal/verify"
@@ -118,8 +119,54 @@ func OpenJournal(path string, opts Options) (*Journal, error) {
 
 // Tracer collects hierarchical telemetry spans; attach one via
 // Options.Trace and export it with WriteChromeTrace for Perfetto /
-// chrome://tracing. A nil Tracer disables telemetry at negligible cost.
+// chrome://tracing, or stream it incrementally (crash-safe) with
+// StreamChromeTraceFile + CloseStream. A nil Tracer disables telemetry
+// at negligible cost.
 type Tracer = telemetry.Tracer
+
+// MetricsRegistry is a concurrency-safe registry of named gauges,
+// counters, and histogram views with a Prometheus text-exposition
+// encoder. Attach one via Options.Metrics to publish live solver
+// samples, and serve it with NewDebugServer.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// FlightRecorder serializes post-mortem NDJSON artifacts for hard
+// queries — verifications that end Unknown or exceed its Slow
+// threshold. Attach one via Options.Flight.
+type FlightRecorder = metrics.FlightRecorder
+
+// FlightHeader is the first record of a flight-recorder artifact.
+type FlightHeader = metrics.FlightHeader
+
+// SolverSample is one solver-internals snapshot, taken at restart
+// boundaries; flight artifacts carry the last ring of them.
+type SolverSample = metrics.SolverSample
+
+// DebugServer is the HTTP observability endpoint: /metrics (Prometheus
+// text format), /debug/status (live run JSON), and /debug/pprof.
+type DebugServer = metrics.DebugServer
+
+// NewDebugServer starts the debug HTTP server on addr (host:port;
+// ":0" picks a free port — read it back from Addr). status, when
+// non-nil, supplies the /debug/status body.
+func NewDebugServer(addr string, reg *MetricsRegistry, status func() any) (*DebugServer, error) {
+	return metrics.NewDebugServer(addr, reg, status)
+}
+
+// Live is the mutable corpus-run status: attach one via
+// CorpusOptions.Live and RunCorpus keeps it current (per-worker
+// transform, queue depth, verdict tallies). Snapshot feeds
+// /debug/status; Register exposes the tallies as /metrics series.
+type Live = verify.Live
+
+// LiveSnapshot is a point-in-time copy of a Live block, JSON-ready.
+type LiveSnapshot = verify.LiveSnapshot
+
+// NewLive creates an empty run-status block.
+func NewLive() *Live { return verify.NewLive() }
 
 // Counters is the coherent set of verification work counters — SAT-core
 // work, presolver outcomes, CNF sizes, CEGIS rounds — populated on

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	alive-bench [-j N] [-artifacts DIR] -experiment table3|fig5|fig8|fig9|patches|attrs|lint|presolve|preprocess|inprocess|incremental|verify|compiletime|runtime|driver|all
+//	alive-bench [-j N] [-artifacts DIR] -experiment table3|fig5|fig8|fig9|patches|attrs|lint|presolve|preprocess|inprocess|incremental|verify|compiletime|runtime|driver|trend|all
 //
 // The "verify" experiment is the perf baseline: it verifies the whole
 // corpus, prints the telemetry digest, and with -artifacts writes the
@@ -12,6 +12,13 @@
 // against a checked-in report (exact verdict counts, work counters
 // within -tolerance) and exits 1 on regression — the CI benchmark-smoke
 // job. -cpuprofile/-memprofile capture pprof profiles of the run.
+//
+// With -history f.ndjson the verify experiment also appends a
+// schema-versioned trend record (verdicts, work counters, wall time)
+// after each run, and -trend K prints per-counter least-squares slopes
+// over the last K records — the slow-creep view a one-shot baseline
+// compare cannot give. "-experiment trend" prints the trend report
+// alone without running anything.
 package main
 
 import (
@@ -35,6 +42,8 @@ func run() int {
 	artifacts := flag.String("artifacts", "", "directory for machine-readable JSON reports (empty = none)")
 	baseline := flag.String("baseline", "", "checked-in BENCH_verify.json to compare the verify experiment against")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative growth of work counters vs the baseline")
+	history := flag.String("history", "", "NDJSON trend file the verify experiment appends a history record to")
+	trend := flag.Int("trend", 0, "with -history, print per-counter slopes over the last N history records (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -67,6 +76,11 @@ func run() int {
 	cfg.ArtifactDir = *artifacts
 	cfg.Baseline = *baseline
 	cfg.Tolerance = *tolerance
+	cfg.History = *history
+	if *trend != 0 && *history == "" {
+		fmt.Fprintln(os.Stderr, "alive-bench: -trend requires -history")
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -98,17 +112,33 @@ func run() int {
 		}()
 	}
 
-	if *exp == "all" {
+	switch {
+	case *exp == "trend":
+		// Trend-only mode: no experiments, just the history report.
+	case *exp == "all":
 		for _, name := range order {
 			fmt.Println(runners[name](cfg))
 		}
-	} else {
+	default:
 		runner, ok := runners[*exp]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "alive-bench: unknown experiment %q\n", *exp)
 			return 2
 		}
 		fmt.Println(runner(cfg))
+	}
+
+	if *trend != 0 || *exp == "trend" {
+		if *history == "" {
+			fmt.Fprintln(os.Stderr, "alive-bench: -experiment trend requires -history")
+			return 2
+		}
+		recs, err := bench.LoadHistory(*history)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alive-bench: %v\n", err)
+			return 2
+		}
+		fmt.Println(bench.TrendReport(recs, *trend))
 	}
 
 	if len(cfg.Failures) > 0 {

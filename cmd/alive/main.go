@@ -26,7 +26,20 @@
 //	-quiet             print only the per-transformation verdict lines
 //	-v                 print per-transformation solver counters
 //	-trace out.json    write a Chrome trace_event file of the run, loadable
-//	                   in Perfetto or chrome://tracing
+//	                   in Perfetto or chrome://tracing; events stream to the
+//	                   file as spans close, so an interrupted or killed run
+//	                   still leaves a loadable trace
+//	-debug-addr :8080  serve live observability over HTTP while the run is
+//	                   in flight: /metrics (Prometheus text format),
+//	                   /debug/status (JSON: per-worker current transform,
+//	                   queue depth, verdict tallies), /debug/pprof. ":0"
+//	                   picks a free port; the bound address is printed to
+//	                   stderr
+//	-flight-dir d      write a post-mortem NDJSON flight artifact (last
+//	                   solver samples, give-up span path, counter deltas)
+//	                   into d for every verification that ends unknown
+//	-flight-slow 10s   with -flight-dir, also record verifications slower
+//	                   than this threshold, whatever their verdict
 //	-stats out.ndjson  write per-transformation telemetry records, one JSON
 //	                   object per line ("-" for stdout)
 //	-summary           print the run digest: aggregate solver work, slowest
@@ -95,7 +108,10 @@ func run() int {
 	incremental := flag.String("incremental", "on", "assumption-based incremental solving: one SAT core per type assignment, queries as assumption flips (on|off)")
 	quiet := flag.Bool("quiet", false, "suppress counterexample details")
 	verbose := flag.Bool("v", false, "print per-transformation solver counters")
-	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run (streamed incrementally)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/status, and /debug/pprof on this address while the run is in flight")
+	flightDir := flag.String("flight-dir", "", "write post-mortem flight-recorder artifacts for unknown verdicts into this directory")
+	flightSlow := flag.Duration("flight-slow", 0, "with -flight-dir, also record verifications slower than this (0 = only unknowns)")
 	statsOut := flag.String("stats", "", "write per-transformation NDJSON telemetry records (- for stdout)")
 	summary := flag.Bool("summary", false, "print the run telemetry digest")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -205,7 +221,42 @@ func run() int {
 	}
 
 	if *traceOut != "" {
+		// Stream events as spans close: a SIGINT (or even a SIGKILL) mid-run
+		// still leaves a loadable trace instead of losing everything held
+		// in memory for a final flush.
 		opts.Trace = alive.NewTracer()
+		if err := opts.Trace.StreamChromeTraceFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "alive: %v\n", err)
+			return 2
+		}
+	}
+
+	// Observability: the debug server exposes live run status while the
+	// corpus is in flight; the flight recorder files post-mortems for
+	// queries the solver gave up on.
+	var live *alive.Live
+	if *debugAddr != "" {
+		reg := alive.NewMetricsRegistry()
+		live = alive.NewLive()
+		live.Register(reg)
+		opts.Metrics = reg
+		srv, err := alive.NewDebugServer(*debugAddr, reg, func() any { return live.Snapshot() })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alive: -debug-addr: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "alive: debug server listening on http://%s\n", srv.Addr())
+	}
+	if *flightSlow < 0 {
+		fmt.Fprintln(os.Stderr, "alive: -flight-slow must be non-negative")
+		return 2
+	}
+	if *flightDir != "" {
+		opts.Flight = &alive.FlightRecorder{Dir: *flightDir, Slow: *flightSlow}
+	} else if *flightSlow > 0 {
+		fmt.Fprintln(os.Stderr, "alive: -flight-slow requires -flight-dir")
+		return 2
 	}
 
 	// Parse everything up front so the corpus driver sees one flat list.
@@ -286,6 +337,7 @@ func run() int {
 		Workers:          *jobs,
 		TransformTimeout: *timeout,
 		Journal:          journal,
+		Live:             live,
 		OnResult: func(i int, res alive.Result) {
 			printResult(names[i], files[i], res, *quiet, *verbose)
 		},
@@ -351,7 +403,7 @@ func run() int {
 		}
 	}
 	if *traceOut != "" {
-		if err := opts.Trace.WriteChromeTraceFile(*traceOut); err != nil {
+		if err := opts.Trace.CloseStream(); err != nil {
 			fmt.Fprintf(os.Stderr, "alive: %v\n", err)
 			return 2
 		}

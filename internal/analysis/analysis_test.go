@@ -134,6 +134,29 @@ func loop(n int) {
 	wantDiags(t, u)
 }
 
+func TestStopFlagPollCoversMetrics(t *testing.T) {
+	// The metrics package is hot: the sampler hook runs inside the CDCL
+	// restart loop.
+	u := parseSrc(t, "alive/internal/metrics", `package metrics
+func spin(r *Ring) {
+	for {
+		r.Push(s)
+	}
+}
+`)
+	wantDiags(t, u, "stopflagpoll@3")
+}
+
+func TestSpanEndCoversMetrics(t *testing.T) {
+	u := parseSrc(t, "alive/internal/metrics", `package metrics
+func sample(tk *telemetry.Track) {
+	sp := tk.Start("scrape", "metrics")
+	work()
+}
+`)
+	wantDiags(t, u, "spanend@3")
+}
+
 func TestStopFlagPollSkipsColdPackages(t *testing.T) {
 	u := parseSrc(t, "alive/internal/parser", `package parser
 func spin() {

@@ -14,6 +14,10 @@ var hotPackages = []string{
 	"internal/cnf",
 	"internal/bitblast",
 	"internal/absint",
+	// metrics code runs on the solver hot path too: the OnSample hook
+	// fires inside the CDCL restart loop, so an unbounded loop here
+	// stalls the search exactly like one in the core would.
+	"internal/metrics",
 }
 
 // pollNames are call names that count as cooperative-halt polls: the

@@ -40,6 +40,12 @@ type Config struct {
 	// growth of each work counter (0 means the default 25%).
 	Baseline  string
 	Tolerance float64
+	// History, when set, is an NDJSON trend file the "verify"
+	// experiment appends a schema-versioned HistoryRecord to after each
+	// run; the -trend comparator mode fits per-counter slopes over its
+	// last records to catch slow-creep regressions no single baseline
+	// diff can see.
+	History string
 	// Failures collects hard regressions experiments detected; the CLI
 	// exits nonzero when any are present.
 	Failures []string

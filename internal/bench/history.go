@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// HistorySchema versions BENCH_history.ndjson records. History: 1 —
+// initial: one record per verify-experiment run with verdict counts and
+// the full counter block.
+const HistorySchema = 1
+
+// HistoryRecord is one appended line of the bench trend history: the
+// provenance and deterministic work counters of a single verify
+// experiment, flat enough to chart. Counters is keyed by the telemetry
+// snake_case names so records survive counter-block growth (a new
+// counter simply appears in newer records).
+type HistoryRecord struct {
+	Schema    int              `json:"schema"`
+	Timestamp string           `json:"timestamp"` // RFC3339 UTC
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	NumCPU    int              `json:"num_cpu"`
+	Widths    []int            `json:"widths"`
+	Valid     int              `json:"valid"`
+	Invalid   int              `json:"invalid"`
+	Rejected  int              `json:"rejected"`
+	Unknown   int              `json:"unknown"`
+	Queries   int              `json:"queries"`
+	WallMS    int64            `json:"wall_ms"`
+	Counters  map[string]int64 `json:"counters"`
+}
+
+// historyRecord flattens a verify report into a history line.
+func historyRecord(rep *VerifyReport, now time.Time) HistoryRecord {
+	rec := HistoryRecord{
+		Schema:    HistorySchema,
+		Timestamp: now.UTC().Format(time.RFC3339),
+		GoVersion: rep.GoVersion,
+		GOOS:      rep.GOOS,
+		GOARCH:    rep.GOARCH,
+		NumCPU:    rep.NumCPU,
+		Widths:    rep.Widths,
+		Valid:     rep.Valid,
+		Invalid:   rep.Invalid,
+		Rejected:  rep.Rejected,
+		Unknown:   rep.Unknown,
+		Queries:   rep.Queries,
+		WallMS:    rep.WallMS,
+		Counters:  map[string]int64{},
+	}
+	rep.Counters.Each(func(name string, v int64) { rec.Counters[name] = v })
+	return rec
+}
+
+// AppendHistory appends one record to the NDJSON history at path,
+// creating the file (and directory) if missing. Appends are atomic at
+// the line level on POSIX (O_APPEND single write), so concurrent CI
+// runs interleave records rather than corrupting them.
+func AppendHistory(path string, rec HistoryRecord) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// LoadHistory reads every record of an NDJSON history file, in file
+// order. Blank lines are skipped; records from a different schema fail
+// loudly rather than silently skewing slopes.
+func LoadHistory(path string) ([]HistoryRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []HistoryRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec HistoryRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("%s: record %d: %v", path, len(recs)+1, err)
+		}
+		if rec.Schema != HistorySchema {
+			return nil, fmt.Errorf("%s: record %d: schema %d, want %d", path, len(recs)+1, rec.Schema, HistorySchema)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// slope fits ys = a + b*x by least squares over x = 0..n-1 and returns
+// b — the per-run drift. With fewer than two points the slope is 0.
+func slope(ys []int64) float64 {
+	n := len(ys)
+	if n < 2 {
+		return 0
+	}
+	// x mean is (n-1)/2; closed-form simple regression.
+	xMean := float64(n-1) / 2
+	var yMean float64
+	for _, y := range ys {
+		yMean += float64(y)
+	}
+	yMean /= float64(n)
+	var num, den float64
+	for i, y := range ys {
+		dx := float64(i) - xMean
+		num += dx * (float64(y) - yMean)
+		den += dx * dx
+	}
+	return num / den
+}
+
+// TrendReport renders per-counter least-squares slopes over the last
+// window records (0 or negative = all): the per-run drift of each work
+// counter, its percentage of the window mean, and the same for
+// wall-clock time (informational — machine-dependent). A positive
+// slope on a deterministic counter means successive commits are doing
+// steadily more solver work — the slow-creep regression the one-shot
+// baseline compare cannot see.
+func TrendReport(recs []HistoryRecord, window int) string {
+	var sb strings.Builder
+	if window > 0 && len(recs) > window {
+		recs = recs[len(recs)-window:]
+	}
+	fmt.Fprintf(&sb, "Trend: per-counter drift over the last %d history records\n\n", len(recs))
+	if len(recs) < 2 {
+		sb.WriteString("not enough history for a trend (need >= 2 records)\n")
+		return sb.String()
+	}
+
+	// Union of counter names across the window, so a counter added
+	// mid-window still reports (absent = 0 in older records).
+	nameSet := map[string]bool{}
+	for _, r := range recs {
+		for k := range r.Counters {
+			nameSet[k] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for k := range nameSet {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(&sb, "%-24s %14s %14s %10s\n", "counter", "mean", "slope/run", "drift")
+	row := func(name string, ys []int64) {
+		var mean float64
+		for _, y := range ys {
+			mean += float64(y)
+		}
+		mean /= float64(len(ys))
+		b := slope(ys)
+		drift := "n/a"
+		if mean != 0 {
+			drift = fmt.Sprintf("%+.2f%%", 100*b/mean)
+		}
+		fmt.Fprintf(&sb, "%-24s %14.1f %+14.1f %10s\n", name, mean, b, drift)
+	}
+	for _, name := range names {
+		ys := make([]int64, len(recs))
+		for i, r := range recs {
+			ys[i] = r.Counters[name]
+		}
+		row(name, ys)
+	}
+	ys := make([]int64, len(recs))
+	for i, r := range recs {
+		ys[i] = int64(r.Queries)
+	}
+	row("queries", ys)
+	for i, r := range recs {
+		ys[i] = r.WallMS
+	}
+	row("wall_ms (informational)", ys)
+	return sb.String()
+}

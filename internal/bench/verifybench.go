@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"alive/internal/suite"
 	"alive/internal/telemetry"
@@ -199,6 +200,15 @@ func VerifyBench(cfg *Config) string {
 			cfg.Failures = append(cfg.Failures, fmt.Sprintf("verify: %v", err))
 		} else {
 			fmt.Fprintf(&sb, "\nartifact: wrote %s\n", path)
+		}
+	}
+
+	if cfg.History != "" {
+		if err := AppendHistory(cfg.History, historyRecord(rep, time.Now())); err != nil {
+			fmt.Fprintf(&sb, "\nhistory: %v\n", err)
+			cfg.Failures = append(cfg.Failures, fmt.Sprintf("verify: history: %v", err))
+		} else {
+			fmt.Fprintf(&sb, "\nhistory: appended to %s\n", cfg.History)
 		}
 	}
 

@@ -1,0 +1,72 @@
+package sat
+
+// SampleStats is a point-in-time snapshot of the search internals,
+// delivered through Solver.OnSample at restart boundaries and on
+// Unknown exits. It is a plain value struct — the SAT core neither
+// knows nor cares what the observability layer does with it — and every
+// field is integral so consumers can feed gauges and NDJSON records
+// without float plumbing; the two quality signals that are naturally
+// fractional are carried as fixed-point ×100.
+type SampleStats struct {
+	// Cumulative search totals for this core (across all Solve calls in
+	// an incremental session).
+	Conflicts    int64
+	Propagations int64
+	Decisions    int64
+	Restarts     int64
+	Learned      int64
+
+	// Clause-database shape at the sample instant: total learnts and
+	// the permanent/mid tiers of the LBD-tiered policy (the remainder is
+	// the local reduction pool), plus problem size.
+	Learnts     int
+	LearntCore  int
+	LearntTier2 int
+	Vars        int
+	Clauses     int
+
+	// Search-quality signals: the current trail depth, the mean LBD of
+	// the recent-learnt ring ×100 (0 when the ring is empty), and the
+	// trail-size EMA at conflicts ×100 — the same signals the
+	// Glucose-style restart policy reads.
+	Trail         int
+	RecentLBDx100 int64
+	TrailEMAx100  int64
+}
+
+// sampleStats builds a snapshot. Only called when OnSample is non-nil,
+// so the tier scan over the learnt database costs nothing on the
+// sampling-off path.
+func (s *Solver) sampleStats() SampleStats {
+	st := SampleStats{
+		Conflicts:    s.conflicts,
+		Propagations: s.propagations,
+		Decisions:    s.decisions,
+		Restarts:     s.restarts,
+		Learned:      s.learned,
+		Learnts:      len(s.learnts),
+		Vars:         len(s.vars) - 1,
+		Clauses:      len(s.clauses),
+		Trail:        len(s.trail),
+		TrailEMAx100: int64(s.trailEma * 100),
+	}
+	for _, c := range s.learnts {
+		switch c.tier {
+		case tierCore:
+			st.LearntCore++
+		case tierTwo:
+			st.LearntTier2++
+		}
+	}
+	if s.lbdRingLen > 0 {
+		st.RecentLBDx100 = s.lbdRingSum * 100 / int64(s.lbdRingLen)
+	}
+	return st
+}
+
+// emitSample fires the OnSample hook if one is attached.
+func (s *Solver) emitSample() {
+	if s.OnSample != nil {
+		s.OnSample(s.sampleStats())
+	}
+}

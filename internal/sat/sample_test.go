@@ -1,0 +1,70 @@
+package sat
+
+import "testing"
+
+// TestOnSampleRestartBoundaries: a hard unsat instance must deliver a
+// snapshot at every restart boundary, with monotone search totals and a
+// consistent clause-database shape.
+func TestOnSampleRestartBoundaries(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7)
+	var samples []SampleStats
+	s.OnSample = func(st SampleStats) { samples = append(samples, st) }
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(8,7) = %v, want Unsat", st)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples on a multi-restart solve")
+	}
+	var prev SampleStats
+	for i, st := range samples {
+		if st.Conflicts < prev.Conflicts || st.Propagations < prev.Propagations {
+			t.Errorf("sample %d totals regressed: %+v after %+v", i, st, prev)
+		}
+		if st.LearntCore+st.LearntTier2 > st.Learnts {
+			t.Errorf("sample %d tier counts exceed learnts: %+v", i, st)
+		}
+		if st.Vars != s.NumVars() || st.Clauses > s.NumClauses()+int(st.Learned) {
+			t.Errorf("sample %d sizes implausible: %+v", i, st)
+		}
+		prev = st
+	}
+	if prev.Conflicts == 0 || prev.Learned == 0 {
+		t.Errorf("final sample shows no search work: %+v", prev)
+	}
+}
+
+// TestOnSampleBudgetExit: a budget-exhausted Unknown exit must still
+// emit at least one snapshot — the guarantee the flight recorder's
+// "deadline queries always carry samples" property rests on.
+func TestOnSampleBudgetExit(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9)
+	s.MaxConflicts = 120 // past the first 100-conflict search leg
+	fired := 0
+	s.OnSample = func(SampleStats) { fired++ }
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("budgeted PHP(10,9) = %v, want Unknown", st)
+	}
+	if fired == 0 {
+		t.Fatal("Unknown exit emitted no sample")
+	}
+}
+
+// TestOnSampleStoppedAtEntry: a solve that is cancelled before search
+// starts still snapshots the core once.
+func TestOnSampleStoppedAtEntry(t *testing.T) {
+	s := New()
+	pigeonhole(s, 4)
+	var flag StopFlag
+	flag.Stop()
+	s.Stop = &flag
+	fired := 0
+	s.OnSample = func(SampleStats) { fired++ }
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("pre-stopped solve = %v, want Unknown", st)
+	}
+	if fired != 1 {
+		t.Fatalf("pre-stopped solve emitted %d samples, want 1", fired)
+	}
+}

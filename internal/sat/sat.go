@@ -225,6 +225,15 @@ type Solver struct {
 	// telemetry spans without the SAT core importing telemetry.
 	OnInprocess func() func()
 
+	// OnSample, when non-nil, is called with a snapshot of the search
+	// internals at every restart boundary and on every Unknown exit
+	// from Solve (budget exhausted or stop-flag fired) — so even a
+	// deadline-killed solve emits at least one sample once search has
+	// begun. Like OnInprocess, the hook keeps the SAT core free of
+	// metrics imports: the observability layer owns what the snapshots
+	// mean. When nil the cost is a single pointer test per restart.
+	OnSample func(SampleStats)
+
 	// Stop, when non-nil, is polled every stopPollInterval propagations;
 	// once it reports stopped, Solve abandons the search and returns
 	// Unknown. Interrupted distinguishes that outcome from a conflict
@@ -832,6 +841,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		return Unsat
 	}
 	if s.Stop.Stopped() {
+		s.emitSample()
 		return Unknown
 	}
 	s.assumptions = assumptions
@@ -871,6 +881,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if st != Unknown {
 			return st
 		}
+		// Sample here — after a search leg, before deciding whether to
+		// continue — so the hook sees every restart boundary and every
+		// Unknown exit (stop-flag or budget) gets a final snapshot.
+		s.emitSample()
 		if s.Stop.Stopped() {
 			return Unknown
 		}
@@ -1055,11 +1069,20 @@ func (s *Solver) ProbeUnder(ctx []Lit) (failed []Lit, feasible bool) {
 		}
 	}
 	ctxLevel := s.decisionLevel()
+	probes := 0
 	for pass := 0; pass < 4; pass++ {
 		progress := false
 		for v := 1; v < len(s.vars); v++ {
 			if s.vars[v].value != Unassigned {
 				continue
+			}
+			// The pass count bounds the fixpoint, but every probe runs
+			// full propagation over the clause set, so on big encodings a
+			// deadline can strike mid-pass. The failed literals found so
+			// far are each individually implied, so stopping early keeps
+			// the result sound.
+			if probes++; probes&63 == 0 && s.Stop.Stopped() {
+				return failed, true
 			}
 			// Literals the first (negative) phase probe implied, kept for
 			// lifting: anything the second phase also implies holds under

@@ -444,6 +444,10 @@ func (s *Solver) checkIncremental(qspan *telemetry.Span, b *smt.Builder, formula
 	} else {
 		core.OnInprocess = nil
 	}
+	// Per-query like OnInprocess: the warm core outlives any one query,
+	// so the sampling hook is refreshed each time rather than pinned at
+	// session creation.
+	core.OnSample = s.OnSample
 
 	// Solve the plan: a bit-sliced plan is Unsat only if every sub-query
 	// is, and ends at the first Sat (its model satisfies the whole

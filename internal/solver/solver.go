@@ -127,6 +127,12 @@ type Solver struct {
 	// records cegis-round spans. Nil (the default) skips all span
 	// bookkeeping at nil-receiver cost.
 	Span *telemetry.Span
+	// OnSample, when non-nil, receives SAT-core search snapshots at
+	// restart boundaries and Unknown exits (sat.Solver.OnSample),
+	// whichever core — fresh per query or persistent session — runs the
+	// search. The observability layer uses it to fill per-query sample
+	// rings and live gauges; nil costs one pointer test per restart.
+	OnSample func(sat.SampleStats)
 
 	// sess is the lazily created incremental session (nil until the
 	// first Check with Incremental set).
@@ -280,6 +286,7 @@ func (s *Solver) Check(b *smt.Builder, assertions ...*smt.Term) Result {
 	core.Stop = s.Stop
 	core.DisableInprocess = s.DisableInprocess
 	core.InprocessConflicts = s.InprocessConflicts
+	core.OnSample = s.OnSample
 	// The bit-blaster lowers into the CDCL core directly, or — when the
 	// preprocessor is on — into a staged clause database that is
 	// statically simplified and then loaded into the core.

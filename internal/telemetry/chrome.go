@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -124,4 +125,114 @@ func chromeEvent(ev Event) (string, error) {
 // precision, the unit the trace_event format specifies for ts/dur.
 func micros(d time.Duration) string {
 	return strconv.FormatFloat(float64(d.Nanoseconds())/1e3, 'f', 3, 64)
+}
+
+// traceStream writes events incrementally in the trace_event JSON
+// *array* form, one complete record per write. The separating comma is
+// written before each record (never after), so at any write boundary
+// the file is a valid JSON array missing only its closing bracket —
+// which the trace_event spec makes optional. A SIGKILLed `alive -trace`
+// run therefore still leaves a loadable trace; a graceful close appends
+// the bracket and yields strict JSON. Writes happen under the tracer's
+// mutex; the first write error sticks and is reported by CloseStream.
+type traceStream struct {
+	w   io.WriteCloser
+	n   int // records written
+	err error
+}
+
+func (st *traceStream) emit(line string) {
+	if st.err != nil {
+		return
+	}
+	sep := "[\n"
+	if st.n > 0 {
+		sep = ",\n"
+	}
+	st.n++
+	_, st.err = io.WriteString(st.w, sep+line)
+}
+
+func (st *traceStream) emitThreadName(id int, name string) {
+	nm, _ := json.Marshal(name)
+	st.emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`, id, nm))
+}
+
+func (st *traceStream) emitEvent(ev Event) {
+	line, err := chromeEvent(ev)
+	if err != nil {
+		if st.err == nil {
+			st.err = err
+		}
+		return
+	}
+	st.emit(line)
+}
+
+// StreamChromeTrace attaches w as an incremental Chrome trace sink:
+// the process metadata and any already-created tracks are written
+// immediately, then every Span.End and NewTrack appends one record.
+// Call CloseStream to terminate the array and close w. Attaching a
+// second stream is an error; a nil tracer cannot stream.
+func (t *Tracer) StreamChromeTrace(w io.WriteCloser) error {
+	if t == nil {
+		return errors.New("telemetry: cannot stream from a nil tracer")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stream != nil {
+		return errors.New("telemetry: trace stream already attached")
+	}
+	st := &traceStream{w: w}
+	st.emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"alive"}}`)
+	for id, name := range t.tracks {
+		st.emitThreadName(id, name)
+	}
+	if st.err != nil {
+		return st.err
+	}
+	t.stream = st
+	return nil
+}
+
+// StreamChromeTraceFile creates path and attaches it as the stream
+// sink.
+func (t *Tracer) StreamChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.StreamChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return nil
+}
+
+// CloseStream terminates the streamed array with its closing bracket,
+// closes the sink, and detaches it, returning the first error the
+// stream hit. No-op when no stream is attached (or on a nil tracer),
+// so it is safe to defer unconditionally.
+func (t *Tracer) CloseStream() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	st := t.stream
+	t.stream = nil
+	t.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	if st.err == nil {
+		tail := "\n]\n"
+		if st.n == 0 {
+			tail = "[]\n"
+		}
+		_, st.err = io.WriteString(st.w, tail)
+	}
+	if cerr := st.w.Close(); st.err == nil {
+		st.err = cerr
+	}
+	return st.err
 }

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCountersEachOrderStability pins the Each contract every consumer
+// leans on: the visit order is fixed across calls, covers every struct
+// field exactly once, and uses each field's JSON tag — so span
+// annotations, the bench comparator's column zip, flight-recorder
+// counter maps, and the /metrics series names all agree.
+func TestCountersEachOrderStability(t *testing.T) {
+	var first, second []string
+	c := Counters{Checks: 1, LearntsRetained: 2}
+	c.Each(func(name string, _ int64) { first = append(first, name) })
+	c.Each(func(name string, _ int64) { second = append(second, name) })
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("Each order differs between calls:\n%v\n%v", first, second)
+	}
+
+	// Declaration order of the struct's JSON tags is the canonical
+	// order; Each must match it field for field.
+	var tags []string
+	rt := reflect.TypeOf(Counters{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		if tag == "" || tag == "-" {
+			t.Fatalf("field %s has no json tag", rt.Field(i).Name)
+		}
+		tags = append(tags, tag)
+	}
+	if !reflect.DeepEqual(first, tags) {
+		t.Fatalf("Each order diverges from struct declaration order:\nEach: %v\ntags: %v", first, tags)
+	}
+
+	// Every name is unique (a duplicate would silently merge series).
+	seen := make(map[string]bool, len(first))
+	for _, n := range first {
+		if seen[n] {
+			t.Fatalf("duplicate counter name %q", n)
+		}
+		seen[n] = true
+	}
+}

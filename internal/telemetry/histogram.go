@@ -40,6 +40,20 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum) / float64(h.N)
 }
 
+// Merge accumulates o into h, bucket by bucket — how per-worker
+// histograms from the corpus driver aggregate into one run-wide
+// histogram for the /metrics endpoint.
+func (h *Histogram) Merge(o Histogram) {
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
 // Render draws the non-empty bucket range as rows of
 // "<upper-bound><unit> count bar", scaled to a 40-column bar.
 func (h *Histogram) Render(unit string) string {
@@ -63,7 +77,12 @@ func (h *Histogram) Render(unit string) string {
 	var sb strings.Builder
 	for i := lo; i <= hi; i++ {
 		bound := "0"
-		if i > 0 {
+		switch {
+		case i >= 64:
+			// 1<<64 wraps to zero; the top bucket has no finite upper
+			// bound in uint64 space.
+			bound = "huge"
+		case i > 0:
 			bound = fmt.Sprintf("<%d", uint64(1)<<i)
 		}
 		bar := ""

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []int64{0, 1, 5} {
+		a.Observe(v)
+	}
+	for _, v := range []int64{2, 900} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.N != 5 || a.Sum != 908 || a.Max != 900 {
+		t.Fatalf("merged N=%d Sum=%d Max=%d", a.N, a.Sum, a.Max)
+	}
+	var want Histogram
+	for _, v := range []int64{0, 1, 5, 2, 900} {
+		want.Observe(v)
+	}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("merge != observing the union\n got %+v\nwant %+v", a, want)
+	}
+	// Merging an empty histogram is the identity.
+	before := a
+	a.Merge(Histogram{})
+	if !reflect.DeepEqual(a, before) {
+		t.Fatal("merging empty changed the histogram")
+	}
+	// Merging into an empty histogram copies.
+	var c Histogram
+	c.Merge(want)
+	if !reflect.DeepEqual(c, want) {
+		t.Fatal("merge into empty != copy")
+	}
+}
+
+func TestHistogramZeroAndMaxBucketEdges(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 {
+		t.Error("Mean of empty histogram must be 0")
+	}
+	if got := h.Render("ms"); !strings.Contains(got, "no observations") {
+		t.Errorf("empty Render = %q", got)
+	}
+	// Only zero/negative observations: single bucket, no divide-by-zero,
+	// a visible bar.
+	h.Observe(0)
+	h.Observe(-3)
+	out := h.Render("ms")
+	if !strings.Contains(out, "0") || strings.Contains(out, "<0") {
+		t.Errorf("zero-only Render wrong:\n%s", out)
+	}
+	// The top bucket (index 64) is unreachable from Observe on int64
+	// inputs but can arrive via Merge of foreign data; its bound label
+	// must not wrap around to "<0".
+	var top Histogram
+	top.Counts[64] = 2
+	top.N = 2
+	out = top.Render("")
+	if strings.Contains(out, "<0") {
+		t.Errorf("max bucket label overflowed:\n%s", out)
+	}
+	if !strings.Contains(out, "huge") {
+		t.Errorf("max bucket label missing:\n%s", out)
+	}
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bufCloser is an in-memory WriteCloser recording whether Close ran.
+type bufCloser struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (b *bufCloser) Close() error { b.closed = true; return nil }
+
+func streamFixture(t *testing.T) (*Tracer, *bufCloser) {
+	t.Helper()
+	now := time.Unix(0, 0)
+	tr := NewWithClock(func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	})
+	var buf bufCloser
+	if err := tr.StreamChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tr, &buf
+}
+
+// TestStreamTruncationSafe is the satellite's core property: at every
+// record boundary the streamed bytes plus a closing bracket parse as a
+// JSON array — an interrupted run's trace is loadable without any
+// cleanup pass.
+func TestStreamTruncationSafe(t *testing.T) {
+	tr, buf := streamFixture(t)
+	tk := tr.NewTrack("worker-0")
+	for i := 0; i < 3; i++ {
+		sp := tk.Start("transform", "verify")
+		sp.SetInt("i", int64(i))
+		child := sp.Child("check", "solver")
+		child.End()
+		sp.End()
+
+		var evs []map[string]any
+		trunc := append(append([]byte{}, buf.Bytes()...), ']')
+		if err := json.Unmarshal(trunc, &evs); err != nil {
+			t.Fatalf("after %d spans, truncated stream unparseable: %v\n%s", i+1, err, trunc)
+		}
+	}
+
+	if err := tr.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.closed {
+		t.Error("CloseStream did not close the sink")
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("closed stream is not strict JSON: %v\n%s", err, buf.Bytes())
+	}
+	// process_name + thread_name + 3×(child+parent) spans.
+	if len(evs) != 8 {
+		t.Fatalf("stream has %d records, want 8:\n%s", len(evs), buf.Bytes())
+	}
+	if evs[0]["name"] != "process_name" || evs[1]["name"] != "thread_name" {
+		t.Errorf("metadata records wrong: %v %v", evs[0], evs[1])
+	}
+	if !strings.Contains(buf.String(), `"args":{"name":"worker-0"}`) {
+		t.Error("thread_name metadata missing the track name")
+	}
+}
+
+// TestStreamLateTracks: tracks created before the stream attaches get
+// their metadata replayed at attach time.
+func TestStreamLateTracks(t *testing.T) {
+	tr := NewWithClock(func() time.Time { return time.Unix(0, 0) })
+	tr.NewTrack("early")
+	var buf bufCloser
+	if err := tr.StreamChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name":"early"`) {
+		t.Errorf("pre-attach track metadata missing:\n%s", buf.String())
+	}
+}
+
+// TestStreamMisuse covers nil tracers, double attach, and idempotent
+// close.
+func TestStreamMisuse(t *testing.T) {
+	var nilTr *Tracer
+	if err := nilTr.StreamChromeTrace(&bufCloser{}); err == nil {
+		t.Error("nil tracer accepted a stream")
+	}
+	if err := nilTr.CloseStream(); err != nil {
+		t.Error("nil CloseStream must be a no-op")
+	}
+	tr, _ := streamFixture(t)
+	if err := tr.StreamChromeTrace(&bufCloser{}); err == nil {
+		t.Error("second attach succeeded")
+	}
+	if err := tr.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CloseStream(); err != nil {
+		t.Error("second CloseStream must be a no-op")
+	}
+}
+
+// errWriter fails every write after the first n bytes.
+type errWriter struct{ budget int }
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	e.budget -= len(p)
+	return len(p), nil
+}
+func (e *errWriter) Close() error { return nil }
+
+// TestStreamStickyError: the first write error is reported by
+// CloseStream and later emits don't panic.
+func TestStreamStickyError(t *testing.T) {
+	tr := NewWithClock(func() time.Time { return time.Unix(0, 0) })
+	if err := tr.StreamChromeTrace(&errWriter{budget: 200}); err != nil {
+		t.Fatal(err)
+	}
+	tk := tr.NewTrack("w")
+	for i := 0; i < 10; i++ {
+		sp := tk.Start("x", "y")
+		sp.End()
+	}
+	if err := tr.CloseStream(); err == nil {
+		t.Error("write error was swallowed")
+	}
+}
+
+// TestStreamConcurrent ends spans from several goroutines while
+// streaming; under -race this guards the sink's locking.
+func TestStreamConcurrent(t *testing.T) {
+	tr := New()
+	var buf bufCloser
+	// bufCloser isn't goroutine-safe on its own; the tracer must
+	// serialize all stream writes under its mutex for this to pass
+	// under -race.
+	if err := tr.StreamChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tk := tr.NewTrack("w")
+			for i := 0; i < 50; i++ {
+				sp := tk.Start("s", "c")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("concurrent stream unparseable: %v", err)
+	}
+	if len(evs) != 1+4+200 {
+		t.Fatalf("got %d records, want 205", len(evs))
+	}
+}

@@ -54,6 +54,10 @@ type Tracer struct {
 	mu     sync.Mutex
 	events []Event
 	tracks []string
+	// stream, when non-nil, receives every completed span and new track
+	// incrementally in Chrome trace_event array form (chrome.go), so an
+	// interrupted run still leaves a loadable trace on disk.
+	stream *traceStream
 }
 
 // New returns an empty tracer using the real clock.
@@ -76,6 +80,9 @@ func (t *Tracer) NewTrack(name string) *Track {
 	t.mu.Lock()
 	id := len(t.tracks)
 	t.tracks = append(t.tracks, name)
+	if t.stream != nil {
+		t.stream.emitThreadName(id, name)
+	}
 	t.mu.Unlock()
 	return &Track{tr: t, id: id}
 }
@@ -190,5 +197,8 @@ func (s *Span) End() {
 	}
 	s.tr.mu.Lock()
 	s.tr.events = append(s.tr.events, ev)
+	if s.tr.stream != nil {
+		s.tr.stream.emitEvent(ev)
+	}
 	s.tr.mu.Unlock()
 }

@@ -36,6 +36,11 @@ type CorpusOptions struct {
 	// appended and fsync'd as it completes. Open with CreateJournal (new
 	// run) or OpenJournal (resume).
 	Journal *Journal
+	// Live, when non-nil, is kept current with the run's progress —
+	// per-worker current transform, queue depth, verdict tallies,
+	// counter totals — for the /debug/status endpoint and the /metrics
+	// series Live.Register exposes.
+	Live *Live
 }
 
 // CorpusStats aggregates a corpus run.
@@ -161,6 +166,10 @@ func RunCorpus(ctx context.Context, ts []*ir.Transform, opts CorpusOptions) ([]R
 		vopts.Timeout = opts.TransformTimeout
 	}
 
+	if opts.Live != nil {
+		opts.Live.begin(len(ts), workers, resumed)
+	}
+
 	// In-flight registry for the memory governor: verifications register
 	// their stop flag on start (in dispatch order — seq is the "heaviest"
 	// proxy: the longest-running verification has had the most time to
@@ -266,6 +275,10 @@ func RunCorpus(ctx context.Context, ts []*ir.Transform, opts CorpusOptions) ([]R
 				// escaping a deferred span finisher) must cost only this
 				// transformation, never the pool.
 				func() {
+					// tallied mirrors complete()'s idempotence for the Live
+					// block: a fault injected after a normal completion must
+					// not double-count the transform.
+					tallied := false
 					defer func() {
 						if r := recover(); r != nil {
 							rr := Result{Transform: ts[i], Verdict: Unknown, GaveUpAssignment: -1}
@@ -281,14 +294,25 @@ func RunCorpus(ctx context.Context, ts []*ir.Transform, opts CorpusOptions) ([]R
 								rr.Err = fmt.Errorf("corpus worker panic: %v", r)
 								rr.PanicStack = string(debug.Stack())
 							}
+							if opts.Live != nil && !tallied {
+								opts.Live.finish(worker, rr)
+							}
 							complete(i, rr)
 						}
 					}()
 					faultinject.Fire(faultinject.SiteCorpusWorker, nil)
+					if opts.Live != nil {
+						opts.Live.dispatch(worker, ts[i].Name)
+					}
 					// Label the goroutine so CPU-profile samples attribute
 					// to the transformation being verified.
 					pprof.Do(ctx, pprof.Labels("transform", ts[i].Name), func(ctx context.Context) {
-						complete(i, VerifyContext(ctx, ts[i], wopts))
+						r := VerifyContext(ctx, ts[i], wopts)
+						if opts.Live != nil {
+							opts.Live.finish(worker, r)
+							tallied = true
+						}
+						complete(i, r)
 					})
 				}()
 			}

@@ -1,0 +1,189 @@
+package verify
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"alive/internal/metrics"
+	"alive/internal/telemetry"
+)
+
+// Live is the mutable run status behind the debug server: RunCorpus
+// updates it as work dispatches and completes, the /debug/status
+// handler snapshots it as JSON, and Register exposes its tallies,
+// queue depth, per-worker verification-time histograms (merged at
+// scrape), and running counter totals as /metrics series. One Live
+// serves one RunCorpus call at a time; all methods are safe for
+// concurrent use.
+type Live struct {
+	mu         sync.Mutex
+	total      int
+	workers    int
+	completed  int
+	valid      int
+	invalid    int
+	unknown    int
+	rejected   int
+	resumed    int
+	queries    int
+	escalation int
+	current    map[int]workerState
+	counters   telemetry.Counters
+	// verifyUS holds per-worker histograms of verification wall time in
+	// microseconds; scrapes Merge them into one run-wide histogram.
+	verifyUS []telemetry.Histogram
+}
+
+type workerState struct {
+	name  string
+	since time.Time
+}
+
+// NewLive returns an empty status block.
+func NewLive() *Live {
+	return &Live{current: map[int]workerState{}}
+}
+
+// begin records the run shape: total transforms, pool size, and how
+// many verdicts the journal restored up front.
+func (l *Live) begin(total, workers, resumed int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total = total
+	l.workers = workers
+	l.resumed = resumed
+	l.completed = resumed
+}
+
+// dispatch marks worker as verifying the named transform.
+func (l *Live) dispatch(worker int, name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if name == "" {
+		name = "(unnamed)"
+	}
+	l.current[worker] = workerState{name: name, since: time.Now()}
+}
+
+// finish folds one completed verification into the tallies.
+func (l *Live) finish(worker int, res Result) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.current, worker)
+	l.completed++
+	switch res.Verdict {
+	case Valid:
+		l.valid++
+	case Invalid:
+		l.invalid++
+	case Rejected:
+		l.rejected++
+	default:
+		l.unknown++
+	}
+	l.queries += res.Queries
+	l.escalation += res.Escalations
+	l.counters.Add(res.Counters)
+	for len(l.verifyUS) <= worker {
+		l.verifyUS = append(l.verifyUS, telemetry.Histogram{})
+	}
+	l.verifyUS[worker].Observe(res.Duration.Microseconds())
+}
+
+// WorkerStatus is one in-flight verification in a status snapshot.
+type WorkerStatus struct {
+	Worker    int    `json:"worker"`
+	Transform string `json:"transform"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// LiveSnapshot is the /debug/status JSON body.
+type LiveSnapshot struct {
+	Total       int            `json:"total"`
+	Completed   int            `json:"completed"`
+	QueueDepth  int            `json:"queue_depth"`
+	Workers     int            `json:"workers"`
+	Valid       int            `json:"valid"`
+	Invalid     int            `json:"invalid"`
+	Unknown     int            `json:"unknown"`
+	Rejected    int            `json:"rejected"`
+	Resumed     int            `json:"resumed"`
+	Queries     int            `json:"queries"`
+	Escalations int            `json:"escalations"`
+	InFlight    []WorkerStatus `json:"in_flight"`
+}
+
+// Snapshot returns a point-in-time copy for the status endpoint.
+func (l *Live) Snapshot() LiveSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := LiveSnapshot{
+		Total:       l.total,
+		Completed:   l.completed,
+		QueueDepth:  l.total - l.completed,
+		Workers:     l.workers,
+		Valid:       l.valid,
+		Invalid:     l.invalid,
+		Unknown:     l.unknown,
+		Rejected:    l.rejected,
+		Resumed:     l.resumed,
+		Queries:     l.queries,
+		Escalations: l.escalation,
+	}
+	now := time.Now()
+	for w, st := range l.current {
+		s.InFlight = append(s.InFlight, WorkerStatus{
+			Worker:    w,
+			Transform: st.name,
+			ElapsedMS: now.Sub(st.since).Milliseconds(),
+		})
+	}
+	sort.Slice(s.InFlight, func(i, j int) bool { return s.InFlight[i].Worker < s.InFlight[j].Worker })
+	return s
+}
+
+// gauge reads one tally under the lock — the GaugeFunc shape Register
+// needs.
+func (l *Live) gauge(f func(*Live) int) func() int64 {
+	return func() int64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return int64(f(l))
+	}
+}
+
+// Register exposes the run status on reg: corpus progress gauges, the
+// merged per-worker verification-time histogram, and the 32-field
+// pipeline counter block (one series per counter). Together with the
+// solver sample gauges (record.go) and process gauges this is the
+// /metrics surface.
+func (l *Live) Register(reg *metrics.Registry) {
+	reg.GaugeFunc("alive_corpus_total", "Transformations submitted to the run.", l.gauge(func(l *Live) int { return l.total }))
+	reg.GaugeFunc("alive_corpus_completed", "Transformations with a verdict (including resumed).", l.gauge(func(l *Live) int { return l.completed }))
+	reg.GaugeFunc("alive_corpus_queue_depth", "Transformations not yet decided.", l.gauge(func(l *Live) int { return l.total - l.completed }))
+	reg.GaugeFunc("alive_corpus_workers", "Worker-pool size.", l.gauge(func(l *Live) int { return l.workers }))
+	reg.GaugeFunc("alive_corpus_in_flight", "Verifications running right now.", l.gauge(func(l *Live) int { return len(l.current) }))
+	reg.GaugeFunc("alive_corpus_valid", "Valid verdicts so far.", l.gauge(func(l *Live) int { return l.valid }))
+	reg.GaugeFunc("alive_corpus_invalid", "Invalid verdicts so far.", l.gauge(func(l *Live) int { return l.invalid }))
+	reg.GaugeFunc("alive_corpus_unknown", "Unknown verdicts so far.", l.gauge(func(l *Live) int { return l.unknown }))
+	reg.GaugeFunc("alive_corpus_rejected", "Rejected (lint) verdicts so far.", l.gauge(func(l *Live) int { return l.rejected }))
+	reg.GaugeFunc("alive_corpus_resumed", "Verdicts restored from the resume journal.", l.gauge(func(l *Live) int { return l.resumed }))
+	reg.GaugeFunc("alive_corpus_queries", "Solver queries issued so far.", l.gauge(func(l *Live) int { return l.queries }))
+	reg.GaugeFunc("alive_corpus_escalations", "Conflict-budget ladder retries so far.", l.gauge(func(l *Live) int { return l.escalation }))
+	reg.HistogramFunc("alive_verify_us", "Per-transformation verification wall time (µs), merged across workers.", func() telemetry.Histogram {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		var merged telemetry.Histogram
+		for i := range l.verifyUS {
+			merged.Merge(l.verifyUS[i])
+		}
+		return merged
+	})
+	reg.CountersFunc("alive", "Pipeline counter totals over completed verifications.", func() telemetry.Counters {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.counters
+	})
+	reg.RegisterProcessMetrics("alive_process")
+}

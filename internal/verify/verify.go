@@ -26,6 +26,7 @@ import (
 	"alive/internal/faultinject"
 	"alive/internal/ir"
 	"alive/internal/lint"
+	"alive/internal/metrics"
 	"alive/internal/sat"
 	"alive/internal/smt"
 	"alive/internal/solver"
@@ -184,6 +185,18 @@ type Options struct {
 	// verification with Unknown (out-of-memory) instead of letting the
 	// process be OOM-killed. Single Verify/VerifyContext calls ignore it.
 	MaxHeapBytes uint64
+	// Metrics, when non-nil, receives live solver gauges (trail depth,
+	// learnt-DB tier sizes, recent LBD, restart cadence) sampled at
+	// every restart boundary of every SAT core this verification runs —
+	// the feed behind the /metrics debug endpoint. Nil keeps the
+	// pipeline sampler-free at one pointer test per restart.
+	Metrics *metrics.Registry
+	// Flight, when non-nil, arms the flight recorder: a verification
+	// that ends Unknown (any reason — deadline, conflict budget,
+	// memory-governor trip, panic) or outlasts Flight.Slow serializes
+	// its last ring-buffered solver samples, span path, and counter
+	// deltas to an NDJSON artifact in Flight.Dir for offline diagnosis.
+	Flight *metrics.FlightRecorder
 
 	// onStart, when non-nil, is called at the start of each verification
 	// with its stop flag; the returned function (may be nil) runs when
@@ -323,10 +336,21 @@ func VerifyContext(ctx context.Context, t *ir.Transform, opts Options) (res Resu
 	opts = opts.withDefaults()
 	res = Result{Transform: t, Verdict: Valid, GaveUpAssignment: -1}
 	span := startTransformSpan(opts, t)
+	// rec is non-nil when an observability sink wants solver samples: it
+	// carries the SAT cores' restart-boundary snapshots into the live
+	// gauges and the flight ring.
+	var rec *queryRecorder
+	if opts.Metrics != nil || opts.Flight != nil {
+		rec = newQueryRecorder(opts, start)
+	}
 	// Deferred LIFO: the span finalizer registered first runs last, after
-	// the panic handler and the duration stamp, so it annotates the final
-	// verdict (including a recovered panic).
+	// the flight recorder, the duration stamp, and the panic handler, so
+	// it annotates the final verdict (including a recovered panic); the
+	// flight recorder runs with the duration already stamped.
 	defer finishTransformSpan(span, &res)
+	if opts.Flight != nil {
+		defer recordFlight(opts.Flight, t.Name, &res, rec)
+	}
 	defer func() { res.Duration = time.Since(start) }()
 	defer func() {
 		if r := recover(); r != nil {
@@ -412,7 +436,7 @@ func VerifyContext(ctx context.Context, t *ir.Transform, opts Options) (res Resu
 			res.GaveUpAssignment = i
 			return res
 		}
-		v, cex, queries, escalations, detail := verifyAssignment(t, asg, opts, g, &res, span, i)
+		v, cex, queries, escalations, detail := verifyAssignment(t, asg, opts, g, &res, span, i, rec)
 		res.Queries += queries
 		res.Escalations += escalations
 		switch v {
@@ -443,7 +467,12 @@ type unknownDetail struct {
 // conflict-budget escalation ladder on budget-bound Unknowns while the
 // deadline leaves time: each retry multiplies the budget by 4, so the
 // total work stays within ~4/3 of the final (successful) rung.
-func verifyAssignment(t *ir.Transform, asg *typing.Assignment, opts Options, g *governor, res *Result, span *telemetry.Span, index int) (v Verdict, cex *Counterexample, queries, escalations int, detail unknownDetail) {
+func verifyAssignment(t *ir.Transform, asg *typing.Assignment, opts Options, g *governor, res *Result, span *telemetry.Span, index int, rec *queryRecorder) (v Verdict, cex *Counterexample, queries, escalations int, detail unknownDetail) {
+	if rec != nil {
+		// Samples emitted from here on belong to this assignment; the
+		// verification is single-threaded so a plain store suffices.
+		rec.assignment = index
+	}
 	aspan := span.Child("assignment", "assignment")
 	if aspan != nil {
 		aspan.SetInt("index", int64(index))
@@ -462,7 +491,7 @@ func verifyAssignment(t *ir.Transform, asg *typing.Assignment, opts Options, g *
 	}
 	for {
 		var q int
-		v, cex, q, detail = verifyOne(t, asg, opts, budget, g, res, aspan)
+		v, cex, q, detail = verifyOne(t, asg, opts, budget, g, res, aspan, rec)
 		queries += q
 		if v != Unknown {
 			return v, cex, queries, escalations, unknownDetail{}
@@ -550,7 +579,7 @@ func condName(k CexKind) string {
 // verifyOne checks conditions 1-4 under a single type assignment with
 // the given conflict budget, reporting which condition and why on an
 // Unknown outcome.
-func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflicts int64, g *governor, res *Result, aspan *telemetry.Span) (Verdict, *Counterexample, int, unknownDetail) {
+func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflicts int64, g *governor, res *Result, aspan *telemetry.Span, rec *queryRecorder) (Verdict, *Counterexample, int, unknownDetail) {
 	vspan := aspan.Child("vcgen", "vcgen")
 	b, enc, conds, err := buildConditions(t, asg, opts)
 	if err != nil {
@@ -576,6 +605,9 @@ func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflic
 	if testHookSolver != nil {
 		testHookSolver(&sol)
 	}
+	if rec != nil {
+		sol.OnSample = rec.onSample
+	}
 	if res != nil {
 		// Aggregate however the loop exits (valid, invalid, or unknown).
 		defer func() { res.Counters.Add(sol.Stats) }()
@@ -583,6 +615,9 @@ func verifyOne(t *ir.Transform, asg *typing.Assignment, opts Options, maxConflic
 	queries := 0
 	for _, cond := range conds {
 		queries++
+		if rec != nil {
+			rec.condition = condName(cond.kind)
+		}
 		cspan := aspan.Child("check:"+condName(cond.kind), "condition")
 		sol.Span = cspan
 		// Value obligations are miters (ψ ∧ src ≠ tgt): the session may
